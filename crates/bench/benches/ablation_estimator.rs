@@ -1,0 +1,51 @@
+//! Ablation: the two evaluation strategies for Eq. 4.
+//!
+//! The estimator can enumerate the candidate's null space (cheap for big
+//! caches / small null spaces) or scan the profile histogram (cheap for small
+//! profiles / big null spaces). This bench quantifies the crossover that the
+//! `Auto` strategy exploits.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use xorindex::{EstimationStrategy, HashFunction, MissEstimator};
+use xorindex_bench::{prepare_data, HASHED_BITS};
+
+fn bench_estimator_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_estimator");
+    group.sample_size(20);
+    // 1 KB cache -> 8 set bits -> 2^8-vector null space;
+    // 16 KB cache -> 12 set bits -> 2^4-vector null space.
+    for cache_kb in [1u64, 16] {
+        let prepared = prepare_data("jpeg enc", cache_kb);
+        println!(
+            "ablation-estimator jpeg enc @{cache_kb}KB: {} distinct conflict vectors, null-space size {}",
+            prepared.profile.distinct_vectors(),
+            1u64 << (HASHED_BITS - prepared.cache.set_bits())
+        );
+        let function =
+            HashFunction::conventional(HASHED_BITS, prepared.cache.set_bits()).expect("valid");
+        for (label, strategy) in [
+            ("enumerate_null_space", EstimationStrategy::EnumerateNullSpace),
+            ("scan_histogram", EstimationStrategy::ScanHistogram),
+            ("auto", EstimationStrategy::Auto),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(label, format!("{cache_kb}kb")),
+                &strategy,
+                |b, &strategy| {
+                    let estimator =
+                        MissEstimator::new(&prepared.profile).with_strategy(strategy);
+                    b.iter(|| black_box(estimator.estimate(&function).expect("same geometry")))
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().measurement_time(std::time::Duration::from_millis(600)).warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench_estimator_strategies
+}
+criterion_main!(benches);

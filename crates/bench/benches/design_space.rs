@@ -1,0 +1,40 @@
+//! Bench for the Section 2 design-space figures (Eq. 3): how long the
+//! counting arithmetic takes and a printout of the figures themselves.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_design_space(c: &mut Criterion) {
+    // Print the reproduced figures once so bench logs double as a record.
+    println!(
+        "\n{}",
+        experiments::design_space::render(&experiments::design_space::paper_rows())
+    );
+
+    let mut group = c.benchmark_group("design_space");
+    for &(n, m) in &[(16u32, 8u32), (16, 10), (16, 12)] {
+        group.bench_with_input(
+            BenchmarkId::new("count_null_spaces", format!("n{n}_m{m}")),
+            &(n, m),
+            |b, &(n, m)| b.iter(|| black_box(gf2::count::distinct_null_spaces(n, m))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("count_matrices", format!("n{n}_m{m}")),
+            &(n, m),
+            |b, &(n, m)| b.iter(|| black_box(gf2::count::distinct_matrices(n, m))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("exact_gaussian_binomial", format!("n{n}_m{m}")),
+            &(n, m),
+            |b, &(n, m)| b.iter(|| black_box(gf2::count::gaussian_binomial_exact(n, n - m))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_millis(600)).warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench_design_space
+}
+criterion_main!(benches);

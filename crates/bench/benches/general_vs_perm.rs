@@ -1,0 +1,58 @@
+//! Bench for the first experiment of Section 6: general XOR functions vs
+//! permutation-based functions on the same profiles.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use xorindex::search::Searcher;
+use xorindex::{FunctionClass, SearchAlgorithm};
+use xorindex_bench::prepare_data;
+
+fn bench_general_vs_perm(c: &mut Criterion) {
+    let workloads = ["fft", "blit"];
+    let mut group = c.benchmark_group("general_vs_permutation_4kb");
+    group.sample_size(10);
+    for name in workloads {
+        let prepared = prepare_data(name, 4);
+        // Record the reproduced comparison once.
+        let run = |class: FunctionClass| {
+            Searcher::new(&prepared.profile, class, prepared.cache.set_bits())
+                .expect("valid geometry")
+                .run(SearchAlgorithm::HillClimb)
+                .expect("search succeeds")
+                .estimated_percent_removed()
+        };
+        println!(
+            "general-vs-perm {name:>9} @4KB (estimated % conflict vectors removed): general {:>5.1}% | permutation-based {:>5.1}%",
+            run(FunctionClass::xor_unlimited()),
+            run(FunctionClass::permutation_based_unlimited()),
+        );
+        for (label, class) in [
+            ("general_xor", FunctionClass::xor_unlimited()),
+            ("permutation_based", FunctionClass::permutation_based_unlimited()),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(label, name),
+                &prepared,
+                |b, prepared| {
+                    b.iter(|| {
+                        let searcher = Searcher::new(
+                            &prepared.profile,
+                            class,
+                            prepared.cache.set_bits(),
+                        )
+                        .expect("valid geometry");
+                        black_box(searcher.run(SearchAlgorithm::HillClimb).expect("search"))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().measurement_time(std::time::Duration::from_millis(600)).warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench_general_vs_perm
+}
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Bench for the search-cost claim of Section 3.2: constructing a hash
+//! function takes 0.5–10 s on the paper's 2 GHz Pentium 4. This target
+//! measures the three pipeline stages separately — profiling, a single
+//! Eq. 4 evaluation, and the full hill climb — so the cost model of the
+//! search can be compared against that figure.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use xorindex::search::Searcher;
+use xorindex::{ConflictProfile, FunctionClass, HashFunction, MissEstimator, SearchAlgorithm};
+use xorindex_bench::{prepare_data, HASHED_BITS};
+
+fn bench_search_cost(c: &mut Criterion) {
+    let prepared = prepare_data("susan", 4);
+    let mut group = c.benchmark_group("search_cost");
+    group.sample_size(10);
+
+    group.bench_function("profiling_pass", |b| {
+        b.iter(|| {
+            black_box(ConflictProfile::from_blocks(
+                prepared.blocks.iter().copied(),
+                HASHED_BITS,
+                prepared.cache.num_blocks() as usize,
+            ))
+        })
+    });
+
+    let conventional =
+        HashFunction::conventional(HASHED_BITS, prepared.cache.set_bits()).expect("valid");
+    group.bench_function("single_estimate_eq4", |b| {
+        let estimator = MissEstimator::new(&prepared.profile);
+        b.iter(|| black_box(estimator.estimate(&conventional).expect("same geometry")))
+    });
+
+    for (label, class) in [
+        ("bit_selecting", FunctionClass::bit_selecting()),
+        ("permutation_2in", FunctionClass::permutation_based(2)),
+        ("xor_unlimited", FunctionClass::xor_unlimited()),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("hill_climb", label),
+            &class,
+            |b, &class| {
+                b.iter(|| {
+                    let searcher =
+                        Searcher::new(&prepared.profile, class, prepared.cache.set_bits())
+                            .expect("valid geometry");
+                    black_box(searcher.run(SearchAlgorithm::HillClimb).expect("search"))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().measurement_time(std::time::Duration::from_millis(600)).warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench_search_cost
+}
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Bench for Table 1: the hardware cost model. Prints the reproduced table
+//! and measures the cost evaluation itself (used inside design-space sweeps).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use xorindex::hardware::{self, IndexingScheme};
+
+fn bench_table1(c: &mut Criterion) {
+    println!("\n{}", experiments::table1::render(&experiments::table1::paper_table()));
+
+    let mut group = c.benchmark_group("table1_hardware");
+    for m in [8usize, 10, 12] {
+        group.bench_with_input(BenchmarkId::new("all_schemes", m), &m, |b, &m| {
+            b.iter(|| {
+                for scheme in IndexingScheme::ALL {
+                    black_box(hardware::cost(scheme, 16, m));
+                }
+            })
+        });
+    }
+    group.bench_function("full_table", |b| {
+        b.iter(|| black_box(experiments::table1::paper_table()))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_millis(600)).warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench_table1
+}
+criterion_main!(benches);

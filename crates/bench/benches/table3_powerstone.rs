@@ -1,0 +1,50 @@
+//! Bench for Table 3: the PowerStone comparison of the optimal bit-selecting
+//! search, the heuristic searches and a fully-associative cache.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use experiments::{table3, ExperimentConfig};
+use std::hint::black_box;
+use workloads::WorkloadSuite;
+
+fn bench_table3(c: &mut Criterion) {
+    // Bench-friendly configuration: tiny inputs, paper geometry otherwise.
+    let config = ExperimentConfig {
+        scale: workloads::Scale::Tiny,
+        ..ExperimentConfig::paper()
+    };
+    let kernels = ["crc", "ucbqsort"];
+    let mut group = c.benchmark_group("table3_powerstone_4kb");
+    group.sample_size(10);
+    for name in kernels {
+        let workload = WorkloadSuite::by_name(name).expect("known PowerStone kernel");
+        let cache = config.cache(4);
+        let row = table3::evaluate_workload(&config, workload.as_ref(), cache);
+        println!(
+            "table3 {name:>9} @4KB: opt {:>5.1}% | 1-in {:>5.1}% | 2-in {:>5.1}% | 4-in {:>5.1}% | 16-in {:>5.1}% | FA {:>5.1}%",
+            row.optimal_bitselect,
+            row.heuristic_bitselect,
+            row.xor_2in,
+            row.xor_4in,
+            row.xor_16in,
+            row.fully_associative
+        );
+        group.bench_with_input(BenchmarkId::new("row", name), &name, |b, name| {
+            let workload = WorkloadSuite::by_name(name).expect("known PowerStone kernel");
+            b.iter(|| {
+                black_box(table3::evaluate_workload(
+                    &config,
+                    workload.as_ref(),
+                    cache,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().measurement_time(std::time::Duration::from_millis(600)).warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench_table3
+}
+criterion_main!(benches);

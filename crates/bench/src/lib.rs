@@ -1,0 +1,104 @@
+//! Shared helpers for the Criterion benchmark targets.
+//!
+//! Every paper table/figure has a matching bench target in `benches/`; the
+//! helpers here build the workload traces, profiles and cache configurations
+//! those targets share, at a scale small enough for Criterion's repeated
+//! sampling while preserving each benchmark's access structure.
+
+use cache_sim::{BlockAddr, CacheConfig};
+use workloads::{Scale, WorkloadSuite};
+use xorindex::ConflictProfile;
+
+/// Number of hashed address bits used by the benchmark targets (the paper's
+/// value).
+pub const HASHED_BITS: usize = 16;
+
+/// A prepared benchmark input: one workload's block-address stream for one
+/// cache, plus the conflict profile the searches consume.
+#[derive(Debug, Clone)]
+pub struct PreparedWorkload {
+    /// Benchmark name.
+    pub name: String,
+    /// The cache geometry under study.
+    pub cache: CacheConfig,
+    /// Block addresses of the selected trace side.
+    pub blocks: Vec<BlockAddr>,
+    /// Executed operations (for misses/K-uop).
+    pub ops: u64,
+    /// The conflict-vector profile of the trace for this cache.
+    pub profile: ConflictProfile,
+}
+
+/// Prepares the data side of a named workload at `Scale::Tiny` for the given
+/// cache size.
+///
+/// # Panics
+///
+/// Panics if the workload name is unknown.
+#[must_use]
+pub fn prepare_data(name: &str, cache_kb: u64) -> PreparedWorkload {
+    prepare(name, cache_kb, false)
+}
+
+/// Prepares the instruction side of a named workload at `Scale::Tiny`.
+///
+/// # Panics
+///
+/// Panics if the workload name is unknown.
+#[must_use]
+pub fn prepare_instructions(name: &str, cache_kb: u64) -> PreparedWorkload {
+    prepare(name, cache_kb, true)
+}
+
+fn prepare(name: &str, cache_kb: u64, instructions: bool) -> PreparedWorkload {
+    let workload = WorkloadSuite::by_name(name)
+        .unwrap_or_else(|| panic!("unknown workload {name:?}"));
+    let cache = CacheConfig::paper_cache(cache_kb);
+    let trace = if instructions {
+        workload.instruction_trace(Scale::Tiny)
+    } else {
+        workload.data_trace(Scale::Tiny)
+    };
+    let blocks: Vec<BlockAddr> = if instructions {
+        trace
+            .instruction_block_addresses(cache.block_bits())
+            .collect()
+    } else {
+        trace.data_block_addresses(cache.block_bits()).collect()
+    };
+    let profile = ConflictProfile::from_blocks(
+        blocks.iter().copied(),
+        HASHED_BITS,
+        cache.num_blocks() as usize,
+    );
+    PreparedWorkload {
+        name: name.to_string(),
+        cache,
+        blocks,
+        ops: trace.ops(),
+        profile,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prepares_both_sides() {
+        let d = prepare_data("fir", 1);
+        assert!(!d.blocks.is_empty());
+        assert_eq!(d.cache.size_bytes(), 1024);
+        assert_eq!(d.profile.hashed_bits(), HASHED_BITS);
+        let i = prepare_instructions("fir", 1);
+        assert!(!i.blocks.is_empty());
+        assert!(i.ops > 0);
+        assert_eq!(i.name, "fir");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown workload")]
+    fn unknown_workload_panics() {
+        let _ = prepare_data("nope", 1);
+    }
+}

@@ -1,0 +1,148 @@
+//! Address newtypes.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use gf2::BitVec;
+
+/// A byte address as issued by a program (load/store effective address or
+/// instruction fetch address).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
+pub struct Address(pub u64);
+
+impl Address {
+    /// Converts to the containing cache-block address given the block size.
+    #[must_use]
+    pub fn block(self, block_bits: u32) -> BlockAddr {
+        BlockAddr(self.0 >> block_bits)
+    }
+
+    /// Byte offset within the cache block.
+    #[must_use]
+    pub fn offset(self, block_bits: u32) -> u64 {
+        self.0 & ((1u64 << block_bits) - 1)
+    }
+
+    /// Raw byte address.
+    #[must_use]
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl From<u64> for Address {
+    fn from(a: u64) -> Self {
+        Address(a)
+    }
+}
+
+impl From<Address> for u64 {
+    fn from(a: Address) -> Self {
+        a.0
+    }
+}
+
+impl fmt::Display for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+/// A cache-block address: the byte address with the block-offset bits removed.
+///
+/// This is the quantity hashed by the index function; the paper calls it the
+/// *block address* `a` and hashes its `n` low-order bits.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
+pub struct BlockAddr(pub u64);
+
+impl BlockAddr {
+    /// Raw block number.
+    #[must_use]
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// The first byte address of the block.
+    #[must_use]
+    pub fn base_address(self, block_bits: u32) -> Address {
+        Address(self.0 << block_bits)
+    }
+
+    /// The `n` low-order bits of the block address as a GF(2) vector — the
+    /// input to a hash-function matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hashed_bits` is 0 or larger than 64.
+    #[must_use]
+    pub fn hashed_bits(self, hashed_bits: usize) -> BitVec {
+        BitVec::from_u64(self.0, hashed_bits)
+    }
+}
+
+impl From<u64> for BlockAddr {
+    fn from(a: u64) -> Self {
+        BlockAddr(a)
+    }
+}
+
+impl From<BlockAddr> for u64 {
+    fn from(a: BlockAddr) -> Self {
+        a.0
+    }
+}
+
+impl fmt::Display for BlockAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "block {:#x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn address_to_block_strips_offset() {
+        let a = Address(0x1237);
+        assert_eq!(a.block(2), BlockAddr(0x48D));
+        assert_eq!(a.offset(2), 0x3);
+        assert_eq!(a.block(5), BlockAddr(0x91));
+        assert_eq!(a.offset(5), 0x17);
+    }
+
+    #[test]
+    fn block_base_address_roundtrip() {
+        let b = BlockAddr(0x91);
+        assert_eq!(b.base_address(5), Address(0x1220));
+        assert_eq!(b.base_address(5).block(5), b);
+    }
+
+    #[test]
+    fn hashed_bits_truncate() {
+        let b = BlockAddr(0x12345);
+        assert_eq!(b.hashed_bits(16).as_u64(), 0x2345);
+        assert_eq!(b.hashed_bits(20).as_u64(), 0x12345);
+    }
+
+    #[test]
+    fn conversions_and_display() {
+        let a: Address = 0x40u64.into();
+        assert_eq!(u64::from(a), 0x40);
+        assert_eq!(a.to_string(), "0x40");
+        let b: BlockAddr = 7u64.into();
+        assert_eq!(u64::from(b), 7);
+        assert!(b.to_string().contains("0x7"));
+    }
+}

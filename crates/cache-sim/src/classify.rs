@@ -1,0 +1,184 @@
+//! 3C miss classification (compulsory / capacity / conflict).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{BlockAddr, LruStack, StackScan};
+
+/// Reuse class of an access with respect to a fully-associative LRU cache of a
+/// given capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReuseClass {
+    /// First access to the block ever.
+    Cold,
+    /// Reuse distance (number of distinct blocks since the previous access)
+    /// is strictly smaller than the capacity: a fully-associative cache of
+    /// that capacity would hit.
+    Near(usize),
+    /// Reuse distance is at least the capacity: even a fully-associative
+    /// cache would miss.
+    Far,
+}
+
+/// The classical 3C classification of a cache miss.
+///
+/// * *Compulsory*: the block was never referenced before.
+/// * *Capacity*: the block's reuse distance exceeds the cache capacity, so no
+///   index function can keep it resident.
+/// * *Conflict*: the miss is caused by the index function mapping too many
+///   recently-used blocks to the same set — the misses the paper's
+///   XOR-functions attack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MissClass {
+    /// First-reference miss.
+    Compulsory,
+    /// Working set exceeds the cache capacity.
+    Capacity,
+    /// Mapping conflict; removable by a better index function.
+    Conflict,
+}
+
+impl fmt::Display for MissClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            MissClass::Compulsory => "compulsory",
+            MissClass::Capacity => "capacity",
+            MissClass::Conflict => "conflict",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Classifies the accesses of a single cache's reference stream into reuse
+/// classes, mirroring the capacity/compulsory filtering of the paper's
+/// profiling algorithm.
+///
+/// Feed *every* access (hits and misses) to [`MissClassifier::observe`]; it
+/// returns the reuse class, which [`MissClassifier::classify_miss`] converts
+/// to a [`MissClass`] for accesses that actually missed in the simulated cache.
+///
+/// # Example
+///
+/// ```
+/// use cache_sim::{BlockAddr, MissClass, MissClassifier, ReuseClass};
+///
+/// let mut c = MissClassifier::new(2); // a tiny 2-block cache
+/// assert_eq!(c.observe(BlockAddr(1)), ReuseClass::Cold);
+/// assert_eq!(c.observe(BlockAddr(2)), ReuseClass::Cold);
+/// assert_eq!(c.observe(BlockAddr(1)), ReuseClass::Near(1));
+/// // Reuse distance 2 >= capacity 2: a capacity miss if the cache missed.
+/// assert_eq!(c.observe(BlockAddr(3)), ReuseClass::Cold);
+/// assert_eq!(c.observe(BlockAddr(2)), ReuseClass::Far);
+/// assert_eq!(MissClassifier::classify_miss(ReuseClass::Far), MissClass::Capacity);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MissClassifier {
+    stack: LruStack,
+    capacity_blocks: usize,
+}
+
+impl MissClassifier {
+    /// Creates a classifier for a cache holding `capacity_blocks` blocks.
+    #[must_use]
+    pub fn new(capacity_blocks: usize) -> Self {
+        MissClassifier {
+            stack: LruStack::new(),
+            capacity_blocks,
+        }
+    }
+
+    /// Capacity (in blocks) against which reuse distances are compared.
+    #[must_use]
+    pub fn capacity_blocks(&self) -> usize {
+        self.capacity_blocks
+    }
+
+    /// Observes one access and returns its reuse class.
+    pub fn observe(&mut self, block: BlockAddr) -> ReuseClass {
+        match self.stack.access(block.as_u64(), self.capacity_blocks) {
+            StackScan::Cold => ReuseClass::Cold,
+            StackScan::Within { distance } if distance < self.capacity_blocks => {
+                ReuseClass::Near(distance)
+            }
+            StackScan::Within { .. } | StackScan::Beyond => ReuseClass::Far,
+        }
+    }
+
+    /// Maps the reuse class of an access that missed to its 3C class.
+    #[must_use]
+    pub fn classify_miss(reuse: ReuseClass) -> MissClass {
+        match reuse {
+            ReuseClass::Cold => MissClass::Compulsory,
+            ReuseClass::Far => MissClass::Capacity,
+            ReuseClass::Near(_) => MissClass::Conflict,
+        }
+    }
+
+    /// Resets the classifier's history.
+    pub fn reset(&mut self) {
+        self.stack.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_then_near_then_far() {
+        let mut c = MissClassifier::new(3);
+        assert_eq!(c.observe(BlockAddr(10)), ReuseClass::Cold);
+        assert_eq!(c.observe(BlockAddr(11)), ReuseClass::Cold);
+        assert_eq!(c.observe(BlockAddr(10)), ReuseClass::Near(1));
+        // Push 3 distinct blocks between uses of 11 -> distance 3 >= capacity.
+        assert_eq!(c.observe(BlockAddr(12)), ReuseClass::Cold);
+        assert_eq!(c.observe(BlockAddr(13)), ReuseClass::Cold);
+        assert_eq!(c.observe(BlockAddr(11)), ReuseClass::Far);
+        assert_eq!(c.capacity_blocks(), 3);
+    }
+
+    #[test]
+    fn classification_mapping() {
+        assert_eq!(
+            MissClassifier::classify_miss(ReuseClass::Cold),
+            MissClass::Compulsory
+        );
+        assert_eq!(
+            MissClassifier::classify_miss(ReuseClass::Far),
+            MissClass::Capacity
+        );
+        assert_eq!(
+            MissClassifier::classify_miss(ReuseClass::Near(2)),
+            MissClass::Conflict
+        );
+    }
+
+    #[test]
+    fn reset_forgets_history() {
+        let mut c = MissClassifier::new(2);
+        c.observe(BlockAddr(1));
+        c.reset();
+        assert_eq!(c.observe(BlockAddr(1)), ReuseClass::Cold);
+    }
+
+    #[test]
+    fn near_boundary_is_capacity_minus_one() {
+        let mut c = MissClassifier::new(2);
+        c.observe(BlockAddr(1));
+        c.observe(BlockAddr(2));
+        // distance 1 < 2 -> Near
+        assert_eq!(c.observe(BlockAddr(1)), ReuseClass::Near(1));
+        c.observe(BlockAddr(3));
+        c.observe(BlockAddr(4));
+        // distance 2 >= 2 -> Far (LRU FA cache of 2 blocks would miss)
+        assert_eq!(c.observe(BlockAddr(1)), ReuseClass::Far);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(MissClass::Compulsory.to_string(), "compulsory");
+        assert_eq!(MissClass::Capacity.to_string(), "capacity");
+        assert_eq!(MissClass::Conflict.to_string(), "conflict");
+    }
+}

@@ -1,0 +1,359 @@
+//! Cache geometry configuration.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Errors produced while building or using a [`CacheConfig`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CacheError {
+    /// A size parameter was zero or not a power of two.
+    NotPowerOfTwo {
+        /// Name of the offending parameter.
+        parameter: &'static str,
+        /// Value supplied by the caller.
+        value: u64,
+    },
+    /// The block size exceeds the cache size.
+    BlockLargerThanCache {
+        /// Cache size in bytes.
+        size_bytes: u64,
+        /// Block size in bytes.
+        block_bytes: u64,
+    },
+    /// The associativity exceeds the number of blocks in the cache.
+    AssociativityTooLarge {
+        /// Requested associativity.
+        associativity: u32,
+        /// Number of blocks in the cache.
+        blocks: u64,
+    },
+    /// An index function was used with a cache of a different set count.
+    IndexFunctionMismatch {
+        /// Set count expected by the cache.
+        expected_sets: u64,
+        /// Set count produced by the index function.
+        actual_sets: u64,
+    },
+}
+
+impl fmt::Display for CacheError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CacheError::NotPowerOfTwo { parameter, value } => {
+                write!(f, "{parameter} must be a non-zero power of two, got {value}")
+            }
+            CacheError::BlockLargerThanCache {
+                size_bytes,
+                block_bytes,
+            } => write!(
+                f,
+                "block size {block_bytes} B exceeds cache size {size_bytes} B"
+            ),
+            CacheError::AssociativityTooLarge {
+                associativity,
+                blocks,
+            } => write!(
+                f,
+                "associativity {associativity} exceeds the {blocks} blocks in the cache"
+            ),
+            CacheError::IndexFunctionMismatch {
+                expected_sets,
+                actual_sets,
+            } => write!(
+                f,
+                "index function targets {actual_sets} sets but the cache has {expected_sets}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CacheError {}
+
+/// Geometry of a cache: total size, block size and associativity.
+///
+/// All sizes must be powers of two. The derived quantities used throughout the
+/// paper are available as methods: the number of sets ([`CacheConfig::num_sets`]),
+/// the number of set-index bits `m` ([`CacheConfig::set_bits`]) and the number
+/// of block-offset bits ([`CacheConfig::block_bits`]).
+///
+/// The paper's evaluation uses direct-mapped caches of 1, 4 and 16 KB with
+/// 4-byte blocks; [`CacheConfig::paper_cache`] builds those directly.
+///
+/// # Example
+///
+/// ```
+/// use cache_sim::CacheConfig;
+///
+/// let c = CacheConfig::builder()
+///     .size_bytes(4096)
+///     .block_bytes(4)
+///     .associativity(1)
+///     .build()?;
+/// assert_eq!(c.num_sets(), 1024);
+/// assert_eq!(c.set_bits(), 10);
+/// assert_eq!(c.block_bits(), 2);
+/// # Ok::<(), cache_sim::CacheError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CacheConfig {
+    size_bytes: u64,
+    block_bytes: u64,
+    associativity: u32,
+}
+
+impl CacheConfig {
+    /// Starts building a configuration.
+    #[must_use]
+    pub fn builder() -> CacheConfigBuilder {
+        CacheConfigBuilder::default()
+    }
+
+    /// Builds one of the paper's evaluation caches: direct mapped, 4-byte
+    /// blocks, with the given size in kilobytes (1, 4 or 16 in the paper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size_kb` is zero or not a power of two.
+    #[must_use]
+    pub fn paper_cache(size_kb: u64) -> CacheConfig {
+        CacheConfig::builder()
+            .size_bytes(size_kb * 1024)
+            .block_bytes(4)
+            .associativity(1)
+            .build()
+            .expect("paper cache sizes are valid")
+    }
+
+    /// Total capacity in bytes.
+    #[must_use]
+    pub fn size_bytes(&self) -> u64 {
+        self.size_bytes
+    }
+
+    /// Block (line) size in bytes.
+    #[must_use]
+    pub fn block_bytes(&self) -> u64 {
+        self.block_bytes
+    }
+
+    /// Associativity (1 = direct mapped).
+    #[must_use]
+    pub fn associativity(&self) -> u32 {
+        self.associativity
+    }
+
+    /// Number of blocks the cache can hold.
+    #[must_use]
+    pub fn num_blocks(&self) -> u64 {
+        self.size_bytes / self.block_bytes
+    }
+
+    /// Number of sets.
+    #[must_use]
+    pub fn num_sets(&self) -> u64 {
+        self.num_blocks() / u64::from(self.associativity)
+    }
+
+    /// Number of set-index bits `m = log2(num_sets)`.
+    #[must_use]
+    pub fn set_bits(&self) -> usize {
+        self.num_sets().trailing_zeros() as usize
+    }
+
+    /// Number of block-offset bits.
+    #[must_use]
+    pub fn block_bits(&self) -> u32 {
+        self.block_bytes.trailing_zeros()
+    }
+
+    /// `true` for a direct-mapped cache.
+    #[must_use]
+    pub fn is_direct_mapped(&self) -> bool {
+        self.associativity == 1
+    }
+
+    /// `true` when a single set spans the whole cache (fully associative).
+    #[must_use]
+    pub fn is_fully_associative(&self) -> bool {
+        self.num_sets() == 1
+    }
+}
+
+impl fmt::Display for CacheConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} B, {}-way, {} B blocks ({} sets)",
+            self.size_bytes,
+            self.associativity,
+            self.block_bytes,
+            self.num_sets()
+        )
+    }
+}
+
+/// Builder for [`CacheConfig`]. Defaults: 4 KB, 4-byte blocks, direct mapped
+/// (the middle configuration of the paper's sweep).
+#[derive(Debug, Clone, Copy)]
+pub struct CacheConfigBuilder {
+    size_bytes: u64,
+    block_bytes: u64,
+    associativity: u32,
+}
+
+impl Default for CacheConfigBuilder {
+    fn default() -> Self {
+        CacheConfigBuilder {
+            size_bytes: 4096,
+            block_bytes: 4,
+            associativity: 1,
+        }
+    }
+}
+
+impl CacheConfigBuilder {
+    /// Sets the total cache capacity in bytes.
+    pub fn size_bytes(&mut self, bytes: u64) -> &mut Self {
+        self.size_bytes = bytes;
+        self
+    }
+
+    /// Sets the block (line) size in bytes.
+    pub fn block_bytes(&mut self, bytes: u64) -> &mut Self {
+        self.block_bytes = bytes;
+        self
+    }
+
+    /// Sets the associativity (1 = direct mapped).
+    pub fn associativity(&mut self, ways: u32) -> &mut Self {
+        self.associativity = ways;
+        self
+    }
+
+    /// Validates the parameters and builds the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CacheError`] when a parameter is not a power of two, the
+    /// block is larger than the cache, or the associativity exceeds the number
+    /// of blocks.
+    pub fn build(&self) -> Result<CacheConfig, CacheError> {
+        for (name, value) in [
+            ("cache size", self.size_bytes),
+            ("block size", self.block_bytes),
+            ("associativity", u64::from(self.associativity)),
+        ] {
+            if value == 0 || !value.is_power_of_two() {
+                return Err(CacheError::NotPowerOfTwo {
+                    parameter: name,
+                    value,
+                });
+            }
+        }
+        if self.block_bytes > self.size_bytes {
+            return Err(CacheError::BlockLargerThanCache {
+                size_bytes: self.size_bytes,
+                block_bytes: self.block_bytes,
+            });
+        }
+        let blocks = self.size_bytes / self.block_bytes;
+        if u64::from(self.associativity) > blocks {
+            return Err(CacheError::AssociativityTooLarge {
+                associativity: self.associativity,
+                blocks,
+            });
+        }
+        Ok(CacheConfig {
+            size_bytes: self.size_bytes,
+            block_bytes: self.block_bytes,
+            associativity: self.associativity,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_caches_have_expected_geometry() {
+        // Table 1: n = 16, 4-byte blocks; m = 8, 10, 12 for 1, 4, 16 KB.
+        for (kb, m) in [(1u64, 8usize), (4, 10), (16, 12)] {
+            let c = CacheConfig::paper_cache(kb);
+            assert_eq!(c.set_bits(), m, "{kb} KB cache");
+            assert_eq!(c.block_bits(), 2);
+            assert!(c.is_direct_mapped());
+            assert_eq!(c.num_blocks(), kb * 256);
+        }
+    }
+
+    #[test]
+    fn builder_defaults_are_the_4kb_paper_cache() {
+        let c = CacheConfig::builder().build().unwrap();
+        assert_eq!(c, CacheConfig::paper_cache(4));
+    }
+
+    #[test]
+    fn set_associative_geometry() {
+        let c = CacheConfig::builder()
+            .size_bytes(8192)
+            .block_bytes(32)
+            .associativity(4)
+            .build()
+            .unwrap();
+        assert_eq!(c.num_blocks(), 256);
+        assert_eq!(c.num_sets(), 64);
+        assert_eq!(c.set_bits(), 6);
+        assert_eq!(c.block_bits(), 5);
+        assert!(!c.is_direct_mapped());
+        assert!(!c.is_fully_associative());
+    }
+
+    #[test]
+    fn fully_associative_detection() {
+        let c = CacheConfig::builder()
+            .size_bytes(1024)
+            .block_bytes(4)
+            .associativity(256)
+            .build()
+            .unwrap();
+        assert!(c.is_fully_associative());
+        assert_eq!(c.set_bits(), 0);
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        assert!(matches!(
+            CacheConfig::builder().size_bytes(3000).build(),
+            Err(CacheError::NotPowerOfTwo { parameter: "cache size", .. })
+        ));
+        assert!(matches!(
+            CacheConfig::builder().block_bytes(0).build(),
+            Err(CacheError::NotPowerOfTwo { parameter: "block size", .. })
+        ));
+        assert!(matches!(
+            CacheConfig::builder().size_bytes(64).block_bytes(128).build(),
+            Err(CacheError::BlockLargerThanCache { .. })
+        ));
+        assert!(matches!(
+            CacheConfig::builder()
+                .size_bytes(64)
+                .block_bytes(16)
+                .associativity(8)
+                .build(),
+            Err(CacheError::AssociativityTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn error_and_config_display() {
+        let c = CacheConfig::paper_cache(1);
+        assert!(c.to_string().contains("1024"));
+        let e = CacheError::NotPowerOfTwo {
+            parameter: "cache size",
+            value: 3,
+        };
+        assert!(e.to_string().contains("power of two"));
+    }
+}

@@ -1,0 +1,362 @@
+//! Set-index functions: how a block address chooses a cache set.
+
+use std::fmt;
+
+use gf2::{BitMatrix, BitVec};
+
+use crate::{BlockAddr, CacheConfig};
+
+/// Maps a cache-block address to a set index.
+///
+/// Implementations must be pure functions of the block address: the simulator
+/// calls them once per access. The classic choices are provided:
+/// [`ModuloIndex`] (the conventional power-of-two indexing), [`BitSelectIndex`]
+/// (an arbitrary selection of address bits, as in Patel et al. and Givargis)
+/// and [`XorIndex`] (a GF(2) matrix, the subject of the paper).
+pub trait IndexFunction: Send + Sync + fmt::Debug {
+    /// The set index for `block`, in `0..num_sets()`.
+    fn set_index(&self, block: BlockAddr) -> u64;
+
+    /// Number of sets this function targets (`2^m`).
+    fn num_sets(&self) -> u64;
+
+    /// Number of set-index bits `m`.
+    fn set_bits(&self) -> usize {
+        self.num_sets().trailing_zeros() as usize
+    }
+
+    /// Short human-readable description used in reports.
+    fn describe(&self) -> String;
+
+    /// Clones into a boxed trait object.
+    fn clone_box(&self) -> Box<dyn IndexFunction>;
+}
+
+impl Clone for Box<dyn IndexFunction> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+/// The conventional modulo-`2^m` index function: the `m` low-order bits of the
+/// block address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModuloIndex {
+    set_bits: usize,
+}
+
+impl ModuloIndex {
+    /// Creates a modulo index over `set_bits` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set_bits > 63`.
+    #[must_use]
+    pub fn new(set_bits: usize) -> Self {
+        assert!(set_bits <= 63, "set_bits {set_bits} out of range");
+        ModuloIndex { set_bits }
+    }
+
+    /// The modulo index matching a cache configuration.
+    #[must_use]
+    pub fn for_config(config: &CacheConfig) -> Self {
+        Self::new(config.set_bits())
+    }
+}
+
+impl IndexFunction for ModuloIndex {
+    fn set_index(&self, block: BlockAddr) -> u64 {
+        block.as_u64() & ((1u64 << self.set_bits) - 1)
+    }
+
+    fn num_sets(&self) -> u64 {
+        1u64 << self.set_bits
+    }
+
+    fn describe(&self) -> String {
+        format!("modulo-2^{}", self.set_bits)
+    }
+
+    fn clone_box(&self) -> Box<dyn IndexFunction> {
+        Box::new(*self)
+    }
+}
+
+/// A bit-selecting index function: set-index bit `c` is address bit
+/// `selected[c]` of the block address.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitSelectIndex {
+    selected: Vec<usize>,
+}
+
+impl BitSelectIndex {
+    /// Creates a bit-selecting function from the chosen block-address bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `selected` is empty, longer than 63, or contains duplicate or
+    /// out-of-range (≥ 64) bit positions.
+    #[must_use]
+    pub fn new(selected: Vec<usize>) -> Self {
+        assert!(
+            !selected.is_empty() && selected.len() <= 63,
+            "1..=63 bits must be selected"
+        );
+        let mut seen = [false; 64];
+        for &b in &selected {
+            assert!(b < 64, "selected bit {b} out of range");
+            assert!(!seen[b], "bit {b} selected twice");
+            seen[b] = true;
+        }
+        BitSelectIndex { selected }
+    }
+
+    /// The bits selected, in set-index bit order.
+    #[must_use]
+    pub fn selected_bits(&self) -> &[usize] {
+        &self.selected
+    }
+
+    /// The equivalent hash-function matrix over `hashed_bits` address bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a selected bit is `>= hashed_bits`.
+    #[must_use]
+    pub fn to_matrix(&self, hashed_bits: usize) -> BitMatrix {
+        BitMatrix::bit_selection(hashed_bits, &self.selected)
+    }
+}
+
+impl IndexFunction for BitSelectIndex {
+    fn set_index(&self, block: BlockAddr) -> u64 {
+        let a = block.as_u64();
+        let mut s = 0u64;
+        for (c, &b) in self.selected.iter().enumerate() {
+            s |= ((a >> b) & 1) << c;
+        }
+        s
+    }
+
+    fn num_sets(&self) -> u64 {
+        1u64 << self.selected.len()
+    }
+
+    fn describe(&self) -> String {
+        format!("bit-select{:?}", self.selected)
+    }
+
+    fn clone_box(&self) -> Box<dyn IndexFunction> {
+        Box::new(self.clone())
+    }
+}
+
+/// A XOR (matrix) index function: the set index is `a · H` over GF(2), where
+/// `a` is the low `n` bits of the block address and `H` is an `n × m`
+/// full-column-rank matrix.
+///
+/// Block-address bits above the hashed width do not influence the set index —
+/// exactly like the paper, where the `N − n` high-order address bits feed only
+/// the tag.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XorIndex {
+    matrix: BitMatrix,
+}
+
+impl XorIndex {
+    /// Creates a XOR index function from a hash-function matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix does not have full column rank (it would leave
+    /// some cache sets unreachable).
+    #[must_use]
+    pub fn new(matrix: BitMatrix) -> Self {
+        assert!(
+            matrix.has_full_column_rank(),
+            "hash-function matrix must have full column rank"
+        );
+        XorIndex { matrix }
+    }
+
+    /// Fallible constructor: returns `None` when the matrix is rank deficient.
+    #[must_use]
+    pub fn from_matrix(matrix: BitMatrix) -> Option<Self> {
+        matrix.has_full_column_rank().then(|| XorIndex { matrix })
+    }
+
+    /// The conventional modulo function expressed as a XOR index over
+    /// `hashed_bits` address bits — the starting point of the paper's search.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache has more set bits than `hashed_bits`.
+    #[must_use]
+    pub fn conventional(config: &CacheConfig, hashed_bits: usize) -> Self {
+        XorIndex::new(BitMatrix::modulo_index(hashed_bits, config.set_bits()))
+    }
+
+    /// The underlying hash-function matrix.
+    #[must_use]
+    pub fn matrix(&self) -> &BitMatrix {
+        &self.matrix
+    }
+
+    /// Number of hashed address bits `n`.
+    #[must_use]
+    pub fn hashed_bits(&self) -> usize {
+        self.matrix.n_rows()
+    }
+
+    /// `true` when the matrix is in permutation-based form (identity low rows),
+    /// in which case the conventional tag (high `N − m` address bits) remains
+    /// correct (paper Section 4).
+    #[must_use]
+    pub fn is_permutation_based(&self) -> bool {
+        self.matrix.is_permutation_based()
+    }
+
+    /// Widest XOR gate needed to implement this function (max column weight).
+    #[must_use]
+    pub fn max_xor_inputs(&self) -> usize {
+        self.matrix.max_column_weight()
+    }
+
+    /// The set index as a GF(2) vector, for callers that need the bits.
+    #[must_use]
+    pub fn set_index_bits(&self, block: BlockAddr) -> BitVec {
+        self.matrix
+            .mul_vec(block.hashed_bits(self.matrix.n_rows()))
+    }
+}
+
+impl IndexFunction for XorIndex {
+    fn set_index(&self, block: BlockAddr) -> u64 {
+        self.set_index_bits(block).as_u64()
+    }
+
+    fn num_sets(&self) -> u64 {
+        1u64 << self.matrix.n_cols()
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "xor {}x{}{}",
+            self.matrix.n_rows(),
+            self.matrix.n_cols(),
+            if self.is_permutation_based() {
+                " (permutation-based)"
+            } else {
+                ""
+            }
+        )
+    }
+
+    fn clone_box(&self) -> Box<dyn IndexFunction> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn modulo_index_takes_low_bits() {
+        let f = ModuloIndex::new(4);
+        assert_eq!(f.num_sets(), 16);
+        assert_eq!(f.set_bits(), 4);
+        assert_eq!(f.set_index(BlockAddr(0x123)), 0x3);
+        assert_eq!(f.set_index(BlockAddr(0xFF0)), 0x0);
+        assert!(f.describe().contains("modulo"));
+    }
+
+    #[test]
+    fn modulo_for_config_matches_geometry() {
+        let c = CacheConfig::paper_cache(4);
+        let f = ModuloIndex::for_config(&c);
+        assert_eq!(f.num_sets(), c.num_sets());
+    }
+
+    #[test]
+    fn bit_select_extracts_chosen_bits() {
+        let f = BitSelectIndex::new(vec![2, 5, 7]);
+        assert_eq!(f.num_sets(), 8);
+        // block 0b1010_0100: bit2=1, bit5=1, bit7=1 -> 0b111
+        assert_eq!(f.set_index(BlockAddr(0b1010_0100)), 0b111);
+        // block 0b0101_1011: bit2=0, bit5=0, bit7=0 -> 0
+        assert_eq!(f.set_index(BlockAddr(0b0101_1011)), 0b000);
+        assert_eq!(f.selected_bits(), &[2, 5, 7]);
+    }
+
+    #[test]
+    fn bit_select_matches_its_matrix_form() {
+        let f = BitSelectIndex::new(vec![0, 3, 6, 9]);
+        let m = f.to_matrix(12);
+        for a in (0..4096u64).step_by(7) {
+            let block = BlockAddr(a);
+            assert_eq!(
+                f.set_index(block),
+                m.mul_vec(BitVec::from_u64(a, 12)).as_u64()
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "selected twice")]
+    fn bit_select_rejects_duplicates() {
+        let _ = BitSelectIndex::new(vec![1, 1]);
+    }
+
+    #[test]
+    fn xor_index_matches_matrix_product() {
+        // s0 = a0 ^ a4, s1 = a1 ^ a5 (permutation-based 2-input function).
+        let m = BitMatrix::from_fn(8, 2, |r, c| r == c || r == c + 4);
+        let f = XorIndex::new(m.clone());
+        assert!(f.is_permutation_based());
+        assert_eq!(f.max_xor_inputs(), 2);
+        assert_eq!(f.hashed_bits(), 8);
+        for a in 0..256u64 {
+            let expect = m.mul_vec(BitVec::from_u64(a, 8)).as_u64();
+            assert_eq!(f.set_index(BlockAddr(a)), expect);
+        }
+    }
+
+    #[test]
+    fn xor_index_ignores_bits_above_hashed_width() {
+        let f = XorIndex::conventional(&CacheConfig::paper_cache(1), 16);
+        let low = f.set_index(BlockAddr(0x00001234));
+        let high = f.set_index(BlockAddr(0xABCD1234));
+        assert_eq!(low, high);
+    }
+
+    #[test]
+    fn xor_index_rejects_rank_deficient_matrices() {
+        let singular = BitMatrix::zero(8, 2);
+        assert!(XorIndex::from_matrix(singular.clone()).is_none());
+        let ok = BitMatrix::modulo_index(8, 2);
+        assert!(XorIndex::from_matrix(ok).is_some());
+        let result = std::panic::catch_unwind(|| XorIndex::new(singular));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn conventional_xor_equals_modulo() {
+        let config = CacheConfig::paper_cache(1);
+        let xor = XorIndex::conventional(&config, 16);
+        let modulo = ModuloIndex::for_config(&config);
+        for a in (0..65536u64).step_by(97) {
+            assert_eq!(xor.set_index(BlockAddr(a)), modulo.set_index(BlockAddr(a)));
+        }
+    }
+
+    #[test]
+    fn boxed_clone_preserves_behaviour() {
+        let f: Box<dyn IndexFunction> = Box::new(BitSelectIndex::new(vec![1, 4]));
+        let g = f.clone();
+        for a in 0..64 {
+            assert_eq!(f.set_index(BlockAddr(a)), g.set_index(BlockAddr(a)));
+        }
+        assert_eq!(f.num_sets(), g.num_sets());
+    }
+}

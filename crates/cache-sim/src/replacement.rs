@@ -1,0 +1,195 @@
+//! Replacement policies and per-set state.
+
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Block replacement policy within a cache set.
+///
+/// The paper's evaluation uses LRU (the only policy that matters for a
+/// direct-mapped cache is trivially "the single resident block"); FIFO and
+/// random are provided for the replacement-sensitivity ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum ReplacementPolicy {
+    /// Evict the least recently used block.
+    #[default]
+    Lru,
+    /// Evict the block that has been resident longest.
+    Fifo,
+    /// Evict a uniformly random resident block.
+    Random,
+}
+
+impl fmt::Display for ReplacementPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            ReplacementPolicy::Lru => "LRU",
+            ReplacementPolicy::Fifo => "FIFO",
+            ReplacementPolicy::Random => "random",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Storage and replacement bookkeeping for one cache set.
+///
+/// Blocks are identified by their full block address, so the simulation is
+/// correct for any index function without needing an explicit tag function
+/// (the hardware tag-function question is handled by the cost model in the
+/// `xorindex` crate).
+#[derive(Debug, Clone)]
+pub(crate) struct CacheSet {
+    /// Resident blocks ordered by the policy's bookkeeping:
+    /// * LRU — most recently used last;
+    /// * FIFO — insertion order, oldest first;
+    /// * Random — arbitrary order.
+    blocks: Vec<u64>,
+    ways: usize,
+}
+
+/// Result of inserting a block into a set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SetAccess {
+    /// The block was already resident.
+    Hit,
+    /// The block was inserted into a free way.
+    MissFilled,
+    /// The block was inserted after evicting the returned block.
+    MissEvicted(u64),
+}
+
+impl CacheSet {
+    pub(crate) fn new(ways: usize) -> Self {
+        CacheSet {
+            blocks: Vec::with_capacity(ways),
+            ways,
+        }
+    }
+
+    pub(crate) fn contains(&self, block: u64) -> bool {
+        self.blocks.contains(&block)
+    }
+
+    pub(crate) fn resident(&self) -> &[u64] {
+        &self.blocks
+    }
+
+    pub(crate) fn access(
+        &mut self,
+        block: u64,
+        policy: ReplacementPolicy,
+        rng: &mut StdRng,
+    ) -> SetAccess {
+        if let Some(pos) = self.blocks.iter().position(|&b| b == block) {
+            if policy == ReplacementPolicy::Lru {
+                // Move to the most-recently-used end.
+                let b = self.blocks.remove(pos);
+                self.blocks.push(b);
+            }
+            return SetAccess::Hit;
+        }
+        if self.blocks.len() < self.ways {
+            self.blocks.push(block);
+            return SetAccess::MissFilled;
+        }
+        let victim_pos = match policy {
+            // Both LRU and FIFO evict the front under their respective orders.
+            ReplacementPolicy::Lru | ReplacementPolicy::Fifo => 0,
+            ReplacementPolicy::Random => rng.gen_range(0..self.blocks.len()),
+        };
+        let victim = self.blocks.remove(victim_pos);
+        self.blocks.push(block);
+        SetAccess::MissEvicted(victim)
+    }
+
+    pub(crate) fn flush(&mut self) {
+        self.blocks.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0)
+    }
+
+    #[test]
+    fn direct_mapped_set_always_evicts_on_conflict() {
+        let mut set = CacheSet::new(1);
+        let mut r = rng();
+        assert_eq!(set.access(1, ReplacementPolicy::Lru, &mut r), SetAccess::MissFilled);
+        assert_eq!(set.access(1, ReplacementPolicy::Lru, &mut r), SetAccess::Hit);
+        assert_eq!(
+            set.access(2, ReplacementPolicy::Lru, &mut r),
+            SetAccess::MissEvicted(1)
+        );
+        assert!(set.contains(2));
+        assert!(!set.contains(1));
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut set = CacheSet::new(2);
+        let mut r = rng();
+        set.access(1, ReplacementPolicy::Lru, &mut r);
+        set.access(2, ReplacementPolicy::Lru, &mut r);
+        // Touch 1 so 2 becomes LRU.
+        assert_eq!(set.access(1, ReplacementPolicy::Lru, &mut r), SetAccess::Hit);
+        assert_eq!(
+            set.access(3, ReplacementPolicy::Lru, &mut r),
+            SetAccess::MissEvicted(2)
+        );
+    }
+
+    #[test]
+    fn fifo_ignores_recency() {
+        let mut set = CacheSet::new(2);
+        let mut r = rng();
+        set.access(1, ReplacementPolicy::Fifo, &mut r);
+        set.access(2, ReplacementPolicy::Fifo, &mut r);
+        // Hitting 1 does not save it: it is still the oldest insertion.
+        assert_eq!(set.access(1, ReplacementPolicy::Fifo, &mut r), SetAccess::Hit);
+        assert_eq!(
+            set.access(3, ReplacementPolicy::Fifo, &mut r),
+            SetAccess::MissEvicted(1)
+        );
+    }
+
+    #[test]
+    fn random_evicts_some_resident_block() {
+        let mut set = CacheSet::new(4);
+        let mut r = rng();
+        for b in 0..4 {
+            set.access(b, ReplacementPolicy::Random, &mut r);
+        }
+        match set.access(99, ReplacementPolicy::Random, &mut r) {
+            SetAccess::MissEvicted(v) => assert!(v < 4),
+            other => panic!("expected an eviction, got {other:?}"),
+        }
+        assert_eq!(set.resident().len(), 4);
+        assert!(set.contains(99));
+    }
+
+    #[test]
+    fn flush_empties_the_set() {
+        let mut set = CacheSet::new(2);
+        let mut r = rng();
+        set.access(1, ReplacementPolicy::Lru, &mut r);
+        set.flush();
+        assert_eq!(set.resident().len(), 0);
+        assert_eq!(set.access(1, ReplacementPolicy::Lru, &mut r), SetAccess::MissFilled);
+    }
+
+    #[test]
+    fn policy_display_names() {
+        assert_eq!(ReplacementPolicy::Lru.to_string(), "LRU");
+        assert_eq!(ReplacementPolicy::Fifo.to_string(), "FIFO");
+        assert_eq!(ReplacementPolicy::Random.to_string(), "random");
+        assert_eq!(ReplacementPolicy::default(), ReplacementPolicy::Lru);
+    }
+}

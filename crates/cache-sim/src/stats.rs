@@ -1,0 +1,244 @@
+//! Hit/miss accounting and the misses-per-K-uop metric.
+
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+use serde::{Deserialize, Serialize};
+
+use crate::MissClass;
+
+/// Counters gathered while simulating a cache.
+///
+/// The paper reports the baseline as *misses per K-uop* and the effect of an
+/// optimized index function as the *percentage of misses removed*;
+/// [`CacheStats::misses_per_kilo_ops`] and [`CacheStats::percent_misses_removed`]
+/// compute exactly those two figures.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Total accesses observed.
+    pub accesses: u64,
+    /// Accesses that hit.
+    pub hits: u64,
+    /// Accesses that missed.
+    pub misses: u64,
+    /// Misses to never-before-seen blocks (3C: compulsory).
+    pub compulsory_misses: u64,
+    /// Misses whose reuse distance exceeds the cache capacity (3C: capacity).
+    pub capacity_misses: u64,
+    /// Remaining misses, caused by the index function (3C: conflict).
+    pub conflict_misses: u64,
+    /// Number of blocks evicted to make room.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// A zeroed counter set.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a hit.
+    pub fn record_hit(&mut self) {
+        self.accesses += 1;
+        self.hits += 1;
+    }
+
+    /// Records a miss, optionally with its 3C classification and whether it
+    /// evicted a resident block.
+    pub fn record_miss(&mut self, class: Option<MissClass>, evicted: bool) {
+        self.accesses += 1;
+        self.misses += 1;
+        if evicted {
+            self.evictions += 1;
+        }
+        match class {
+            Some(MissClass::Compulsory) => self.compulsory_misses += 1,
+            Some(MissClass::Capacity) => self.capacity_misses += 1,
+            Some(MissClass::Conflict) => self.conflict_misses += 1,
+            None => {}
+        }
+    }
+
+    /// Miss rate in `[0, 1]`; 0 when no access was made.
+    #[must_use]
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+
+    /// Hit rate in `[0, 1]`; 0 when no access was made.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.accesses as f64
+        }
+    }
+
+    /// Misses per thousand executed operations — the `base` columns of the
+    /// paper's Table 2.
+    ///
+    /// `ops` is the total number of operations (µops) the traced program
+    /// executed, which the workload crates report alongside each trace.
+    #[must_use]
+    pub fn misses_per_kilo_ops(&self, ops: u64) -> f64 {
+        if ops == 0 {
+            0.0
+        } else {
+            self.misses as f64 * 1000.0 / ops as f64
+        }
+    }
+
+    /// Percentage of misses removed relative to a baseline run — the metric of
+    /// the paper's Tables 2 and 3. Negative values mean the optimized function
+    /// *added* misses (this happens occasionally; see the paper's Section 6).
+    #[must_use]
+    pub fn percent_misses_removed(baseline: &CacheStats, optimized: &CacheStats) -> f64 {
+        if baseline.misses == 0 {
+            0.0
+        } else {
+            (baseline.misses as f64 - optimized.misses as f64) * 100.0 / baseline.misses as f64
+        }
+    }
+
+    /// Number of misses that were classified (3C counters assigned).
+    #[must_use]
+    pub fn classified_misses(&self) -> u64 {
+        self.compulsory_misses + self.capacity_misses + self.conflict_misses
+    }
+}
+
+impl Add for CacheStats {
+    type Output = CacheStats;
+
+    fn add(self, rhs: CacheStats) -> CacheStats {
+        CacheStats {
+            accesses: self.accesses + rhs.accesses,
+            hits: self.hits + rhs.hits,
+            misses: self.misses + rhs.misses,
+            compulsory_misses: self.compulsory_misses + rhs.compulsory_misses,
+            capacity_misses: self.capacity_misses + rhs.capacity_misses,
+            conflict_misses: self.conflict_misses + rhs.conflict_misses,
+            evictions: self.evictions + rhs.evictions,
+        }
+    }
+}
+
+impl AddAssign for CacheStats {
+    fn add_assign(&mut self, rhs: CacheStats) {
+        *self = *self + rhs;
+    }
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} accesses, {} hits, {} misses ({:.2}% miss rate; {} compulsory / {} capacity / {} conflict)",
+            self.accesses,
+            self.hits,
+            self.misses,
+            self.miss_rate() * 100.0,
+            self.compulsory_misses,
+            self.capacity_misses,
+            self.conflict_misses
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recording_updates_counters() {
+        let mut s = CacheStats::new();
+        s.record_hit();
+        s.record_miss(Some(MissClass::Compulsory), false);
+        s.record_miss(Some(MissClass::Conflict), true);
+        s.record_miss(None, true);
+        assert_eq!(s.accesses, 4);
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 3);
+        assert_eq!(s.compulsory_misses, 1);
+        assert_eq!(s.conflict_misses, 1);
+        assert_eq!(s.capacity_misses, 0);
+        assert_eq!(s.evictions, 2);
+        assert_eq!(s.classified_misses(), 2);
+    }
+
+    #[test]
+    fn rates_handle_zero_accesses() {
+        let s = CacheStats::new();
+        assert_eq!(s.miss_rate(), 0.0);
+        assert_eq!(s.hit_rate(), 0.0);
+        assert_eq!(s.misses_per_kilo_ops(0), 0.0);
+    }
+
+    #[test]
+    fn miss_rate_and_mpki() {
+        let mut s = CacheStats::new();
+        for _ in 0..75 {
+            s.record_hit();
+        }
+        for _ in 0..25 {
+            s.record_miss(None, false);
+        }
+        assert!((s.miss_rate() - 0.25).abs() < 1e-12);
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+        // 25 misses over 2000 ops -> 12.5 misses per K-op.
+        assert!((s.misses_per_kilo_ops(2000) - 12.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percent_removed_matches_paper_convention() {
+        let mut base = CacheStats::new();
+        let mut opt = CacheStats::new();
+        for _ in 0..100 {
+            base.record_miss(None, false);
+        }
+        for _ in 0..58 {
+            opt.record_miss(None, false);
+        }
+        assert!((CacheStats::percent_misses_removed(&base, &opt) - 42.0).abs() < 1e-12);
+        // More misses than the baseline gives a negative reduction.
+        let mut worse = CacheStats::new();
+        for _ in 0..110 {
+            worse.record_miss(None, false);
+        }
+        assert!(CacheStats::percent_misses_removed(&base, &worse) < 0.0);
+        // Zero baseline misses: defined as 0% removed.
+        assert_eq!(CacheStats::percent_misses_removed(&CacheStats::new(), &opt), 0.0);
+    }
+
+    #[test]
+    fn addition_merges_counters() {
+        let mut a = CacheStats::new();
+        a.record_hit();
+        a.record_miss(Some(MissClass::Capacity), true);
+        let mut b = CacheStats::new();
+        b.record_miss(Some(MissClass::Conflict), false);
+        let c = a + b;
+        assert_eq!(c.accesses, 3);
+        assert_eq!(c.misses, 2);
+        assert_eq!(c.capacity_misses, 1);
+        assert_eq!(c.conflict_misses, 1);
+        let mut d = a;
+        d += b;
+        assert_eq!(d, c);
+    }
+
+    #[test]
+    fn display_mentions_all_miss_classes() {
+        let mut s = CacheStats::new();
+        s.record_miss(Some(MissClass::Compulsory), false);
+        let text = s.to_string();
+        assert!(text.contains("compulsory"));
+        assert!(text.contains("conflict"));
+    }
+}

@@ -1,0 +1,125 @@
+//! Error type for the XOR-indexing crate.
+
+use std::fmt;
+
+use gf2::Gf2Error;
+
+/// Errors produced while constructing or searching for hash functions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XorIndexError {
+    /// The requested geometry is impossible (e.g. more set-index bits than
+    /// hashed address bits).
+    InvalidGeometry {
+        /// Number of hashed address bits `n`.
+        hashed_bits: usize,
+        /// Number of set-index bits `m`.
+        set_bits: usize,
+    },
+    /// A supplied matrix does not satisfy the requested function class.
+    NotInClass {
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+    /// The matrix is rank deficient and would leave cache sets unused.
+    RankDeficient,
+    /// A null space does not admit any function of the requested class.
+    NoRepresentative {
+        /// Description of why no representative exists.
+        reason: String,
+    },
+    /// An underlying GF(2) operation failed.
+    Linear(Gf2Error),
+    /// The profile and the candidate function disagree on the number of hashed
+    /// address bits.
+    ProfileMismatch {
+        /// Hashed bits recorded in the profile.
+        profile_bits: usize,
+        /// Hashed bits of the candidate.
+        candidate_bits: usize,
+    },
+}
+
+impl fmt::Display for XorIndexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XorIndexError::InvalidGeometry {
+                hashed_bits,
+                set_bits,
+            } => write!(
+                f,
+                "cannot hash {hashed_bits} address bits into {set_bits} set-index bits"
+            ),
+            XorIndexError::NotInClass { reason } => {
+                write!(f, "function violates the requested class: {reason}")
+            }
+            XorIndexError::RankDeficient => {
+                write!(f, "hash-function matrix is rank deficient")
+            }
+            XorIndexError::NoRepresentative { reason } => {
+                write!(f, "null space admits no function of the requested class: {reason}")
+            }
+            XorIndexError::Linear(e) => write!(f, "GF(2) operation failed: {e}"),
+            XorIndexError::ProfileMismatch {
+                profile_bits,
+                candidate_bits,
+            } => write!(
+                f,
+                "profile hashes {profile_bits} bits but the candidate hashes {candidate_bits}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for XorIndexError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            XorIndexError::Linear(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<Gf2Error> for XorIndexError {
+    fn from(e: Gf2Error) -> Self {
+        XorIndexError::Linear(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let errors = [
+            XorIndexError::InvalidGeometry {
+                hashed_bits: 8,
+                set_bits: 10,
+            },
+            XorIndexError::NotInClass {
+                reason: "3-input gate".to_string(),
+            },
+            XorIndexError::RankDeficient,
+            XorIndexError::NoRepresentative {
+                reason: "Eq. 5 violated".to_string(),
+            },
+            XorIndexError::Linear(Gf2Error::Singular),
+            XorIndexError::ProfileMismatch {
+                profile_bits: 16,
+                candidate_bits: 12,
+            },
+        ];
+        for e in errors {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn gf2_errors_convert_and_chain() {
+        let e: XorIndexError = Gf2Error::Singular.into();
+        assert!(matches!(e, XorIndexError::Linear(_)));
+        use std::error::Error as _;
+        assert!(e.source().is_some());
+        assert!(XorIndexError::RankDeficient.source().is_none());
+    }
+}

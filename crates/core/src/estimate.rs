@@ -1,0 +1,258 @@
+//! Conflict-miss estimation from a profile (paper Eq. 4).
+
+use gf2::Subspace;
+use serde::{Deserialize, Serialize};
+
+use crate::{ConflictProfile, HashFunction, XorIndexError};
+
+/// How [`MissEstimator::estimate`] evaluates Eq. 4.
+///
+/// Both strategies compute exactly the same sum
+/// `misses(H) = Σ_{v ∈ N(H)} misses(v)`; they differ only in which side they
+/// enumerate, and therefore in cost:
+///
+/// * [`EstimationStrategy::EnumerateNullSpace`] walks the `2^(n−m)` vectors of
+///   the null space and looks each up in the histogram — cheap when the cache
+///   is large (small null space);
+/// * [`EstimationStrategy::ScanHistogram`] walks the recorded conflict vectors
+///   and tests membership in the null space — cheap when the profile is small
+///   or the cache is small (large null space);
+/// * [`EstimationStrategy::Auto`] picks whichever side is smaller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum EstimationStrategy {
+    /// Choose the cheaper side automatically (the default).
+    #[default]
+    Auto,
+    /// Enumerate the null space, summing histogram lookups.
+    EnumerateNullSpace,
+    /// Scan the histogram, testing null-space membership.
+    ScanHistogram,
+}
+
+/// Estimates the conflict misses a hash function would incur, using a
+/// [`ConflictProfile`] instead of re-simulating the trace (paper Eq. 4).
+///
+/// The estimate is exact for the conventional function the profile was
+/// gathered against and a good approximation for nearby functions; the paper
+/// proves no profile of this shape can be exact for *all* XOR functions
+/// simultaneously (its Section 3.3), which is what makes the overall algorithm
+/// a heuristic.
+///
+/// # Example
+///
+/// ```
+/// use cache_sim::BlockAddr;
+/// use xorindex::{ConflictProfile, HashFunction, MissEstimator};
+///
+/// let trace = (0..20u64).map(|i| BlockAddr((i % 2) * 0x100));
+/// let profile = ConflictProfile::from_blocks(trace, 16, 256);
+/// let estimator = MissEstimator::new(&profile);
+///
+/// // The conventional function keeps colliding: 18 estimated conflict misses.
+/// let conventional = HashFunction::conventional(16, 8)?;
+/// assert_eq!(estimator.estimate(&conventional)?, 18);
+///
+/// // A function whose null space avoids the hot vector removes them all.
+/// let xor = HashFunction::new(gf2::BitMatrix::from_fn(16, 8, |r, c| r == c || r == c + 8))?;
+/// assert_eq!(estimator.estimate(&xor)?, 0);
+/// # Ok::<(), xorindex::XorIndexError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct MissEstimator<'a> {
+    profile: &'a ConflictProfile,
+    strategy: EstimationStrategy,
+}
+
+impl<'a> MissEstimator<'a> {
+    /// Creates an estimator over a profile with the default
+    /// ([`EstimationStrategy::Auto`]) strategy.
+    #[must_use]
+    pub fn new(profile: &'a ConflictProfile) -> Self {
+        MissEstimator {
+            profile,
+            strategy: EstimationStrategy::Auto,
+        }
+    }
+
+    /// Selects an evaluation strategy.
+    #[must_use]
+    pub fn with_strategy(mut self, strategy: EstimationStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// The profile this estimator reads.
+    #[must_use]
+    pub fn profile(&self) -> &ConflictProfile {
+        self.profile
+    }
+
+    /// Estimated conflict misses of a hash function (paper Eq. 4).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XorIndexError::ProfileMismatch`] when the function hashes a
+    /// different number of address bits than the profile recorded.
+    pub fn estimate(&self, function: &HashFunction) -> Result<u64, XorIndexError> {
+        if function.hashed_bits() != self.profile.hashed_bits() {
+            return Err(XorIndexError::ProfileMismatch {
+                profile_bits: self.profile.hashed_bits(),
+                candidate_bits: function.hashed_bits(),
+            });
+        }
+        Ok(self.estimate_null_space(&function.null_space()))
+    }
+
+    /// Estimated conflict misses of any function whose null space is `ns`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the null space's ambient width differs from the profile's
+    /// hashed width.
+    #[must_use]
+    pub fn estimate_null_space(&self, ns: &Subspace) -> u64 {
+        assert_eq!(
+            ns.ambient_width(),
+            self.profile.hashed_bits(),
+            "null space width must match the profile"
+        );
+        let strategy = match self.strategy {
+            EstimationStrategy::Auto => {
+                let null_space_size = 1u128 << ns.dim();
+                if null_space_size <= self.profile.distinct_vectors() as u128 {
+                    EstimationStrategy::EnumerateNullSpace
+                } else {
+                    EstimationStrategy::ScanHistogram
+                }
+            }
+            other => other,
+        };
+        match strategy {
+            EstimationStrategy::EnumerateNullSpace => ns
+                .vectors()
+                .filter(|v| !v.is_zero())
+                .map(|v| self.profile.misses(v))
+                .sum(),
+            EstimationStrategy::ScanHistogram => self
+                .profile
+                .iter()
+                .filter(|(v, _)| ns.contains(*v))
+                .map(|(_, w)| w)
+                .sum(),
+            EstimationStrategy::Auto => unreachable!("Auto resolved above"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cache_sim::BlockAddr;
+    use gf2::BitMatrix;
+
+    fn profile_from(seq: &[u64], hashed_bits: usize, capacity: usize) -> ConflictProfile {
+        ConflictProfile::from_blocks(
+            seq.iter().copied().map(BlockAddr),
+            hashed_bits,
+            capacity,
+        )
+    }
+
+    #[test]
+    fn strategies_agree_exactly() {
+        // A trace mixing several conflict vectors.
+        let seq: Vec<u64> = (0..200u64)
+            .map(|i| match i % 5 {
+                0 => 0,
+                1 => 0x40,
+                2 => 0x80,
+                3 => 0x23,
+                _ => 0xC0,
+            })
+            .collect();
+        let profile = profile_from(&seq, 12, 64);
+        let functions = [
+            HashFunction::conventional(12, 6).unwrap(),
+            HashFunction::new(BitMatrix::from_fn(12, 6, |r, c| r == c || r == c + 6)).unwrap(),
+            HashFunction::bit_selecting(12, &[0, 1, 2, 3, 4, 11]).unwrap(),
+        ];
+        for f in &functions {
+            let a = MissEstimator::new(&profile)
+                .with_strategy(EstimationStrategy::EnumerateNullSpace)
+                .estimate(f)
+                .unwrap();
+            let b = MissEstimator::new(&profile)
+                .with_strategy(EstimationStrategy::ScanHistogram)
+                .estimate(f)
+                .unwrap();
+            let c = MissEstimator::new(&profile).estimate(f).unwrap();
+            assert_eq!(a, b);
+            assert_eq!(a, c);
+        }
+    }
+
+    #[test]
+    fn estimate_is_exact_for_the_conventional_function_on_a_ping_pong() {
+        // Two blocks conflicting under modulo indexing in a 64-set cache.
+        let seq: Vec<u64> = (0..40).map(|i| (i % 2) * 64).collect();
+        let profile = profile_from(&seq, 12, 64);
+        let estimator = MissEstimator::new(&profile);
+        let conventional = HashFunction::conventional(12, 6).unwrap();
+        // 38 conflicting reuses (all but the two first touches).
+        assert_eq!(estimator.estimate(&conventional).unwrap(), 38);
+        // The permutation-based function s_c = a_c ^ a_{c+6} separates them.
+        let fixed =
+            HashFunction::new(BitMatrix::from_fn(12, 6, |r, c| r == c || r == c + 6)).unwrap();
+        assert_eq!(estimator.estimate(&fixed).unwrap(), 0);
+    }
+
+    #[test]
+    fn profile_mismatch_is_detected() {
+        let profile = profile_from(&[0, 1, 0], 16, 16);
+        let f = HashFunction::conventional(12, 6).unwrap();
+        assert!(matches!(
+            MissEstimator::new(&profile).estimate(&f),
+            Err(XorIndexError::ProfileMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn estimate_never_exceeds_total_weight() {
+        let seq: Vec<u64> = (0..300u64).map(|i| (i * 37) % 97).collect();
+        let profile = profile_from(&seq, 10, 32);
+        let estimator = MissEstimator::new(&profile);
+        for m in 2..=6 {
+            let f = HashFunction::conventional(10, m).unwrap();
+            assert!(estimator.estimate(&f).unwrap() <= profile.total_weight());
+        }
+    }
+
+    #[test]
+    fn larger_caches_estimate_no_more_misses_under_modulo() {
+        // Under modulo indexing, the null space of a bigger cache is contained
+        // in that of a smaller cache, so the estimate is monotone.
+        let seq: Vec<u64> = (0..500u64).map(|i| (i * 13) % 211).collect();
+        let profile = profile_from(&seq, 12, 4096);
+        let estimator = MissEstimator::new(&profile);
+        let mut previous = u64::MAX;
+        for m in 2..=8 {
+            let est = estimator
+                .estimate(&HashFunction::conventional(12, m).unwrap())
+                .unwrap();
+            assert!(est <= previous, "m={m}: {est} > {previous}");
+            previous = est;
+        }
+    }
+
+    #[test]
+    fn null_space_estimate_matches_function_estimate() {
+        let seq: Vec<u64> = (0..100u64).map(|i| (i % 2) * 0x20 + (i % 3) * 0x100).collect();
+        let profile = profile_from(&seq, 12, 64);
+        let estimator = MissEstimator::new(&profile);
+        let f = HashFunction::new(BitMatrix::from_fn(12, 5, |r, c| r == c || r == c + 5)).unwrap();
+        assert_eq!(
+            estimator.estimate(&f).unwrap(),
+            estimator.estimate_null_space(&f.null_space())
+        );
+    }
+}

@@ -1,0 +1,265 @@
+//! Reconfigurable-indexing hardware cost model (paper Section 5 / Table 1).
+//!
+//! Reconfigurable indexing hardware consists of selector networks (one pass
+//! gate plus one SRAM configuration cell per switch) feeding optional XOR
+//! gates. The paper compares four schemes:
+//!
+//! * **naive bit-selecting** — every one of the `n` produced bits (set index
+//!   and tag over the hashed field) is selected out of all `n` hashed address
+//!   bits: `n²` switches;
+//! * **optimized bit-selecting** — permutations of an index-bit selection are
+//!   equivalent, so the selectors shrink to `m` 1-out-of-`(n−m+1)` selectors
+//!   for the index and `(n−m)` 1-out-of-`(m+1)` selectors for the tag;
+//! * **general 2-input XOR** — each index bit is the XOR of a first input
+//!   (selected as in the optimized bit-selecting scheme) and a second input
+//!   selected from any address bit or a constant;
+//! * **permutation-based 2-input XOR** — the first XOR input is hard-wired to
+//!   the corresponding low-order address bit and the tag is fixed, leaving
+//!   only `m` 1-out-of-`(n−m+1)` selectors.
+//!
+//! The numbers produced here reproduce the paper's Table 1 exactly (see the
+//! `table1` experiment).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The reconfigurable indexing scheme being costed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum IndexingScheme {
+    /// Naive reconfigurable bit selection (`n` 1-out-of-`n` selectors).
+    BitSelect,
+    /// Bit selection with the redundancy optimization of Fig. 2(a).
+    OptimizedBitSelect,
+    /// General XOR functions with 2-input gates.
+    GeneralXor2,
+    /// Permutation-based XOR functions with 2-input gates (Fig. 2(b)).
+    PermutationBased2,
+}
+
+impl IndexingScheme {
+    /// All schemes, in the order of the paper's Table 1.
+    pub const ALL: [IndexingScheme; 4] = [
+        IndexingScheme::BitSelect,
+        IndexingScheme::OptimizedBitSelect,
+        IndexingScheme::GeneralXor2,
+        IndexingScheme::PermutationBased2,
+    ];
+
+    /// The row label used in Table 1.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            IndexingScheme::BitSelect => "bit-select",
+            IndexingScheme::OptimizedBitSelect => "optimized bit-select",
+            IndexingScheme::GeneralXor2 => "general XOR",
+            IndexingScheme::PermutationBased2 => "permutation-based",
+        }
+    }
+}
+
+impl fmt::Display for IndexingScheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Hardware cost of one reconfigurable indexing scheme at a given geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HardwareCost {
+    /// The costed scheme.
+    pub scheme: IndexingScheme,
+    /// Number of hashed address bits `n`.
+    pub hashed_bits: usize,
+    /// Number of set-index bits `m`.
+    pub set_bits: usize,
+    /// Switches in the selector network (pass gate + SRAM cell each) — the
+    /// quantity reported in the paper's Table 1.
+    pub switches: usize,
+    /// Configuration memory cells (one per switch).
+    pub memory_cells: usize,
+    /// XOR gates required after the selectors.
+    pub xor_gates: usize,
+    /// Pass transistors in the XOR gates (2 per gate).
+    pub xor_pass_gates: usize,
+    /// Inverters in the XOR gates (1 per gate, the complement comes from the
+    /// address register's flip-flops).
+    pub inverters: usize,
+    /// Selector wires running in one direction of the crossbar-like network.
+    pub wires_rows: usize,
+    /// Selector wires crossing them.
+    pub wires_columns: usize,
+}
+
+impl HardwareCost {
+    /// Total devices: switches plus XOR pass gates plus inverters. A coarse
+    /// proxy for area.
+    #[must_use]
+    pub fn total_devices(&self) -> usize {
+        self.switches + self.xor_pass_gates + self.inverters
+    }
+
+    /// Wire crossings of the selector network (`rows × columns`), the paper's
+    /// proxy for wiring capacitance, i.e. delay and energy.
+    #[must_use]
+    pub fn wire_crossings(&self) -> usize {
+        self.wires_rows * self.wires_columns
+    }
+}
+
+impl fmt::Display for HardwareCost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} switches, {} XOR gates, {}x{} wires (n={}, m={})",
+            self.scheme,
+            self.switches,
+            self.xor_gates,
+            self.wires_rows,
+            self.wires_columns,
+            self.hashed_bits,
+            self.set_bits
+        )
+    }
+}
+
+/// Computes the hardware cost of a scheme for `n` hashed address bits and `m`
+/// set-index bits.
+///
+/// # Panics
+///
+/// Panics if `m > n` or `m == 0`.
+#[must_use]
+pub fn cost(scheme: IndexingScheme, n: usize, m: usize) -> HardwareCost {
+    assert!(m >= 1 && m <= n, "need 1 <= m <= n (got n={n}, m={m})");
+    let (switches, xor_gates, wires_rows, wires_columns) = match scheme {
+        // Every one of the n produced bits selects among all n inputs.
+        IndexingScheme::BitSelect => (n * n, 0, n, n),
+        // m index selectors of (n-m+1) inputs + (n-m) tag selectors of (m+1).
+        IndexingScheme::OptimizedBitSelect => {
+            (m * (n - m + 1) + (n - m) * (m + 1), 0, n, n)
+        }
+        // First XOR input: optimized selection, m*(n-m+1).
+        // Second XOR input: any of the n bits or a constant, with the same
+        // permutation redundancy removed: (n+1)*m - m*(m-1)/2.
+        // Tag: (n-m) selectors of (m+1) inputs.
+        IndexingScheme::GeneralXor2 => (
+            m * (n - m + 1) + ((n + 1) * m - m * (m - 1) / 2) + (n - m) * (m + 1),
+            m,
+            n + 1,
+            n,
+        ),
+        // First input fixed to the low-order address bit, tag fixed; only the
+        // second input is selected among the n-m high-order bits or a constant.
+        IndexingScheme::PermutationBased2 => (m * (n - m + 1), m, n - m, m),
+    };
+    HardwareCost {
+        scheme,
+        hashed_bits: n,
+        set_bits: m,
+        switches,
+        memory_cells: switches,
+        xor_gates,
+        xor_pass_gates: 2 * xor_gates,
+        inverters: xor_gates,
+        wires_rows,
+        wires_columns,
+    }
+}
+
+/// Costs of all four schemes at one geometry, in Table 1 order.
+#[must_use]
+pub fn all_costs(n: usize, m: usize) -> Vec<HardwareCost> {
+    IndexingScheme::ALL
+        .iter()
+        .map(|&s| cost(s, n, m))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Table 1: n = 16, 4-byte blocks; caches of 1, 4 and 16 KB
+    /// give m = 8, 10, 12.
+    #[test]
+    fn reproduces_table_1_switch_counts() {
+        let expected = [
+            // (m, bit-select, optimized, general XOR, permutation-based)
+            (8usize, 256usize, 144usize, 252usize, 72usize),
+            (10, 256, 136, 261, 70),
+            (12, 256, 112, 250, 60),
+        ];
+        for (m, bits, opt, gen, perm) in expected {
+            assert_eq!(cost(IndexingScheme::BitSelect, 16, m).switches, bits);
+            assert_eq!(cost(IndexingScheme::OptimizedBitSelect, 16, m).switches, opt);
+            assert_eq!(cost(IndexingScheme::GeneralXor2, 16, m).switches, gen);
+            assert_eq!(cost(IndexingScheme::PermutationBased2, 16, m).switches, perm);
+        }
+    }
+
+    #[test]
+    fn permutation_based_is_always_cheapest() {
+        for n in 8..=20 {
+            for m in 2..n {
+                let costs = all_costs(n, m);
+                let perm = costs
+                    .iter()
+                    .find(|c| c.scheme == IndexingScheme::PermutationBased2)
+                    .unwrap();
+                for c in &costs {
+                    assert!(perm.switches <= c.switches, "n={n} m={m}: {c}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn permutation_based_wiring_is_much_smaller() {
+        // "Bit-selecting functions require n lines crossed by n. However,
+        //  permutation-based XOR-functions require only n−m lines crossed by m."
+        let bs = cost(IndexingScheme::BitSelect, 16, 8);
+        let pb = cost(IndexingScheme::PermutationBased2, 16, 8);
+        assert_eq!(bs.wire_crossings(), 16 * 16);
+        assert_eq!(pb.wire_crossings(), 8 * 8);
+        assert!(pb.wire_crossings() < bs.wire_crossings() / 2);
+    }
+
+    #[test]
+    fn xor_gate_device_accounting() {
+        let pb = cost(IndexingScheme::PermutationBased2, 16, 10);
+        assert_eq!(pb.xor_gates, 10);
+        assert_eq!(pb.xor_pass_gates, 20);
+        assert_eq!(pb.inverters, 10);
+        assert_eq!(pb.memory_cells, pb.switches);
+        assert_eq!(pb.total_devices(), pb.switches + 30);
+        let bs = cost(IndexingScheme::BitSelect, 16, 10);
+        assert_eq!(bs.xor_gates, 0);
+        assert_eq!(bs.total_devices(), bs.switches);
+    }
+
+    #[test]
+    fn reconfigurable_permutation_xor_is_cheaper_than_reconfigurable_bit_select() {
+        // The paper's headline hardware claim.
+        for m in [8, 10, 12] {
+            let pb = cost(IndexingScheme::PermutationBased2, 16, m);
+            let obs = cost(IndexingScheme::OptimizedBitSelect, 16, m);
+            assert!(pb.total_devices() < obs.total_devices());
+            assert!(pb.wire_crossings() < obs.wire_crossings());
+        }
+    }
+
+    #[test]
+    fn labels_and_display() {
+        for s in IndexingScheme::ALL {
+            assert!(!s.label().is_empty());
+            assert!(cost(s, 16, 8).to_string().contains(s.label()));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "1 <= m <= n")]
+    fn invalid_geometry_panics() {
+        let _ = cost(IndexingScheme::BitSelect, 8, 9);
+    }
+}

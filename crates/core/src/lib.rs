@@ -1,0 +1,86 @@
+//! Application-specific XOR-indexing to eliminate cache conflict misses.
+//!
+//! This crate implements the primary contribution of Vandierendonck, Manet &
+//! Legat, *"Application-Specific Reconfigurable XOR-Indexing to Eliminate
+//! Cache Conflict Misses"* (DATE 2006):
+//!
+//! 1. **Conflict-vector profiling** ([`ConflictProfile`], paper Fig. 1): a
+//!    single pass over a program's block-address trace with an LRU stack
+//!    accumulates a histogram `misses(v)` of XOR-difference vectors between
+//!    blocks whose reuse would fit in the cache, filtering out compulsory and
+//!    capacity misses.
+//! 2. **Miss estimation** ([`MissEstimator`], paper Eq. 4): the conflict-miss
+//!    count of *any* candidate hash function `H` is estimated without
+//!    re-simulating the trace as `Σ_{v ∈ N(H)} misses(v)` over its null space.
+//! 3. **Design-space search** ([`search`]): steepest-descent hill climbing over
+//!    null spaces (neighbours differ in exactly one dimension), plus the
+//!    random-restart / simulated-annealing extensions and the exhaustive
+//!    optimal bit-selecting baseline of Patel et al. used in the paper's
+//!    Table 3.
+//! 4. **Function classes** ([`FunctionClass`]): unrestricted XOR functions,
+//!    XOR functions with bounded gate fan-in, permutation-based functions
+//!    (paper Section 4) and plain bit-selecting functions.
+//! 5. **Reconfigurable-hardware cost model** ([`hardware`], paper Section 5 /
+//!    Table 1): switch, memory-cell and wire counts of the reconfigurable
+//!    selector networks for each indexing scheme.
+//! 6. **End-to-end optimizer** ([`Optimizer`]): profile a trace, search for the
+//!    best function in a class, verify it by full cache simulation, and report
+//!    the paper's metrics.
+//!
+//! # Quick example
+//!
+//! ```
+//! use cache_sim::CacheConfig;
+//! use memtrace::generators::StridedGenerator;
+//! use xorindex::{FunctionClass, Optimizer};
+//!
+//! // A power-of-two stride that thrashes a 1 KB direct-mapped cache.
+//! let trace = StridedGenerator::new(0, 1024, 512, 8).generate();
+//! let cache = CacheConfig::paper_cache(1);
+//! let optimizer = Optimizer::builder()
+//!     .cache(cache)
+//!     .hashed_bits(16)
+//!     .function_class(FunctionClass::permutation_based(2))
+//!     .revert_if_worse(true)
+//!     .build();
+//! let outcome = optimizer.optimize(trace.data_block_addresses(cache.block_bits()));
+//! assert!(outcome.optimized_stats.misses <= outcome.baseline_stats.misses);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod estimate;
+mod function_class;
+mod hashfn;
+mod optimizer;
+mod profile;
+mod report;
+
+pub mod hardware;
+pub mod search;
+
+pub use error::XorIndexError;
+pub use estimate::{EstimationStrategy, MissEstimator};
+pub use function_class::FunctionClass;
+pub use hashfn::HashFunction;
+pub use optimizer::{OptimizationOutcome, Optimizer, OptimizerBuilder};
+pub use profile::{ConflictProfile, ProfileSummary};
+pub use report::{EvaluationReport, ReportRow};
+pub use search::{SearchAlgorithm, SearchOutcome};
+
+#[cfg(test)]
+mod lib_tests {
+    use super::*;
+
+    #[test]
+    fn public_types_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ConflictProfile>();
+        assert_send_sync::<HashFunction>();
+        assert_send_sync::<FunctionClass>();
+        assert_send_sync::<Optimizer>();
+        assert_send_sync::<XorIndexError>();
+    }
+}

@@ -1,0 +1,295 @@
+//! Conflict-vector profiling (paper Fig. 1).
+
+use std::collections::HashMap;
+
+use cache_sim::{BlockAddr, LruStack, StackScan};
+use gf2::BitVec;
+use serde::{Deserialize, Serialize};
+
+/// Summary counters of a profiling run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProfileSummary {
+    /// References profiled.
+    pub references: u64,
+    /// First-touch (compulsory) accesses, excluded from the histogram.
+    pub compulsory: u64,
+    /// Accesses whose reuse distance exceeds the cache capacity (capacity
+    /// misses under any index function), excluded from the histogram.
+    pub capacity: u64,
+    /// Accesses that contributed conflict vectors to the histogram.
+    pub profiled: u64,
+    /// Total conflict vectors accumulated (one per intermediate block of each
+    /// profiled access).
+    pub conflict_vectors: u64,
+}
+
+/// The conflict-vector histogram `misses(v)` produced by the paper's profiling
+/// algorithm (Fig. 1).
+///
+/// One pass over the block-address trace maintains an LRU stack. For every
+/// access to a block `x` whose previous use is within the cache capacity, the
+/// algorithm walks the blocks `y` touched since then and increments
+/// `misses(x ⊕ y)` (truncated to the hashed width `n`). Compulsory accesses
+/// and accesses with reuse distance larger than the cache capacity are
+/// filtered out because no index function can avoid those misses.
+///
+/// The histogram then estimates the conflict misses of *any* hash function `H`
+/// as `Σ_{v ∈ N(H)} misses(v)` (paper Eq. 4) — see
+/// [`MissEstimator`](crate::MissEstimator).
+///
+/// # Example
+///
+/// ```
+/// use cache_sim::BlockAddr;
+/// use xorindex::ConflictProfile;
+///
+/// // Two blocks 256 apart ping-pong; with a 256-block cache their conflicts
+/// // are recorded under the vector 0x100.
+/// let trace = (0..20u64).map(|i| BlockAddr((i % 2) * 0x100));
+/// let profile = ConflictProfile::from_blocks(trace, 16, 256);
+/// assert_eq!(profile.misses_of(0x100), 18);
+/// assert_eq!(profile.summary().compulsory, 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConflictProfile {
+    hashed_bits: usize,
+    capacity_blocks: usize,
+    histogram: HashMap<BitVec, u64>,
+    summary: ProfileSummary,
+}
+
+impl ConflictProfile {
+    /// Profiles a block-address stream for a cache of `capacity_blocks`
+    /// blocks, hashing the low `hashed_bits` bits of the block address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hashed_bits` is 0 or larger than 64, or if
+    /// `capacity_blocks` is 0.
+    #[must_use]
+    pub fn from_blocks<I>(blocks: I, hashed_bits: usize, capacity_blocks: usize) -> Self
+    where
+        I: IntoIterator<Item = BlockAddr>,
+    {
+        assert!(
+            hashed_bits >= 1 && hashed_bits <= 64,
+            "hashed_bits must be in 1..=64"
+        );
+        assert!(capacity_blocks > 0, "cache capacity must be positive");
+        let mut stack = LruStack::new();
+        let mut histogram: HashMap<BitVec, u64> = HashMap::new();
+        let mut summary = ProfileSummary::default();
+        for block in blocks {
+            summary.references += 1;
+            let x = block.as_u64();
+            let mut vectors: Vec<u64> = Vec::new();
+            let scan = stack.access_scan(x, capacity_blocks, |y| vectors.push(x ^ y));
+            match scan {
+                StackScan::Cold => summary.compulsory += 1,
+                StackScan::Beyond => summary.capacity += 1,
+                StackScan::Within { .. } => {
+                    summary.profiled += 1;
+                    for v in vectors {
+                        summary.conflict_vectors += 1;
+                        let key = BitVec::from_u64(v, hashed_bits);
+                        // The zero vector can only arise from truncation of
+                        // high-order bits; it never represents an avoidable
+                        // conflict, so it is not recorded.
+                        if !key.is_zero() {
+                            *histogram.entry(key).or_insert(0) += 1;
+                        }
+                    }
+                }
+            }
+        }
+        ConflictProfile {
+            hashed_bits,
+            capacity_blocks,
+            histogram,
+            summary,
+        }
+    }
+
+    /// Number of hashed address bits `n`.
+    #[must_use]
+    pub fn hashed_bits(&self) -> usize {
+        self.hashed_bits
+    }
+
+    /// Cache capacity (in blocks) used to filter capacity misses.
+    #[must_use]
+    pub fn capacity_blocks(&self) -> usize {
+        self.capacity_blocks
+    }
+
+    /// Profiling counters.
+    #[must_use]
+    pub fn summary(&self) -> ProfileSummary {
+        self.summary
+    }
+
+    /// Number of distinct conflict vectors observed.
+    #[must_use]
+    pub fn distinct_vectors(&self) -> usize {
+        self.histogram.len()
+    }
+
+    /// The accumulated weight `misses(v)` of a conflict vector.
+    #[must_use]
+    pub fn misses(&self, v: BitVec) -> u64 {
+        debug_assert_eq!(v.width(), self.hashed_bits);
+        self.histogram.get(&v).copied().unwrap_or(0)
+    }
+
+    /// Convenience form of [`ConflictProfile::misses`] taking the raw bits of
+    /// the vector.
+    #[must_use]
+    pub fn misses_of(&self, v: u64) -> u64 {
+        self.misses(BitVec::from_u64(v, self.hashed_bits))
+    }
+
+    /// Iterates over `(vector, weight)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (BitVec, u64)> + '_ {
+        self.histogram.iter().map(|(&v, &w)| (v, w))
+    }
+
+    /// The `count` heaviest conflict vectors, sorted by decreasing weight
+    /// (ties broken by vector value for determinism).
+    #[must_use]
+    pub fn heaviest(&self, count: usize) -> Vec<(BitVec, u64)> {
+        let mut all: Vec<(BitVec, u64)> = self.iter().collect();
+        all.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        all.truncate(count);
+        all
+    }
+
+    /// Total weight over all vectors: an upper bound on the number of conflict
+    /// misses any single hash function can be charged with by Eq. 4.
+    #[must_use]
+    pub fn total_weight(&self) -> u64 {
+        self.histogram.values().sum()
+    }
+
+    /// Merges another profile into this one (histograms and counters add).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two profiles disagree on `hashed_bits` or capacity.
+    pub fn merge(&mut self, other: &ConflictProfile) {
+        assert_eq!(self.hashed_bits, other.hashed_bits, "hashed bits differ");
+        assert_eq!(
+            self.capacity_blocks, other.capacity_blocks,
+            "capacities differ"
+        );
+        for (v, w) in other.iter() {
+            *self.histogram.entry(v).or_insert(0) += w;
+        }
+        self.summary.references += other.summary.references;
+        self.summary.compulsory += other.summary.compulsory;
+        self.summary.capacity += other.summary.capacity;
+        self.summary.profiled += other.summary.profiled;
+        self.summary.conflict_vectors += other.summary.conflict_vectors;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blocks(seq: &[u64]) -> Vec<BlockAddr> {
+        seq.iter().copied().map(BlockAddr).collect()
+    }
+
+    #[test]
+    fn ping_pong_conflicts_are_counted() {
+        // x=0 and y=0x100 alternate; every non-first access sees exactly the
+        // other block above it on the stack.
+        let trace: Vec<BlockAddr> = (0..10u64).map(|i| BlockAddr((i % 2) * 0x100)).collect();
+        let p = ConflictProfile::from_blocks(trace, 16, 64);
+        assert_eq!(p.misses_of(0x100), 8);
+        assert_eq!(p.distinct_vectors(), 1);
+        assert_eq!(p.summary().compulsory, 2);
+        assert_eq!(p.summary().profiled, 8);
+        assert_eq!(p.summary().references, 10);
+        assert_eq!(p.total_weight(), 8);
+    }
+
+    #[test]
+    fn capacity_misses_are_filtered() {
+        // Touch 10 distinct blocks then revisit the first: with a capacity of
+        // 4 blocks the revisit is a capacity miss and records nothing.
+        let mut seq: Vec<u64> = (0..10).collect();
+        seq.push(0);
+        let p = ConflictProfile::from_blocks(blocks(&seq), 16, 4);
+        assert_eq!(p.total_weight(), 0);
+        assert_eq!(p.summary().capacity, 1);
+        assert_eq!(p.summary().compulsory, 10);
+    }
+
+    #[test]
+    fn all_intermediate_blocks_contribute_vectors() {
+        // Access 1, 2, 3, then 1 again: vectors 1^2=3 and 1^3=2 are recorded.
+        let p = ConflictProfile::from_blocks(blocks(&[1, 2, 3, 1]), 8, 16);
+        assert_eq!(p.misses_of(3), 1);
+        assert_eq!(p.misses_of(2), 1);
+        assert_eq!(p.misses_of(1), 0);
+        assert_eq!(p.summary().conflict_vectors, 2);
+        assert_eq!(p.distinct_vectors(), 2);
+    }
+
+    #[test]
+    fn vectors_are_truncated_to_hashed_bits() {
+        // Blocks 0 and 0x1_0000 differ only above bit 15; truncated to 16 bits
+        // the difference vector is zero and must not be recorded.
+        let p = ConflictProfile::from_blocks(blocks(&[0, 0x1_0000, 0, 0x1_0000]), 16, 64);
+        assert_eq!(p.total_weight(), 0);
+        assert_eq!(p.distinct_vectors(), 0);
+        // With 20 hashed bits the vector is visible.
+        let p = ConflictProfile::from_blocks(blocks(&[0, 0x1_0000, 0, 0x1_0000]), 20, 64);
+        assert_eq!(p.misses_of(0x1_0000), 2);
+    }
+
+    #[test]
+    fn heaviest_sorts_by_weight() {
+        // Vector 0x10 appears twice as often as 0x20.
+        let p = ConflictProfile::from_blocks(
+            blocks(&[0, 0x10, 0, 0x10, 0, 0x20, 0]),
+            16,
+            64,
+        );
+        let top = p.heaviest(2);
+        assert_eq!(top[0].0.as_u64(), 0x10);
+        assert!(top[0].1 > top[1].1);
+        assert_eq!(p.heaviest(100).len(), p.distinct_vectors());
+    }
+
+    #[test]
+    fn merge_adds_histograms() {
+        let a = ConflictProfile::from_blocks(blocks(&[0, 1, 0]), 8, 16);
+        let b = ConflictProfile::from_blocks(blocks(&[0, 1, 0, 1]), 8, 16);
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.misses_of(1), a.misses_of(1) + b.misses_of(1));
+        assert_eq!(
+            merged.summary().references,
+            a.summary().references + b.summary().references
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "hashed bits differ")]
+    fn merge_rejects_mismatched_profiles() {
+        let a = ConflictProfile::from_blocks(blocks(&[0, 1]), 8, 16);
+        let b = ConflictProfile::from_blocks(blocks(&[0, 1]), 16, 16);
+        let mut a = a;
+        a.merge(&b);
+    }
+
+    #[test]
+    fn empty_trace_gives_empty_profile() {
+        let p = ConflictProfile::from_blocks(std::iter::empty(), 16, 64);
+        assert_eq!(p.summary().references, 0);
+        assert_eq!(p.distinct_vectors(), 0);
+        assert_eq!(p.total_weight(), 0);
+    }
+}

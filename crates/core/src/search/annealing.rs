@@ -1,0 +1,159 @@
+//! Simulated annealing over the null-space neighbourhood (extension).
+//!
+//! Hill climbing stops at the first local optimum; simulated annealing
+//! occasionally accepts uphill moves, escaping shallow optima at the price of
+//! more candidate evaluations. This is one of the "improved search at the
+//! expense of execution speed" directions the paper's Section 3.3 anticipates.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::search::neighbors::neighbors;
+use crate::search::{SearchOutcome, Searcher};
+use crate::{HashFunction, XorIndexError};
+
+impl Searcher<'_> {
+    /// Simulated annealing from the conventional function.
+    ///
+    /// Each iteration proposes a uniformly random neighbour of the current
+    /// null space; improving moves are always accepted, worsening moves with
+    /// probability `exp(−Δ/T)`, and the temperature decays geometrically from
+    /// `initial_temperature` to roughly 1 % of it over `iterations` steps. The
+    /// best admissible function ever visited is returned, so the result is
+    /// never worse than the starting point.
+    ///
+    /// # Errors
+    ///
+    /// Propagates representative-construction failures for the starting point.
+    pub fn annealing(
+        &self,
+        iterations: usize,
+        initial_temperature: f64,
+        seed: u64,
+    ) -> Result<SearchOutcome, XorIndexError> {
+        let estimator = self.estimator();
+        let pool = self.pool_vectors();
+        let class = self.class();
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        let start = self.conventional_null_space();
+        let mut current = start.clone();
+        let mut current_cost = estimator.estimate_null_space(&current);
+        let baseline_estimate = current_cost;
+        let mut best_function = HashFunction::from_null_space(&start, class)?;
+        let mut best_cost = current_cost;
+        let mut evaluations: u64 = 1;
+        let mut steps: u64 = 0;
+
+        let temperature_floor = (initial_temperature * 0.01).max(1e-9);
+        let decay = if iterations > 1 {
+            (temperature_floor / initial_temperature.max(1e-9))
+                .powf(1.0 / (iterations as f64 - 1.0))
+        } else {
+            1.0
+        };
+        let mut temperature = initial_temperature.max(1e-9);
+
+        for _ in 0..iterations {
+            let candidates = neighbors(&current, class, &pool);
+            if candidates.is_empty() {
+                break;
+            }
+            let pick = rng.gen_range(0..candidates.len());
+            let candidate = &candidates[pick];
+            let cost = estimator.estimate_null_space(candidate);
+            evaluations += 1;
+            let delta = cost as f64 - current_cost as f64;
+            let accept = delta <= 0.0 || rng.gen::<f64>() < (-delta / temperature).exp();
+            if accept {
+                current = candidate.clone();
+                current_cost = cost;
+                steps += 1;
+                if cost < best_cost {
+                    if let Ok(function) = HashFunction::from_null_space(&current, class) {
+                        best_cost = cost;
+                        best_function = function;
+                    }
+                }
+            }
+            temperature = (temperature * decay).max(temperature_floor);
+        }
+
+        Ok(SearchOutcome {
+            function: best_function,
+            estimated_misses: best_cost,
+            baseline_estimate,
+            evaluations,
+            steps,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::search::{SearchAlgorithm, Searcher};
+    use crate::{ConflictProfile, FunctionClass, MissEstimator};
+    use cache_sim::BlockAddr;
+
+    fn profile() -> ConflictProfile {
+        let trace = (0..200u64).map(|i| BlockAddr((i % 2) * 64 + (i % 3) * 0x200));
+        ConflictProfile::from_blocks(trace, 12, 64)
+    }
+
+    #[test]
+    fn annealing_never_returns_worse_than_the_baseline() {
+        let p = profile();
+        let searcher = Searcher::new(&p, FunctionClass::permutation_based(2), 6).unwrap();
+        let outcome = searcher
+            .run(SearchAlgorithm::Annealing {
+                iterations: 60,
+                initial_temperature: 50.0,
+                seed: 9,
+            })
+            .unwrap();
+        assert!(outcome.estimated_misses <= outcome.baseline_estimate);
+        // The reported cost matches the returned function.
+        assert_eq!(
+            MissEstimator::new(&p).estimate(&outcome.function).unwrap(),
+            outcome.estimated_misses
+        );
+        FunctionClass::permutation_based(2)
+            .check(&outcome.function)
+            .unwrap();
+    }
+
+    #[test]
+    fn annealing_is_deterministic_per_seed() {
+        let p = profile();
+        let searcher = Searcher::new(&p, FunctionClass::xor_unlimited(), 6).unwrap();
+        let run = |seed| {
+            searcher
+                .run(SearchAlgorithm::Annealing {
+                    iterations: 40,
+                    initial_temperature: 20.0,
+                    seed,
+                })
+                .unwrap()
+        };
+        let a = run(1);
+        let b = run(1);
+        assert_eq!(a.function, b.function);
+        assert_eq!(a.estimated_misses, b.estimated_misses);
+    }
+
+    #[test]
+    fn zero_iterations_returns_the_conventional_function() {
+        let p = profile();
+        let searcher = Searcher::new(&p, FunctionClass::xor_unlimited(), 6).unwrap();
+        let outcome = searcher
+            .run(SearchAlgorithm::Annealing {
+                iterations: 0,
+                initial_temperature: 10.0,
+                seed: 0,
+            })
+            .unwrap();
+        assert!(outcome.function.is_conventional());
+        assert_eq!(outcome.estimated_misses, outcome.baseline_estimate);
+        assert_eq!(outcome.steps, 0);
+    }
+}

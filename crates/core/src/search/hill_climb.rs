@@ -1,0 +1,213 @@
+//! Steepest-descent hill climbing (the paper's search algorithm).
+
+use gf2::Subspace;
+
+use crate::search::neighbors::neighbors;
+use crate::search::{SearchOutcome, Searcher};
+use crate::{HashFunction, XorIndexError};
+
+impl Searcher<'_> {
+    /// Runs the paper's steepest-descent search from the conventional
+    /// function's null space.
+    ///
+    /// Every neighbour of the current null space is evaluated with the
+    /// profile-based estimator; if the best admissible neighbour improves on
+    /// the best function found so far, the search moves there, otherwise a
+    /// local optimum has been reached and the search stops.
+    ///
+    /// # Errors
+    ///
+    /// Propagates representative-construction failures (see
+    /// [`Searcher::run`]).
+    pub fn hill_climb(&self) -> Result<SearchOutcome, XorIndexError> {
+        self.hill_climb_from(self.conventional_null_space())
+    }
+
+    /// Hill climbing from an arbitrary admissible starting null space.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XorIndexError::NoRepresentative`] if the starting point is
+    /// not admissible for the searcher's function class.
+    pub fn hill_climb_from(&self, start: Subspace) -> Result<SearchOutcome, XorIndexError> {
+        let estimator = self.estimator();
+        let pool = self.pool_vectors();
+        let class = self.class();
+
+        // Validate the start and prime the bookkeeping.
+        let start_function = HashFunction::from_null_space(&start, class)?;
+        let mut current = start.clone();
+        let mut current_cost = estimator.estimate_null_space(&current);
+        let baseline_estimate = self.baseline_estimate();
+        let mut best_function = start_function;
+        let mut best_cost = current_cost;
+        let mut evaluations: u64 = 1;
+        let mut steps: u64 = 0;
+
+        loop {
+            // Evaluate the whole neighbourhood, cheapest check first: the
+            // estimator runs on every candidate, the (more expensive) fan-in
+            // admissibility check only on candidates that would be taken.
+            let mut candidates: Vec<(u64, Subspace)> = neighbors(&current, class, &pool)
+                .into_iter()
+                .map(|ns| {
+                    evaluations += 1;
+                    (estimator.estimate_null_space(&ns), ns)
+                })
+                .collect();
+            candidates.sort_by_key(|(cost, _)| *cost);
+
+            let mut moved = false;
+            for (cost, ns) in candidates {
+                if cost >= best_cost {
+                    break; // sorted: nothing better remains
+                }
+                match HashFunction::from_null_space(&ns, class) {
+                    Ok(function) => {
+                        current = ns;
+                        current_cost = cost;
+                        best_cost = cost;
+                        best_function = function;
+                        steps += 1;
+                        moved = true;
+                        break;
+                    }
+                    Err(_) => {
+                        // Structurally admissible but violates a fan-in bound;
+                        // try the next-best neighbour.
+                        continue;
+                    }
+                }
+            }
+            if !moved {
+                break;
+            }
+        }
+
+        let _ = current_cost;
+        Ok(SearchOutcome {
+            function: best_function,
+            estimated_misses: best_cost,
+            baseline_estimate,
+            evaluations,
+            steps,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::search::{NeighborPool, SearchAlgorithm, Searcher};
+    use crate::{ConflictProfile, FunctionClass, MissEstimator};
+    use cache_sim::BlockAddr;
+
+    /// Profile of a classic power-of-two stride conflict: blocks 0 and 64
+    /// alternate and collide in a 64-set direct-mapped cache.
+    fn ping_pong_profile() -> ConflictProfile {
+        let trace = (0..200u64).map(|i| BlockAddr((i % 2) * 64));
+        ConflictProfile::from_blocks(trace, 12, 64)
+    }
+
+    /// A profile mixing several strides so the search has real work to do.
+    fn multi_stride_profile() -> ConflictProfile {
+        let mut blocks = Vec::new();
+        for i in 0..400u64 {
+            blocks.push(BlockAddr((i % 4) * 64));
+            blocks.push(BlockAddr(0x800 + (i % 3) * 128));
+        }
+        ConflictProfile::from_blocks(blocks, 12, 64)
+    }
+
+    #[test]
+    fn hill_climb_eliminates_a_single_stride_conflict() {
+        let profile = ping_pong_profile();
+        for class in [
+            FunctionClass::xor_unlimited(),
+            FunctionClass::permutation_based(2),
+            FunctionClass::bit_selecting(),
+        ] {
+            let searcher = Searcher::new(&profile, class, 6).unwrap();
+            let outcome = searcher.run(SearchAlgorithm::HillClimb).unwrap();
+            assert!(outcome.baseline_estimate > 0);
+            assert_eq!(
+                outcome.estimated_misses, 0,
+                "class {class} should eliminate the ping-pong conflict"
+            );
+            assert!(outcome.steps >= 1);
+            assert!(outcome.evaluations > 1);
+            // The found function really is in the class.
+            class.check(&outcome.function).unwrap();
+        }
+    }
+
+    #[test]
+    fn hill_climb_never_returns_worse_than_the_baseline() {
+        let profile = multi_stride_profile();
+        for class in [
+            FunctionClass::bit_selecting(),
+            FunctionClass::permutation_based(2),
+            FunctionClass::permutation_based(4),
+            FunctionClass::xor_unlimited(),
+        ] {
+            let searcher = Searcher::new(&profile, class, 6).unwrap();
+            let outcome = searcher.run(SearchAlgorithm::HillClimb).unwrap();
+            assert!(
+                outcome.estimated_misses <= outcome.baseline_estimate,
+                "{class}: {} > {}",
+                outcome.estimated_misses,
+                outcome.baseline_estimate
+            );
+        }
+    }
+
+    #[test]
+    fn richer_classes_do_at_least_as_well() {
+        // Bit-selecting ⊆ 2-input permutation-based ⊆ unrestricted
+        // permutation-based in terms of the searched space's expressiveness;
+        // since all searches start from the same point and hill climbing is
+        // greedy this is not a theorem, but it holds on this easy profile.
+        let profile = ping_pong_profile();
+        let est = |class| {
+            Searcher::new(&profile, class, 6)
+                .unwrap()
+                .run(SearchAlgorithm::HillClimb)
+                .unwrap()
+                .estimated_misses
+        };
+        let bit = est(FunctionClass::bit_selecting());
+        let perm2 = est(FunctionClass::permutation_based(2));
+        let unlimited = est(FunctionClass::xor_unlimited());
+        assert!(perm2 <= bit);
+        assert!(unlimited <= perm2);
+    }
+
+    #[test]
+    fn estimate_of_found_function_matches_reported_cost() {
+        let profile = multi_stride_profile();
+        let searcher = Searcher::new(&profile, FunctionClass::permutation_based(2), 6).unwrap();
+        let outcome = searcher.run(SearchAlgorithm::HillClimb).unwrap();
+        let recomputed = MissEstimator::new(&profile)
+            .estimate(&outcome.function)
+            .unwrap();
+        assert_eq!(recomputed, outcome.estimated_misses);
+    }
+
+    #[test]
+    fn units_only_pool_still_finds_improvements() {
+        let profile = ping_pong_profile();
+        let searcher = Searcher::new(&profile, FunctionClass::xor_unlimited(), 6)
+            .unwrap()
+            .with_pool(NeighborPool::Units);
+        let outcome = searcher.run(SearchAlgorithm::HillClimb).unwrap();
+        assert!(outcome.estimated_misses < outcome.baseline_estimate);
+    }
+
+    #[test]
+    fn hill_climb_from_inadmissible_start_errors() {
+        let profile = ping_pong_profile();
+        let searcher = Searcher::new(&profile, FunctionClass::permutation_based(2), 6).unwrap();
+        // A null space containing e0 violates Eq. 5.
+        let bad = gf2::Subspace::standard_span(12, [0usize, 7, 8, 9, 10, 11]);
+        assert!(searcher.hill_climb_from(bad).is_err());
+    }
+}

@@ -1,0 +1,291 @@
+//! Design-space search for application-specific hash functions.
+//!
+//! The search operates on *null spaces* rather than matrices (paper Section 3.2):
+//! equal null spaces give identical conflict behaviour, and canonical
+//! [`Subspace`](gf2::Subspace) bases make equality checks cheap, so no function
+//! is evaluated twice. Candidate quality is judged with the profile-based
+//! estimator (paper Eq. 4), never by re-simulating the trace.
+//!
+//! Available algorithms:
+//!
+//! * [`SearchAlgorithm::HillClimb`] — the paper's steepest-descent search,
+//!   started from the conventional modulo function;
+//! * [`SearchAlgorithm::RandomRestart`] — hill climbing from additional random
+//!   starting points (an extension the paper's Section 3.3 hints at);
+//! * [`SearchAlgorithm::Annealing`] — simulated annealing over the same
+//!   neighbourhood (extension);
+//! * [`SearchAlgorithm::OptimalBitSelect`] — exhaustive enumeration of all
+//!   `C(n, m)` bit-selecting functions, the optimal baseline of Patel et al.
+//!   reproduced in the paper's Table 3.
+
+mod annealing;
+mod hill_climb;
+mod neighbors;
+mod optimal_bitselect;
+mod random_restart;
+
+use gf2::{BitVec, Subspace};
+use serde::{Deserialize, Serialize};
+
+use crate::{
+    ConflictProfile, EstimationStrategy, FunctionClass, HashFunction, MissEstimator,
+    XorIndexError,
+};
+
+pub use neighbors::NeighborPool;
+
+/// Which search algorithm to run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SearchAlgorithm {
+    /// Steepest-descent hill climbing from the conventional function (the
+    /// paper's algorithm).
+    HillClimb,
+    /// Hill climbing from the conventional function plus `restarts` random
+    /// starting points; the best local optimum wins.
+    RandomRestart {
+        /// Number of additional random starting points.
+        restarts: usize,
+        /// RNG seed (searches are deterministic per seed).
+        seed: u64,
+    },
+    /// Simulated annealing over the hill-climbing neighbourhood.
+    Annealing {
+        /// Number of proposal steps.
+        iterations: usize,
+        /// Initial temperature, in units of estimated misses.
+        initial_temperature: f64,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Exhaustive search over all bit-selecting functions (optimal with
+    /// respect to the profile, as in Patel et al.).
+    OptimalBitSelect,
+}
+
+impl Default for SearchAlgorithm {
+    fn default() -> Self {
+        SearchAlgorithm::HillClimb
+    }
+}
+
+/// Result of a search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchOutcome {
+    /// The best function found.
+    pub function: HashFunction,
+    /// Its estimated conflict misses (paper Eq. 4) under the profile.
+    pub estimated_misses: u64,
+    /// Estimated conflict misses of the conventional function, for reference.
+    pub baseline_estimate: u64,
+    /// Number of candidate evaluations performed.
+    pub evaluations: u64,
+    /// Number of accepted moves (hill-climbing steps / annealing acceptances).
+    pub steps: u64,
+}
+
+impl SearchOutcome {
+    /// Estimated fraction of conflict misses removed relative to the
+    /// conventional function, in percent.
+    #[must_use]
+    pub fn estimated_percent_removed(&self) -> f64 {
+        if self.baseline_estimate == 0 {
+            0.0
+        } else {
+            (self.baseline_estimate as f64 - self.estimated_misses as f64) * 100.0
+                / self.baseline_estimate as f64
+        }
+    }
+}
+
+/// Orchestrates a search over one profile, function class and cache geometry.
+///
+/// # Example
+///
+/// ```
+/// use cache_sim::BlockAddr;
+/// use xorindex::search::{SearchAlgorithm, Searcher};
+/// use xorindex::{ConflictProfile, FunctionClass};
+///
+/// // A ping-pong pattern that the conventional function maps onto one set.
+/// let trace = (0..100u64).map(|i| BlockAddr((i % 2) * 64));
+/// let profile = ConflictProfile::from_blocks(trace, 12, 64);
+/// let searcher = Searcher::new(&profile, FunctionClass::permutation_based(2), 6)?;
+/// let outcome = searcher.run(SearchAlgorithm::HillClimb)?;
+/// assert_eq!(outcome.estimated_misses, 0);
+/// assert!(outcome.baseline_estimate > 0);
+/// # Ok::<(), xorindex::XorIndexError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Searcher<'a> {
+    profile: &'a ConflictProfile,
+    class: FunctionClass,
+    set_bits: usize,
+    pool: NeighborPool,
+    strategy: EstimationStrategy,
+}
+
+impl<'a> Searcher<'a> {
+    /// Creates a searcher for functions hashing the profile's address bits
+    /// into `set_bits` set-index bits, restricted to `class`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XorIndexError::InvalidGeometry`] when `set_bits` is zero or
+    /// at least the profile's hashed width.
+    pub fn new(
+        profile: &'a ConflictProfile,
+        class: FunctionClass,
+        set_bits: usize,
+    ) -> Result<Self, XorIndexError> {
+        let n = profile.hashed_bits();
+        if set_bits == 0 || set_bits >= n {
+            return Err(XorIndexError::InvalidGeometry {
+                hashed_bits: n,
+                set_bits,
+            });
+        }
+        Ok(Searcher {
+            profile,
+            class,
+            set_bits,
+            pool: NeighborPool::UnitsAndPairs,
+            strategy: EstimationStrategy::Auto,
+        })
+    }
+
+    /// Selects the pool of replacement directions used when generating
+    /// neighbours (default: [`NeighborPool::UnitsAndPairs`]).
+    #[must_use]
+    pub fn with_pool(mut self, pool: NeighborPool) -> Self {
+        self.pool = pool;
+        self
+    }
+
+    /// Selects the estimation strategy (default: automatic).
+    #[must_use]
+    pub fn with_estimation_strategy(mut self, strategy: EstimationStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// The function class being searched.
+    #[must_use]
+    pub fn class(&self) -> FunctionClass {
+        self.class
+    }
+
+    /// Number of set-index bits of the target cache.
+    #[must_use]
+    pub fn set_bits(&self) -> usize {
+        self.set_bits
+    }
+
+    /// Number of hashed address bits.
+    #[must_use]
+    pub fn hashed_bits(&self) -> usize {
+        self.profile.hashed_bits()
+    }
+
+    /// The null space of the conventional modulo function — the starting point
+    /// of the paper's hill climb.
+    #[must_use]
+    pub fn conventional_null_space(&self) -> Subspace {
+        Subspace::standard_span(
+            self.hashed_bits(),
+            self.set_bits..self.hashed_bits(),
+        )
+    }
+
+    fn estimator(&self) -> MissEstimator<'a> {
+        MissEstimator::new(self.profile).with_strategy(self.strategy)
+    }
+
+    /// Estimated misses of the conventional function under this profile.
+    #[must_use]
+    pub fn baseline_estimate(&self) -> u64 {
+        self.estimator()
+            .estimate_null_space(&self.conventional_null_space())
+    }
+
+    /// Runs the chosen algorithm.
+    ///
+    /// # Errors
+    ///
+    /// Propagates representative-construction failures; these indicate the
+    /// search converged on a null space the class cannot realize, which the
+    /// neighbour generation normally prevents.
+    pub fn run(&self, algorithm: SearchAlgorithm) -> Result<SearchOutcome, XorIndexError> {
+        match algorithm {
+            SearchAlgorithm::HillClimb => self.hill_climb(),
+            SearchAlgorithm::RandomRestart { restarts, seed } => {
+                self.random_restart(restarts, seed)
+            }
+            SearchAlgorithm::Annealing {
+                iterations,
+                initial_temperature,
+                seed,
+            } => self.annealing(iterations, initial_temperature, seed),
+            SearchAlgorithm::OptimalBitSelect => self.optimal_bit_select(),
+        }
+    }
+
+    /// Pool of replacement directions for this searcher.
+    fn pool_vectors(&self) -> Vec<BitVec> {
+        self.pool.vectors(self.hashed_bits(), self.profile)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cache_sim::BlockAddr;
+
+    fn ping_pong_profile() -> ConflictProfile {
+        let trace = (0..100u64).map(|i| BlockAddr((i % 2) * 64));
+        ConflictProfile::from_blocks(trace, 12, 64)
+    }
+
+    #[test]
+    fn searcher_rejects_bad_geometry() {
+        let p = ping_pong_profile();
+        assert!(Searcher::new(&p, FunctionClass::xor_unlimited(), 0).is_err());
+        assert!(Searcher::new(&p, FunctionClass::xor_unlimited(), 12).is_err());
+        assert!(Searcher::new(&p, FunctionClass::xor_unlimited(), 6).is_ok());
+    }
+
+    #[test]
+    fn conventional_null_space_matches_modulo_function() {
+        let p = ping_pong_profile();
+        let s = Searcher::new(&p, FunctionClass::xor_unlimited(), 6).unwrap();
+        let conventional = HashFunction::conventional(12, 6).unwrap();
+        assert_eq!(s.conventional_null_space(), conventional.null_space());
+        assert_eq!(
+            s.baseline_estimate(),
+            MissEstimator::new(&p).estimate(&conventional).unwrap()
+        );
+    }
+
+    #[test]
+    fn default_algorithm_is_hill_climb() {
+        assert_eq!(SearchAlgorithm::default(), SearchAlgorithm::HillClimb);
+    }
+
+    #[test]
+    fn outcome_percent_removed() {
+        let p = ping_pong_profile();
+        let outcome = SearchOutcome {
+            function: HashFunction::conventional(12, 6).unwrap(),
+            estimated_misses: 25,
+            baseline_estimate: 100,
+            evaluations: 1,
+            steps: 0,
+        };
+        assert!((outcome.estimated_percent_removed() - 75.0).abs() < 1e-12);
+        let zero_base = SearchOutcome {
+            baseline_estimate: 0,
+            ..outcome
+        };
+        assert_eq!(zero_base.estimated_percent_removed(), 0.0);
+        drop(p);
+    }
+}

@@ -1,0 +1,249 @@
+//! Neighbourhood generation over null spaces.
+//!
+//! The paper defines two null spaces as neighbours when they differ in exactly
+//! one dimension: the dimension of their intersection is one less than their
+//! own dimension. A neighbour of `N` is therefore obtained by choosing a
+//! hyperplane `M ⊂ N` and a replacement direction `v ∉ N`, giving
+//! `N' = M ⊕ span(v)`.
+//!
+//! Enumerating every possible replacement direction (`2^n − 2^d` of them) is
+//! unnecessary; a pool of low-weight directions (standard basis vectors and
+//! their pairwise XORs) already reaches the functions the hardware can afford
+//! (small fan-in) while keeping each hill-climbing step fast. The pool is
+//! configurable through [`NeighborPool`].
+
+use std::collections::HashSet;
+
+use gf2::{BitVec, Subspace};
+use serde::{Deserialize, Serialize};
+
+use crate::{ConflictProfile, FunctionClass};
+
+/// The pool of replacement directions used to build neighbours.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NeighborPool {
+    /// Standard basis vectors only (`n` directions). Fastest, coarsest.
+    Units,
+    /// Standard basis vectors and all pairwise XORs
+    /// (`n + n(n−1)/2` directions). The default.
+    UnitsAndPairs,
+    /// `UnitsAndPairs` plus the `k` heaviest conflict vectors of the profile,
+    /// which lets the search explicitly steer the null space around them.
+    UnitsPairsAndProfile(usize),
+    /// An explicit list of directions.
+    Custom(Vec<BitVec>),
+}
+
+impl Default for NeighborPool {
+    fn default() -> Self {
+        NeighborPool::UnitsAndPairs
+    }
+}
+
+impl NeighborPool {
+    /// Materializes the pool for `n` hashed address bits.
+    #[must_use]
+    pub fn vectors(&self, n: usize, profile: &ConflictProfile) -> Vec<BitVec> {
+        let mut out: Vec<BitVec> = Vec::new();
+        let push_unique = |v: BitVec, out: &mut Vec<BitVec>| {
+            if !v.is_zero() && !out.contains(&v) {
+                out.push(v);
+            }
+        };
+        match self {
+            NeighborPool::Custom(vectors) => {
+                for &v in vectors {
+                    push_unique(v, &mut out);
+                }
+            }
+            NeighborPool::Units => {
+                for i in 0..n {
+                    out.push(BitVec::unit(i, n));
+                }
+            }
+            NeighborPool::UnitsAndPairs | NeighborPool::UnitsPairsAndProfile(_) => {
+                for i in 0..n {
+                    out.push(BitVec::unit(i, n));
+                }
+                for i in 0..n {
+                    for j in (i + 1)..n {
+                        out.push(BitVec::unit(i, n) ^ BitVec::unit(j, n));
+                    }
+                }
+                if let NeighborPool::UnitsPairsAndProfile(k) = self {
+                    for (v, _) in profile.heaviest(*k) {
+                        push_unique(v, &mut out);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Generates the neighbours of `null_space` admissible for `class`, using the
+/// given replacement-direction pool.
+///
+/// For the bit-selecting class the neighbourhood is generated structurally
+/// (swap one selected address bit for an unselected one), which is both exact
+/// and far smaller.
+#[must_use]
+pub fn neighbors(
+    null_space: &Subspace,
+    class: FunctionClass,
+    pool: &[BitVec],
+) -> Vec<Subspace> {
+    let n = null_space.ambient_width();
+    let m = n - null_space.dim();
+    if class == FunctionClass::BitSelecting {
+        return bit_select_neighbors(null_space);
+    }
+    let mut seen: HashSet<Subspace> = HashSet::new();
+    let mut out = Vec::new();
+    for hyperplane in null_space.hyperplanes() {
+        for &v in pool {
+            if null_space.contains(v) {
+                continue;
+            }
+            let candidate = hyperplane.extended(v);
+            debug_assert_eq!(candidate.dim(), null_space.dim());
+            if candidate == *null_space || seen.contains(&candidate) {
+                continue;
+            }
+            if admissible(&candidate, class, m) {
+                seen.insert(candidate.clone());
+                out.push(candidate);
+            }
+        }
+    }
+    out
+}
+
+/// Cheap admissibility pre-filter. The permutation-based structural condition
+/// (Eq. 5) is checked here; fan-in bounds are cheaper to check on the chosen
+/// candidate only, so they are left to the caller via
+/// [`FunctionClass::admits`].
+fn admissible(candidate: &Subspace, class: FunctionClass, m: usize) -> bool {
+    match class {
+        FunctionClass::BitSelecting => candidate.basis().iter().all(|b| b.weight() == 1),
+        FunctionClass::Xor { .. } => true,
+        FunctionClass::PermutationBased { .. } => {
+            candidate.admits_permutation_based_function(m)
+        }
+    }
+}
+
+/// Structural neighbourhood for bit-selecting functions: the null space is a
+/// coordinate subspace `span{e_i : i ∉ S}`; a neighbour swaps one excluded bit
+/// for one selected bit.
+fn bit_select_neighbors(null_space: &Subspace) -> Vec<Subspace> {
+    let n = null_space.ambient_width();
+    let excluded: Vec<usize> = null_space
+        .basis()
+        .iter()
+        .filter_map(|b| if b.weight() == 1 { b.trailing_bit() } else { None })
+        .collect();
+    if excluded.len() != null_space.dim() {
+        // Not a coordinate subspace: no structural neighbours.
+        return Vec::new();
+    }
+    let selected: Vec<usize> = (0..n).filter(|i| !excluded.contains(i)).collect();
+    let mut out = Vec::new();
+    for &drop in &excluded {
+        for &add in &selected {
+            let mut new_excluded: Vec<usize> =
+                excluded.iter().copied().filter(|&b| b != drop).collect();
+            new_excluded.push(add);
+            out.push(Subspace::standard_span(n, new_excluded));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cache_sim::BlockAddr;
+
+    fn dummy_profile(n: usize) -> ConflictProfile {
+        ConflictProfile::from_blocks(
+            (0..10u64).map(|i| BlockAddr((i % 2) * 16)),
+            n,
+            64,
+        )
+    }
+
+    #[test]
+    fn pool_sizes() {
+        let p = dummy_profile(8);
+        assert_eq!(NeighborPool::Units.vectors(8, &p).len(), 8);
+        assert_eq!(NeighborPool::UnitsAndPairs.vectors(8, &p).len(), 8 + 28);
+        let with_profile = NeighborPool::UnitsPairsAndProfile(4).vectors(8, &p);
+        assert!(with_profile.len() >= 8 + 28);
+        let custom = NeighborPool::Custom(vec![
+            BitVec::from_u64(0b101, 8),
+            BitVec::from_u64(0b101, 8),
+            BitVec::zero(8),
+        ]);
+        assert_eq!(custom.vectors(8, &p).len(), 1);
+        assert_eq!(NeighborPool::default(), NeighborPool::UnitsAndPairs);
+    }
+
+    #[test]
+    fn neighbors_differ_in_exactly_one_dimension() {
+        let p = dummy_profile(8);
+        let ns = Subspace::standard_span(8, 3..8);
+        let pool = NeighborPool::UnitsAndPairs.vectors(8, &p);
+        let nbrs = neighbors(&ns, FunctionClass::xor_unlimited(), &pool);
+        assert!(!nbrs.is_empty());
+        for nb in &nbrs {
+            assert_eq!(nb.dim(), ns.dim());
+            assert_eq!(ns.intersection_dim(nb), ns.dim() - 1, "neighbour {nb}");
+            assert_ne!(*nb, ns);
+        }
+        // No duplicates.
+        let distinct: HashSet<_> = nbrs.iter().cloned().collect();
+        assert_eq!(distinct.len(), nbrs.len());
+    }
+
+    #[test]
+    fn permutation_based_neighbors_satisfy_eq5() {
+        let p = dummy_profile(8);
+        let m = 3;
+        let ns = Subspace::standard_span(8, m..8);
+        let pool = NeighborPool::UnitsAndPairs.vectors(8, &p);
+        let nbrs = neighbors(&ns, FunctionClass::permutation_based_unlimited(), &pool);
+        assert!(!nbrs.is_empty());
+        for nb in &nbrs {
+            assert!(nb.admits_permutation_based_function(m));
+        }
+        // The permutation-based neighbourhood is a subset of the general one.
+        let general = neighbors(&ns, FunctionClass::xor_unlimited(), &pool);
+        assert!(nbrs.len() <= general.len());
+    }
+
+    #[test]
+    fn bit_select_neighbors_swap_one_bit() {
+        let ns = Subspace::standard_span(8, [3usize, 4, 5, 6, 7]);
+        let nbrs = neighbors(&ns, FunctionClass::bit_selecting(), &[]);
+        // 5 excluded bits × 3 selected bits = 15 swaps.
+        assert_eq!(nbrs.len(), 15);
+        for nb in &nbrs {
+            assert_eq!(nb.dim(), 5);
+            assert!(nb.basis().iter().all(|b| b.weight() == 1));
+            assert_eq!(ns.intersection_dim(nb), 4);
+        }
+    }
+
+    #[test]
+    fn pool_vectors_never_contain_zero() {
+        let p = dummy_profile(10);
+        for pool in [
+            NeighborPool::Units,
+            NeighborPool::UnitsAndPairs,
+            NeighborPool::UnitsPairsAndProfile(8),
+        ] {
+            assert!(pool.vectors(10, &p).iter().all(|v| !v.is_zero()));
+        }
+    }
+}

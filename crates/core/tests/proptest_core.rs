@@ -1,0 +1,162 @@
+//! Property-based tests for the profiling / estimation / search pipeline.
+
+use cache_sim::{BlockAddr, Cache, CacheConfig, ModuloIndex};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use xorindex::search::{SearchAlgorithm, Searcher};
+use xorindex::{
+    ConflictProfile, EstimationStrategy, FunctionClass, HashFunction, MissEstimator,
+};
+
+const HASHED_BITS: usize = 10;
+
+/// A random block-address trace with a bounded footprint (so conflicts occur)
+/// and bounded length (so debug-mode runs stay fast).
+fn trace_strategy() -> impl Strategy<Value = Vec<BlockAddr>> {
+    (4u64..=96, 20usize..400).prop_flat_map(|(footprint, len)| {
+        proptest::collection::vec(
+            (0..footprint).prop_map(|k| BlockAddr(k * 13 % (1 << HASHED_BITS))),
+            len,
+        )
+    })
+}
+
+/// A small direct-mapped cache whose set count stays below the hashed width.
+fn cache_strategy() -> impl Strategy<Value = CacheConfig> {
+    (2u32..=6).prop_map(|set_bits| {
+        CacheConfig::builder()
+            .size_bytes(4u64 << set_bits)
+            .block_bytes(4)
+            .associativity(1)
+            .build()
+            .expect("valid geometry")
+    })
+}
+
+fn profile_of(blocks: &[BlockAddr], cache: &CacheConfig) -> ConflictProfile {
+    ConflictProfile::from_blocks(
+        blocks.iter().copied(),
+        HASHED_BITS,
+        cache.num_blocks() as usize,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn profile_counters_are_consistent(blocks in trace_strategy(), cache in cache_strategy()) {
+        let profile = profile_of(&blocks, &cache);
+        let summary = profile.summary();
+        prop_assert_eq!(summary.references, blocks.len() as u64);
+        prop_assert_eq!(
+            summary.compulsory + summary.capacity + summary.profiled,
+            summary.references
+        );
+        // The histogram's total weight never exceeds the number of recorded
+        // conflict vectors (zero-vector truncations are dropped).
+        prop_assert!(profile.total_weight() <= summary.conflict_vectors);
+        // Distinct first touches equal the footprint.
+        let footprint: std::collections::HashSet<_> = blocks.iter().collect();
+        prop_assert_eq!(summary.compulsory, footprint.len() as u64);
+    }
+
+    #[test]
+    fn estimation_strategies_always_agree(blocks in trace_strategy(), cache in cache_strategy(), seed in any::<u64>()) {
+        let profile = profile_of(&blocks, &cache);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let matrix = gf2::random::random_full_rank_matrix(&mut rng, HASHED_BITS, cache.set_bits());
+        let function = HashFunction::new(matrix).expect("full rank");
+        let a = MissEstimator::new(&profile)
+            .with_strategy(EstimationStrategy::EnumerateNullSpace)
+            .estimate(&function)
+            .expect("same geometry");
+        let b = MissEstimator::new(&profile)
+            .with_strategy(EstimationStrategy::ScanHistogram)
+            .estimate(&function)
+            .expect("same geometry");
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn estimate_upper_bounds_simulated_conflict_misses_for_the_profiled_function(
+        blocks in trace_strategy(),
+        cache in cache_strategy(),
+    ) {
+        // Every simulated conflict miss of the conventional cache contributes
+        // at least one conflict vector inside the conventional null space, so
+        // the Eq. 4 estimate can never be smaller than the simulated
+        // conflict-miss count for that same function.
+        let profile = profile_of(&blocks, &cache);
+        let conventional = HashFunction::conventional(HASHED_BITS, cache.set_bits()).unwrap();
+        let estimate = MissEstimator::new(&profile).estimate(&conventional).unwrap();
+        let mut sim = Cache::new(cache, ModuloIndex::for_config(&cache)).with_classification();
+        let stats = sim.simulate_blocks(blocks.iter().copied());
+        prop_assert!(
+            estimate >= stats.conflict_misses,
+            "estimate {} < simulated conflict misses {}",
+            estimate,
+            stats.conflict_misses
+        );
+    }
+
+    #[test]
+    fn hill_climb_is_never_worse_than_the_conventional_estimate(
+        blocks in trace_strategy(),
+        cache in cache_strategy(),
+    ) {
+        let profile = profile_of(&blocks, &cache);
+        for class in [
+            FunctionClass::bit_selecting(),
+            FunctionClass::permutation_based(2),
+            FunctionClass::xor_unlimited(),
+        ] {
+            let searcher = Searcher::new(&profile, class, cache.set_bits()).unwrap();
+            let outcome = searcher.run(SearchAlgorithm::HillClimb).unwrap();
+            prop_assert!(outcome.estimated_misses <= outcome.baseline_estimate);
+            prop_assert!(class.check(&outcome.function).is_ok());
+            prop_assert_eq!(outcome.function.hashed_bits(), HASHED_BITS);
+            prop_assert_eq!(outcome.function.set_bits(), cache.set_bits());
+        }
+    }
+
+    #[test]
+    fn optimal_bit_select_is_at_least_as_good_as_heuristic_bit_select(
+        blocks in trace_strategy(),
+        cache in cache_strategy(),
+    ) {
+        let profile = profile_of(&blocks, &cache);
+        let searcher = Searcher::new(&profile, FunctionClass::bit_selecting(), cache.set_bits()).unwrap();
+        let optimal = searcher.run(SearchAlgorithm::OptimalBitSelect).unwrap();
+        let heuristic = searcher.run(SearchAlgorithm::HillClimb).unwrap();
+        prop_assert!(optimal.estimated_misses <= heuristic.estimated_misses);
+        prop_assert!(optimal.function.is_bit_selecting());
+    }
+
+    #[test]
+    fn profile_merge_is_equivalent_to_concatenated_profiling_for_disjoint_footprints(
+        blocks in trace_strategy(),
+        cache in cache_strategy(),
+    ) {
+        // Profiles of traces touching disjoint blocks can be merged; the
+        // histogram weights add.
+        let shifted: Vec<BlockAddr> = blocks
+            .iter()
+            .map(|b| BlockAddr(b.as_u64() + (1 << (HASHED_BITS + 2))))
+            .collect();
+        let a = profile_of(&blocks, &cache);
+        let b = ConflictProfile::from_blocks(
+            shifted.iter().copied(),
+            HASHED_BITS,
+            cache.num_blocks() as usize,
+        );
+        let mut merged = a.clone();
+        merged.merge(&b);
+        prop_assert_eq!(merged.total_weight(), a.total_weight() + b.total_weight());
+        prop_assert_eq!(
+            merged.summary().references,
+            a.summary().references + b.summary().references
+        );
+    }
+}

@@ -1,0 +1,118 @@
+//! Command-line driver that regenerates the paper's tables and figures.
+//!
+//! ```text
+//! cargo run --release -p experiments --bin repro -- all --scale small
+//! cargo run --release -p experiments --bin repro -- table2-data
+//! cargo run --release -p experiments --bin repro -- table3 --scale reference
+//! ```
+
+use std::env;
+use std::process::ExitCode;
+
+use experiments::{design_space, general_vs_permutation, table1, table2, table3};
+use experiments::{ExperimentConfig, TraceSide};
+use workloads::Scale;
+
+const USAGE: &str = "\
+usage: repro <command> [--scale tiny|small|reference] [--quick]
+
+commands:
+  design-space     Section 2 design-space size figures (Eq. 3)
+  table1           Table 1: reconfigurable-indexing switch counts
+  general-vs-perm  Section 6 experiment 1: general XOR vs permutation-based
+  table2-data      Table 2, data caches
+  table2-instr     Table 2, instruction caches
+  table3           Table 3: PowerStone, optimal bit-select vs XOR vs FA
+  all              everything above, in order
+
+options:
+  --scale SCALE    workload input scale (default: small)
+  --quick          tiny inputs, 12 hashed bits, 1 KB cache only (smoke test)
+";
+
+fn parse_config(args: &[String]) -> Result<ExperimentConfig, String> {
+    let mut config = ExperimentConfig::paper();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => config = ExperimentConfig::quick(),
+            "--scale" => {
+                i += 1;
+                let value = args.get(i).ok_or("--scale needs a value")?;
+                config.scale = match value.as_str() {
+                    "tiny" => Scale::Tiny,
+                    "small" => Scale::Small,
+                    "reference" => Scale::Reference,
+                    other => return Err(format!("unknown scale {other:?}")),
+                };
+            }
+            other => return Err(format!("unknown option {other:?}")),
+        }
+        i += 1;
+    }
+    Ok(config)
+}
+
+fn run(command: &str, config: &ExperimentConfig) -> Result<(), String> {
+    match command {
+        "design-space" => {
+            println!("{}", design_space::render(&design_space::paper_rows()));
+        }
+        "table1" => {
+            println!("{}", table1::render(&table1::paper_table()));
+        }
+        "general-vs-perm" => {
+            let rows = general_vs_permutation::compute(config);
+            println!("{}", general_vs_permutation::render(&rows));
+        }
+        "table2-data" => {
+            let table = table2::compute(config, TraceSide::Data);
+            println!("{}", table2::render(&table));
+        }
+        "table2-instr" => {
+            let table = table2::compute(config, TraceSide::Instruction);
+            println!("{}", table2::render(&table));
+        }
+        "table3" => {
+            let size = *config.cache_sizes_kb.get(1).unwrap_or(&config.cache_sizes_kb[0]);
+            let table = table3::compute(config, size);
+            println!("{}", table3::render(&table));
+        }
+        "all" => {
+            for cmd in [
+                "design-space",
+                "table1",
+                "general-vs-perm",
+                "table2-data",
+                "table2-instr",
+                "table3",
+            ] {
+                run(cmd, config)?;
+            }
+        }
+        other => return Err(format!("unknown command {other:?}\n{USAGE}")),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let config = match parse_config(&args[1..]) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(command, &config) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

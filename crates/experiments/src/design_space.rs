@@ -1,0 +1,109 @@
+//! Design-space size figures (paper Section 2, Eq. 3).
+
+use gf2::count;
+
+/// Design-space sizes for one `n → m` geometry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DesignSpaceRow {
+    /// Number of hashed address bits `n`.
+    pub hashed_bits: u32,
+    /// Number of set-index bits `m`.
+    pub set_bits: u32,
+    /// Number of distinct full-column-rank matrices (hash functions).
+    pub matrices: f64,
+    /// Number of distinct null spaces (the space the search explores).
+    pub null_spaces: f64,
+    /// Number of bit-selecting functions (`C(n, m)`).
+    pub bit_selecting: u128,
+}
+
+impl DesignSpaceRow {
+    /// Computes the row for one geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m > n`.
+    #[must_use]
+    pub fn compute(n: u32, m: u32) -> Self {
+        DesignSpaceRow {
+            hashed_bits: n,
+            set_bits: m,
+            matrices: count::distinct_matrices(n, m),
+            null_spaces: count::distinct_null_spaces(n, m),
+            bit_selecting: count::bit_selecting_functions(u64::from(n), u64::from(m)),
+        }
+    }
+
+    /// How many times larger the matrix space is than the null-space design
+    /// space — the paper's argument for searching null spaces.
+    #[must_use]
+    pub fn reduction_factor(&self) -> f64 {
+        self.matrices / self.null_spaces
+    }
+}
+
+/// The geometries of the paper's evaluation (n = 16; m = 8, 10, 12).
+#[must_use]
+pub fn paper_rows() -> Vec<DesignSpaceRow> {
+    [8u32, 10, 12]
+        .into_iter()
+        .map(|m| DesignSpaceRow::compute(16, m))
+        .collect()
+}
+
+/// Renders the rows as an aligned text table.
+#[must_use]
+pub fn render(rows: &[DesignSpaceRow]) -> String {
+    let mut out = String::new();
+    out.push_str("design-space size (Section 2 / Eq. 3)\n");
+    out.push_str(&format!(
+        "{:>4} {:>4} {:>14} {:>14} {:>14} {:>12}\n",
+        "n", "m", "matrices", "null spaces", "reduction", "bit-select"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:>4} {:>4} {:>14.3e} {:>14.3e} {:>14.3e} {:>12}\n",
+            r.hashed_bits,
+            r.set_bits,
+            r.matrices,
+            r.null_spaces,
+            r.reduction_factor(),
+            r.bit_selecting
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_the_papers_quoted_figures() {
+        // "There are 3.4e38 distinct matrices, hashing 16 address bits to 8
+        //  set index bits but only 6.3e19 distinct null spaces."
+        let row = DesignSpaceRow::compute(16, 8);
+        assert!((row.matrices / 3.4e38 - 1.0).abs() < 0.1);
+        assert!((row.null_spaces / 6.3e19 - 1.0).abs() < 0.1);
+        assert!(row.reduction_factor() > 1e18);
+        assert_eq!(row.bit_selecting, 12870);
+    }
+
+    #[test]
+    fn paper_rows_cover_all_three_cache_sizes() {
+        let rows = paper_rows();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].set_bits, 8);
+        assert_eq!(rows[2].set_bits, 12);
+        // Bigger caches (more set bits) have smaller design spaces for n fixed.
+        assert!(rows[0].null_spaces > rows[2].null_spaces);
+    }
+
+    #[test]
+    fn render_contains_all_rows() {
+        let rows = paper_rows();
+        let text = render(&rows);
+        assert!(text.contains("matrices"));
+        assert_eq!(text.lines().count(), 2 + rows.len());
+    }
+}

@@ -1,0 +1,129 @@
+//! Table 1: switch counts for reconfigurable indexing.
+
+use xorindex::hardware::{self, HardwareCost, IndexingScheme};
+
+/// One column of Table 1: a cache size with its set-index width and the
+/// switch count of every scheme.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table1Column {
+    /// Cache size in KB.
+    pub cache_kb: u64,
+    /// Set-index bits `m`.
+    pub set_bits: usize,
+    /// Cost of every scheme, in [`IndexingScheme::ALL`] order.
+    pub costs: Vec<HardwareCost>,
+}
+
+/// The full table for a given number of hashed address bits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table1 {
+    /// Number of hashed address bits `n`.
+    pub hashed_bits: usize,
+    /// One column per cache size.
+    pub columns: Vec<Table1Column>,
+}
+
+/// Computes Table 1 for the paper's parameters (`n = 16`, 4-byte blocks,
+/// caches of 1, 4 and 16 KB).
+#[must_use]
+pub fn paper_table() -> Table1 {
+    compute(16, &[1, 4, 16])
+}
+
+/// Computes the table for arbitrary parameters.
+///
+/// # Panics
+///
+/// Panics if a cache size is not a power of two or implies more set bits than
+/// hashed bits.
+#[must_use]
+pub fn compute(hashed_bits: usize, cache_sizes_kb: &[u64]) -> Table1 {
+    let columns = cache_sizes_kb
+        .iter()
+        .map(|&kb| {
+            let config = cache_sim::CacheConfig::paper_cache(kb);
+            let m = config.set_bits();
+            assert!(m <= hashed_bits, "cache needs more set bits than hashed bits");
+            Table1Column {
+                cache_kb: kb,
+                set_bits: m,
+                costs: hardware::all_costs(hashed_bits, m),
+            }
+        })
+        .collect();
+    Table1 {
+        hashed_bits,
+        columns,
+    }
+}
+
+/// Renders the table in the paper's layout (schemes as rows, cache sizes as
+/// columns).
+#[must_use]
+pub fn render(table: &Table1) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Table 1: switches for reconfigurable indexing (n = {})\n",
+        table.hashed_bits
+    ));
+    out.push_str(&format!("{:<22}", "cache size"));
+    for col in &table.columns {
+        out.push_str(&format!("{:>8} KB", col.cache_kb));
+    }
+    out.push('\n');
+    out.push_str(&format!("{:<22}", "set index bits (m)"));
+    for col in &table.columns {
+        out.push_str(&format!("{:>11}", col.set_bits));
+    }
+    out.push('\n');
+    for (i, scheme) in IndexingScheme::ALL.iter().enumerate() {
+        out.push_str(&format!("{:<22}", scheme.label()));
+        for col in &table.columns {
+            out.push_str(&format!("{:>11}", col.costs[i].switches));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_every_entry_of_table_1() {
+        let table = paper_table();
+        let expect = [
+            // (kb, m, [bit-select, optimized, general xor, permutation])
+            (1u64, 8usize, [256usize, 144, 252, 72]),
+            (4, 10, [256, 136, 261, 70]),
+            (16, 12, [256, 112, 250, 60]),
+        ];
+        assert_eq!(table.columns.len(), 3);
+        for (col, (kb, m, switches)) in table.columns.iter().zip(expect) {
+            assert_eq!(col.cache_kb, kb);
+            assert_eq!(col.set_bits, m);
+            let got: Vec<usize> = col.costs.iter().map(|c| c.switches).collect();
+            assert_eq!(got, switches.to_vec(), "{kb} KB column");
+        }
+    }
+
+    #[test]
+    fn render_lists_all_schemes() {
+        let text = render(&paper_table());
+        for scheme in IndexingScheme::ALL {
+            assert!(text.contains(scheme.label()));
+        }
+        assert!(text.contains("16 KB"));
+        assert!(text.contains("256"));
+        assert!(text.contains("72"));
+    }
+
+    #[test]
+    fn custom_geometries_are_supported() {
+        let table = compute(20, &[2, 8]);
+        assert_eq!(table.columns.len(), 2);
+        assert_eq!(table.columns[0].set_bits, 9);
+        assert_eq!(table.columns[1].set_bits, 11);
+    }
+}

@@ -1,0 +1,244 @@
+//! Table 2: baseline misses/K-uop and percentage of misses removed with
+//! optimized permutation-based XOR functions (2-in / 4-in / 16-in), for data
+//! caches and instruction caches of 1, 4 and 16 KB.
+
+use cache_sim::BlockAddr;
+use crossbeam::channel;
+use workloads::{Workload, WorkloadSuite};
+use xorindex::FunctionClass;
+
+use crate::{evaluate_trace, CellResult, ExperimentConfig, TraceSide};
+
+/// One cache-size cell of a Table 2 row: the baseline misses/K-uop and the
+/// percentage of misses removed per fan-in bound.
+#[derive(Debug, Clone)]
+pub struct Table2Cell {
+    /// Cache size in KB.
+    pub cache_kb: u64,
+    /// Baseline misses per K-uop (the paper's `base` column).
+    pub base_mpko: f64,
+    /// % misses removed by 2-input permutation-based functions.
+    pub removed_2in: f64,
+    /// % misses removed by 4-input permutation-based functions.
+    pub removed_4in: f64,
+    /// % misses removed by unrestricted permutation-based functions
+    /// (the paper's `16-in` column).
+    pub removed_16in: f64,
+}
+
+/// One benchmark row of Table 2.
+#[derive(Debug, Clone)]
+pub struct Table2Row {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// One cell per configured cache size.
+    pub cells: Vec<Table2Cell>,
+}
+
+/// A reproduced half (data or instruction side) of Table 2.
+#[derive(Debug, Clone)]
+pub struct Table2 {
+    /// Which cache (data or instruction) the table describes.
+    pub side: TraceSide,
+    /// Per-benchmark rows in suite order.
+    pub rows: Vec<Table2Row>,
+    /// Arithmetic-average row over all benchmarks, one cell per cache size.
+    pub averages: Vec<Table2Cell>,
+}
+
+/// The three function classes of Table 2, in column order.
+#[must_use]
+pub fn table2_classes() -> [FunctionClass; 3] {
+    [
+        FunctionClass::permutation_based(2),
+        FunctionClass::permutation_based(4),
+        FunctionClass::permutation_based_unlimited(),
+    ]
+}
+
+fn cell_from_results(cache_kb: u64, results: &[CellResult]) -> Table2Cell {
+    Table2Cell {
+        cache_kb,
+        base_mpko: results[0].baseline_mpko(),
+        removed_2in: results[0].percent_removed(),
+        removed_4in: results[1].percent_removed(),
+        removed_16in: results[2].percent_removed(),
+    }
+}
+
+/// Evaluates one benchmark on one side for every configured cache size.
+#[must_use]
+pub fn evaluate_workload(
+    config: &ExperimentConfig,
+    workload: &dyn Workload,
+    side: TraceSide,
+) -> Table2Row {
+    let trace = match side {
+        TraceSide::Data => workload.data_trace(config.scale),
+        TraceSide::Instruction => workload.instruction_trace(config.scale),
+    };
+    let ops = trace.ops();
+    let cells = config
+        .cache_sizes_kb
+        .iter()
+        .map(|&kb| {
+            let cache = config.cache(kb);
+            let blocks: Vec<BlockAddr> = side.blocks(&trace, cache.block_bits());
+            let results = evaluate_trace(config, cache, &blocks, ops, &table2_classes());
+            cell_from_results(kb, &results)
+        })
+        .collect();
+    Table2Row {
+        benchmark: workload.name().to_string(),
+        cells,
+    }
+}
+
+/// Reproduces one side of Table 2 over the full MediaBench/MiBench suite,
+/// evaluating the benchmarks in parallel.
+#[must_use]
+pub fn compute(config: &ExperimentConfig, side: TraceSide) -> Table2 {
+    compute_for(config, side, &WorkloadSuite::table2())
+}
+
+/// Reproduces one side of Table 2 for an explicit set of workloads.
+#[must_use]
+pub fn compute_for(
+    config: &ExperimentConfig,
+    side: TraceSide,
+    workloads: &[Box<dyn Workload>],
+) -> Table2 {
+    let (tx, rx) = channel::unbounded();
+    crossbeam::scope(|scope| {
+        for (index, workload) in workloads.iter().enumerate() {
+            let tx = tx.clone();
+            let config = config.clone();
+            scope.spawn(move |_| {
+                let row = evaluate_workload(&config, workload.as_ref(), side);
+                tx.send((index, row)).expect("result channel stays open");
+            });
+        }
+        drop(tx);
+    })
+    .expect("worker threads do not panic");
+
+    let mut indexed: Vec<(usize, Table2Row)> = rx.iter().collect();
+    indexed.sort_by_key(|(i, _)| *i);
+    let rows: Vec<Table2Row> = indexed.into_iter().map(|(_, r)| r).collect();
+    let averages = average_rows(config, &rows);
+    Table2 {
+        side,
+        rows,
+        averages,
+    }
+}
+
+fn average_rows(config: &ExperimentConfig, rows: &[Table2Row]) -> Vec<Table2Cell> {
+    config
+        .cache_sizes_kb
+        .iter()
+        .enumerate()
+        .map(|(i, &kb)| {
+            let n = rows.len().max(1) as f64;
+            let sum = |f: &dyn Fn(&Table2Cell) -> f64| {
+                rows.iter().map(|r| f(&r.cells[i])).sum::<f64>() / n
+            };
+            Table2Cell {
+                cache_kb: kb,
+                base_mpko: sum(&|c| c.base_mpko),
+                removed_2in: sum(&|c| c.removed_2in),
+                removed_4in: sum(&|c| c.removed_4in),
+                removed_16in: sum(&|c| c.removed_16in),
+            }
+        })
+        .collect()
+}
+
+/// Renders the table in the paper's layout.
+#[must_use]
+pub fn render(table: &Table2) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Table 2 ({} caches): baseline misses/K-uop and % misses removed\n",
+        table.side.label()
+    ));
+    out.push_str(&format!("{:<12}", "benchmark"));
+    for cell in table
+        .rows
+        .first()
+        .map(|r| r.cells.as_slice())
+        .unwrap_or(&[])
+    {
+        out.push_str(&format!(
+            "| {:>6} {:>6} {:>6} {:>6} ",
+            format!("{}KB", cell.cache_kb),
+            "2-in",
+            "4-in",
+            "16-in"
+        ));
+    }
+    out.push('\n');
+    let mut push_row = |name: &str, cells: &[Table2Cell]| {
+        let mut line = format!("{:<12}", name);
+        for c in cells {
+            line.push_str(&format!(
+                "| {:>6.1} {:>6.1} {:>6.1} {:>6.1} ",
+                c.base_mpko, c.removed_2in, c.removed_4in, c.removed_16in
+            ));
+        }
+        line.push('\n');
+        out.push_str(&line);
+    };
+    for row in &table.rows {
+        push_row(&row.benchmark, &row.cells);
+    }
+    push_row("average", &table.averages);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::powerstone::Fir;
+
+    #[test]
+    fn classes_are_ordered_2_4_unlimited() {
+        let classes = table2_classes();
+        assert_eq!(classes[0].max_inputs(), Some(2));
+        assert_eq!(classes[1].max_inputs(), Some(4));
+        assert_eq!(classes[2].max_inputs(), None);
+    }
+
+    #[test]
+    fn single_workload_row_has_one_cell_per_cache() {
+        let config = ExperimentConfig::quick();
+        let row = evaluate_workload(&config, &Fir, TraceSide::Data);
+        assert_eq!(row.benchmark, "fir");
+        assert_eq!(row.cells.len(), config.cache_sizes_kb.len());
+        for cell in &row.cells {
+            assert!(cell.base_mpko >= 0.0);
+            // Removals are percentages (can be slightly negative).
+            assert!(cell.removed_2in <= 100.0);
+            assert!(cell.removed_16in <= 100.0);
+        }
+    }
+
+    #[test]
+    fn parallel_table_preserves_workload_order_and_averages() {
+        let config = ExperimentConfig::quick();
+        let workloads: Vec<Box<dyn workloads::Workload>> = vec![
+            Box::new(workloads::powerstone::Crc),
+            Box::new(workloads::powerstone::Fir),
+        ];
+        let table = compute_for(&config, TraceSide::Data, &workloads);
+        assert_eq!(table.rows.len(), 2);
+        assert_eq!(table.rows[0].benchmark, "crc");
+        assert_eq!(table.rows[1].benchmark, "fir");
+        assert_eq!(table.averages.len(), 1);
+        let avg = (table.rows[0].cells[0].removed_2in + table.rows[1].cells[0].removed_2in) / 2.0;
+        assert!((table.averages[0].removed_2in - avg).abs() < 1e-9);
+        let text = render(&table);
+        assert!(text.contains("crc"));
+        assert!(text.contains("average"));
+    }
+}

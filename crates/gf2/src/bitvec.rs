@@ -1,0 +1,459 @@
+//! Fixed-width bit vectors over GF(2).
+
+use std::fmt;
+use std::ops::{BitAnd, BitXor, BitXorAssign};
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Gf2Error, Result};
+
+/// A vector over GF(2) with a fixed width of at most 64 bits.
+///
+/// Bit `i` of the vector corresponds to address bit `a_i` in the paper's
+/// notation, with bit 0 the least significant address bit. Addition in GF(2)
+/// is XOR ([`BitXor`]), and the inner product of two vectors is the parity of
+/// the AND of their bits ([`BitVec::dot`]).
+///
+/// `BitVec` is `Copy` and cheap to pass by value.
+///
+/// # Example
+///
+/// ```
+/// use gf2::BitVec;
+///
+/// let a = BitVec::from_u64(0b1011, 4);
+/// let b = BitVec::from_u64(0b0110, 4);
+/// assert_eq!((a ^ b).as_u64(), 0b1101);
+/// assert_eq!(a.dot(b), true); // 0b0010 has odd parity
+/// assert_eq!(a.weight(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct BitVec {
+    bits: u64,
+    width: u8,
+}
+
+impl BitVec {
+    /// Maximum supported width in bits.
+    pub const MAX_WIDTH: usize = 64;
+
+    /// Creates the zero vector of the given width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or larger than [`BitVec::MAX_WIDTH`].
+    #[must_use]
+    pub fn zero(width: usize) -> Self {
+        Self::check_width(width);
+        BitVec {
+            bits: 0,
+            width: width as u8,
+        }
+    }
+
+    /// Creates a vector from the low `width` bits of `value`.
+    ///
+    /// Bits of `value` above `width` are discarded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or larger than [`BitVec::MAX_WIDTH`].
+    #[must_use]
+    pub fn from_u64(value: u64, width: usize) -> Self {
+        Self::check_width(width);
+        BitVec {
+            bits: value & Self::mask(width),
+            width: width as u8,
+        }
+    }
+
+    /// Creates the `k`-th standard basis vector `e_k` of the given width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= width` or the width is unsupported.
+    #[must_use]
+    pub fn unit(k: usize, width: usize) -> Self {
+        Self::check_width(width);
+        assert!(k < width, "unit index {k} out of range for width {width}");
+        BitVec {
+            bits: 1 << k,
+            width: width as u8,
+        }
+    }
+
+    /// Creates a vector with the given bits set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any bit index is `>= width` or the width is unsupported.
+    #[must_use]
+    pub fn with_bits(bits: &[usize], width: usize) -> Self {
+        let mut v = Self::zero(width);
+        for &b in bits {
+            v.set(b, true);
+        }
+        v
+    }
+
+    /// Fallible counterpart of [`BitVec::from_u64`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Gf2Error::UnsupportedWidth`] when `width` is 0 or above 64.
+    pub fn try_from_u64(value: u64, width: usize) -> Result<Self> {
+        if width == 0 || width > Self::MAX_WIDTH {
+            return Err(Gf2Error::UnsupportedWidth(width));
+        }
+        Ok(Self::from_u64(value, width))
+    }
+
+    fn check_width(width: usize) {
+        assert!(
+            width >= 1 && width <= Self::MAX_WIDTH,
+            "unsupported BitVec width {width}"
+        );
+    }
+
+    fn mask(width: usize) -> u64 {
+        if width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << width) - 1
+        }
+    }
+
+    /// Returns the vector's width in bits.
+    #[must_use]
+    pub fn width(self) -> usize {
+        self.width as usize
+    }
+
+    /// Returns the raw bits as a `u64` (bits above the width are zero).
+    #[must_use]
+    pub fn as_u64(self) -> u64 {
+        self.bits
+    }
+
+    /// Returns bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.width()`.
+    #[must_use]
+    pub fn get(self, i: usize) -> bool {
+        assert!(i < self.width(), "bit index {i} out of range");
+        (self.bits >> i) & 1 == 1
+    }
+
+    /// Sets bit `i` to `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.width()`.
+    pub fn set(&mut self, i: usize, value: bool) {
+        assert!(i < self.width(), "bit index {i} out of range");
+        if value {
+            self.bits |= 1 << i;
+        } else {
+            self.bits &= !(1 << i);
+        }
+    }
+
+    /// Returns a copy with bit `i` flipped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.width()`.
+    #[must_use]
+    pub fn flipped(self, i: usize) -> Self {
+        assert!(i < self.width(), "bit index {i} out of range");
+        BitVec {
+            bits: self.bits ^ (1 << i),
+            width: self.width,
+        }
+    }
+
+    /// Returns `true` when every bit is zero.
+    #[must_use]
+    pub fn is_zero(self) -> bool {
+        self.bits == 0
+    }
+
+    /// Returns the Hamming weight (number of set bits).
+    #[must_use]
+    pub fn weight(self) -> usize {
+        self.bits.count_ones() as usize
+    }
+
+    /// Inner product over GF(2): the parity of the AND of the two vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    #[must_use]
+    pub fn dot(self, other: Self) -> bool {
+        assert_eq!(
+            self.width, other.width,
+            "dot product requires equal widths"
+        );
+        (self.bits & other.bits).count_ones() % 2 == 1
+    }
+
+    /// Index of the highest set bit, or `None` for the zero vector.
+    #[must_use]
+    pub fn leading_bit(self) -> Option<usize> {
+        if self.bits == 0 {
+            None
+        } else {
+            Some(63 - self.bits.leading_zeros() as usize)
+        }
+    }
+
+    /// Index of the lowest set bit, or `None` for the zero vector.
+    #[must_use]
+    pub fn trailing_bit(self) -> Option<usize> {
+        if self.bits == 0 {
+            None
+        } else {
+            Some(self.bits.trailing_zeros() as usize)
+        }
+    }
+
+    /// Returns a vector of the same bits truncated or zero-extended to `width`.
+    ///
+    /// Truncation keeps the low-order bits, mirroring how the profiling
+    /// algorithm truncates conflict vectors to the hashed address width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is unsupported.
+    #[must_use]
+    pub fn resized(self, width: usize) -> Self {
+        Self::from_u64(self.bits, width)
+    }
+
+    /// Iterates over the indices of the set bits, lowest first.
+    #[must_use]
+    pub fn set_bits(self) -> SetBits {
+        SetBits { bits: self.bits }
+    }
+}
+
+/// Iterator over the set-bit indices of a [`BitVec`], produced by
+/// [`BitVec::set_bits`].
+#[derive(Debug, Clone)]
+pub struct SetBits {
+    bits: u64,
+}
+
+impl Iterator for SetBits {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        if self.bits == 0 {
+            None
+        } else {
+            let i = self.bits.trailing_zeros() as usize;
+            self.bits &= self.bits - 1;
+            Some(i)
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.bits.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for SetBits {}
+
+impl BitXor for BitVec {
+    type Output = BitVec;
+
+    fn bitxor(self, rhs: BitVec) -> BitVec {
+        assert_eq!(self.width, rhs.width, "xor requires equal widths");
+        BitVec {
+            bits: self.bits ^ rhs.bits,
+            width: self.width,
+        }
+    }
+}
+
+impl BitXorAssign for BitVec {
+    fn bitxor_assign(&mut self, rhs: BitVec) {
+        assert_eq!(self.width, rhs.width, "xor requires equal widths");
+        self.bits ^= rhs.bits;
+    }
+}
+
+impl BitAnd for BitVec {
+    type Output = BitVec;
+
+    fn bitand(self, rhs: BitVec) -> BitVec {
+        assert_eq!(self.width, rhs.width, "and requires equal widths");
+        BitVec {
+            bits: self.bits & rhs.bits,
+            width: self.width,
+        }
+    }
+}
+
+impl fmt::Display for BitVec {
+    /// Displays the vector most-significant bit first, e.g. `0b0110`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0b")?;
+        for i in (0..self.width()).rev() {
+            write!(f, "{}", u8::from(self.get(i)))?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Binary for BitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Binary::fmt(&self.bits, f)
+    }
+}
+
+impl fmt::LowerHex for BitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.bits, f)
+    }
+}
+
+impl fmt::UpperHex for BitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::UpperHex::fmt(&self.bits, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_and_unit_construction() {
+        let z = BitVec::zero(8);
+        assert!(z.is_zero());
+        assert_eq!(z.width(), 8);
+        assert_eq!(z.weight(), 0);
+
+        let e3 = BitVec::unit(3, 8);
+        assert_eq!(e3.as_u64(), 0b1000);
+        assert!(e3.get(3));
+        assert!(!e3.get(2));
+        assert_eq!(e3.weight(), 1);
+    }
+
+    #[test]
+    fn from_u64_masks_high_bits() {
+        let v = BitVec::from_u64(0xFFFF, 8);
+        assert_eq!(v.as_u64(), 0xFF);
+        assert_eq!(v.width(), 8);
+    }
+
+    #[test]
+    fn try_from_rejects_bad_widths() {
+        assert_eq!(
+            BitVec::try_from_u64(1, 0).unwrap_err(),
+            Gf2Error::UnsupportedWidth(0)
+        );
+        assert_eq!(
+            BitVec::try_from_u64(1, 65).unwrap_err(),
+            Gf2Error::UnsupportedWidth(65)
+        );
+        assert!(BitVec::try_from_u64(1, 64).is_ok());
+    }
+
+    #[test]
+    fn with_bits_sets_exactly_those_bits() {
+        let v = BitVec::with_bits(&[0, 2, 5], 8);
+        assert_eq!(v.as_u64(), 0b100101);
+        assert_eq!(v.set_bits().collect::<Vec<_>>(), vec![0, 2, 5]);
+    }
+
+    #[test]
+    fn xor_and_dot() {
+        let a = BitVec::from_u64(0b1100, 4);
+        let b = BitVec::from_u64(0b1010, 4);
+        assert_eq!((a ^ b).as_u64(), 0b0110);
+        // a & b = 0b1000 -> odd parity
+        assert!(a.dot(b));
+        // self dot self = parity of weight
+        assert!(!a.dot(a));
+        let mut c = a;
+        c ^= b;
+        assert_eq!(c.as_u64(), 0b0110);
+        assert_eq!((a & b).as_u64(), 0b1000);
+    }
+
+    #[test]
+    fn leading_and_trailing_bits() {
+        let v = BitVec::from_u64(0b0101_1000, 8);
+        assert_eq!(v.leading_bit(), Some(6));
+        assert_eq!(v.trailing_bit(), Some(3));
+        assert_eq!(BitVec::zero(8).leading_bit(), None);
+        assert_eq!(BitVec::zero(8).trailing_bit(), None);
+    }
+
+    #[test]
+    fn resize_truncates_low_bits() {
+        let v = BitVec::from_u64(0xABCD, 16);
+        assert_eq!(v.resized(8).as_u64(), 0xCD);
+        assert_eq!(v.resized(20).as_u64(), 0xABCD);
+        assert_eq!(v.resized(20).width(), 20);
+    }
+
+    #[test]
+    fn flipped_toggles_one_bit() {
+        let v = BitVec::from_u64(0b0110, 4);
+        assert_eq!(v.flipped(0).as_u64(), 0b0111);
+        assert_eq!(v.flipped(2).as_u64(), 0b0010);
+        assert_eq!(v.flipped(2).flipped(2), v);
+    }
+
+    #[test]
+    fn display_is_msb_first() {
+        let v = BitVec::from_u64(0b0110, 4);
+        assert_eq!(v.to_string(), "0b0110");
+        assert_eq!(format!("{:x}", v), "6");
+        assert_eq!(format!("{:b}", v), "110");
+    }
+
+    #[test]
+    fn full_width_64_works() {
+        let v = BitVec::from_u64(u64::MAX, 64);
+        assert_eq!(v.weight(), 64);
+        assert_eq!(v.leading_bit(), Some(63));
+        assert_eq!((v ^ v).weight(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        let v = BitVec::zero(4);
+        let _ = v.get(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal widths")]
+    fn xor_mismatched_widths_panics() {
+        let _ = BitVec::zero(4) ^ BitVec::zero(5);
+    }
+
+    #[test]
+    fn set_bits_iterator_is_exact_size() {
+        let v = BitVec::from_u64(0b1011, 4);
+        let it = v.set_bits();
+        assert_eq!(it.len(), 3);
+        assert_eq!(it.collect::<Vec<_>>(), vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn ordering_is_consistent_with_bits() {
+        let a = BitVec::from_u64(1, 8);
+        let b = BitVec::from_u64(2, 8);
+        assert!(a < b);
+    }
+}

@@ -1,0 +1,229 @@
+//! Counting formulas for the XOR-function design space.
+//!
+//! Section 2 of the paper quantifies the design space: the number of `n×m`
+//! full-column-rank matrices (Eq. 3) is astronomically larger than the number
+//! of distinct null spaces, which is why the search operates on null spaces.
+//! For `n = 16`, `m = 8` the paper quotes ≈ 3.4e38 matrices but only ≈ 6.3e19
+//! null spaces; these functions reproduce those figures exactly.
+
+/// Number of full-column-rank `n×m` matrices over GF(2) (paper Eq. 3):
+///
+/// `N(n, m) = Π_{i=1}^{m} (2^{n-i+1} − 1) / (2^i − 1) · ...`
+///
+/// The paper writes the count of *distinct hash functions* as
+/// `Π_{i=1}^{m} (2^{n-i+1} − 1) / (2^i − 1)`; multiplied by the number of
+/// ordered bases of an `m`-dimensional space it gives the raw matrix count.
+/// This function returns the number of injective (full-column-rank) matrices,
+/// i.e. the number of ways to pick `m` linearly independent columns from
+/// GF(2)^n in order: `Π_{i=0}^{m-1} (2^n − 2^i)`.
+///
+/// Returns `f64` because the values overflow any fixed-width integer for the
+/// parameters used in the paper.
+///
+/// # Panics
+///
+/// Panics if `m > n`.
+#[must_use]
+pub fn full_rank_matrices(n: u32, m: u32) -> f64 {
+    assert!(m <= n, "m must not exceed n");
+    let mut acc = 1.0f64;
+    for i in 0..m {
+        acc *= 2f64.powi(n as i32) - 2f64.powi(i as i32);
+    }
+    acc
+}
+
+/// Number of *all* `n×m` binary matrices, `2^(n·m)`, as an `f64`.
+#[must_use]
+pub fn all_matrices(n: u32, m: u32) -> f64 {
+    2f64.powi((n * m) as i32)
+}
+
+/// Gaussian binomial coefficient `[n choose k]_2`: the number of
+/// `k`-dimensional subspaces of GF(2)^n.
+///
+/// Computed in floating point; exact for the small parameters used in cache
+/// indexing (the largest intermediate values stay well below 2^1000).
+///
+/// # Panics
+///
+/// Panics if `k > n`.
+#[must_use]
+pub fn gaussian_binomial(n: u32, k: u32) -> f64 {
+    assert!(k <= n, "k must not exceed n");
+    let mut acc = 1.0f64;
+    for i in 0..k {
+        let numerator = 2f64.powi((n - i) as i32) - 1.0;
+        let denominator = 2f64.powi((k - i) as i32) - 1.0;
+        acc *= numerator / denominator;
+    }
+    acc
+}
+
+/// Exact Gaussian binomial coefficient as `u128`, when it fits.
+///
+/// Returns `None` on overflow.
+///
+/// # Panics
+///
+/// Panics if `k > n`.
+#[must_use]
+pub fn gaussian_binomial_exact(n: u32, k: u32) -> Option<u128> {
+    assert!(k <= n, "k must not exceed n");
+    // [n k]_2 = Π_{i=0}^{k-1} (2^(n-i) - 1) / (2^(i+1) - 1), computed as an
+    // exact product of integers by interleaving multiplications and exact
+    // divisions (the partial products are always integers).
+    let mut numerator: u128 = 1;
+    let mut denominator: u128 = 1;
+    for i in 0..k {
+        numerator = numerator.checked_mul((1u128 << (n - i)) - 1)?;
+        denominator = denominator.checked_mul((1u128 << (i + 1)) - 1)?;
+        // Reduce eagerly: the running ratio after each step is an integer only
+        // at the very end, so reduce by the gcd instead.
+        let g = gcd(numerator, denominator);
+        numerator /= g;
+        denominator /= g;
+    }
+    if denominator == 1 {
+        Some(numerator)
+    } else {
+        None
+    }
+}
+
+fn gcd(mut a: u128, mut b: u128) -> u128 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// Number of distinct null spaces of `n→m` hash functions: the number of
+/// `(n−m)`-dimensional subspaces of GF(2)^n, `[n choose n−m]_2`.
+///
+/// # Panics
+///
+/// Panics if `m > n`.
+#[must_use]
+pub fn distinct_null_spaces(n: u32, m: u32) -> f64 {
+    assert!(m <= n, "m must not exceed n");
+    gaussian_binomial(n, n - m)
+}
+
+/// Number of distinct `n→m` hash functions counted as in paper Eq. 3:
+/// surjective linear maps up to post-composition differences that do not
+/// change conflict behaviour are still counted, i.e. this is the raw count
+/// `Π_{i=1}^{m} (2^{n−i+1} − 1)·2^{i-1} / (2^i − 1)`-style figure the paper
+/// abbreviates as “3.4e38 distinct matrices”.
+///
+/// Concretely this returns the number of surjective `n×m` GF(2) matrices,
+/// which for `n = 16, m = 8` evaluates to ≈ 3.4e38.
+///
+/// # Panics
+///
+/// Panics if `m > n`.
+#[must_use]
+pub fn distinct_matrices(n: u32, m: u32) -> f64 {
+    full_rank_matrices(n, m)
+}
+
+/// Number of bit-selecting `n→m` functions: `C(n, m)` (binomial coefficient),
+/// the figure that makes Patel et al.'s exhaustive search feasible.
+///
+/// # Panics
+///
+/// Panics if `m > n`.
+#[must_use]
+pub fn bit_selecting_functions(n: u64, m: u64) -> u128 {
+    assert!(m <= n, "m must not exceed n");
+    let mut acc: u128 = 1;
+    for i in 0..m.min(n - m) {
+        acc = acc * (n - i) as u128 / (i + 1) as u128;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_paper_design_space_figures() {
+        // "There are 3.4e38 distinct matrices, hashing 16 address bits to 8
+        //  set index bits but only 6.3e19 distinct null spaces."
+        let matrices = distinct_matrices(16, 8);
+        assert!(
+            (matrices / 3.4e38) > 0.9 && (matrices / 3.4e38) < 1.1,
+            "matrix count {matrices:e} should be about 3.4e38"
+        );
+        let spaces = distinct_null_spaces(16, 8);
+        assert!(
+            (spaces / 6.3e19) > 0.9 && (spaces / 6.3e19) < 1.1,
+            "null-space count {spaces:e} should be about 6.3e19"
+        );
+    }
+
+    #[test]
+    fn gaussian_binomial_small_cases() {
+        // [n 0] = [n n] = 1
+        assert_eq!(gaussian_binomial(5, 0), 1.0);
+        assert_eq!(gaussian_binomial(5, 5), 1.0);
+        // [n 1]_2 = 2^n - 1 (number of lines)
+        assert_eq!(gaussian_binomial(4, 1), 15.0);
+        // [4 2]_2 = 35
+        assert_eq!(gaussian_binomial(4, 2), 35.0);
+        // Symmetry [n k] = [n n-k] (up to floating-point rounding)
+        let (a, b) = (gaussian_binomial(10, 3), gaussian_binomial(10, 7));
+        assert!((a / b - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gaussian_binomial_exact_matches_float() {
+        for n in 1..=16u32 {
+            for k in 0..=n {
+                let exact = gaussian_binomial_exact(n, k).expect("fits in u128 for n<=16");
+                let float = gaussian_binomial(n, k);
+                let ratio = exact as f64 / float;
+                assert!(
+                    (ratio - 1.0).abs() < 1e-9,
+                    "[{n} {k}]_2 exact={exact} float={float}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exact_count_of_null_spaces_for_paper_parameters() {
+        let exact = gaussian_binomial_exact(16, 8).expect("fits");
+        // 6.3e19 rounded in the paper.
+        let ratio = exact as f64 / 6.3e19;
+        assert!(ratio > 0.95 && ratio < 1.05, "exact count {exact}");
+    }
+
+    #[test]
+    fn full_rank_matrix_count_small() {
+        // 2x1 full-column-rank matrices over GF(2): columns are any non-zero
+        // 2-bit vector -> 3.
+        assert_eq!(full_rank_matrices(2, 1), 3.0);
+        // 2x2 invertible matrices: (2^2-1)(2^2-2) = 6.
+        assert_eq!(full_rank_matrices(2, 2), 6.0);
+        assert!(full_rank_matrices(4, 2) < all_matrices(4, 2));
+    }
+
+    #[test]
+    fn bit_selecting_count_is_binomial() {
+        assert_eq!(bit_selecting_functions(16, 8), 12870);
+        assert_eq!(bit_selecting_functions(16, 10), 8008);
+        assert_eq!(bit_selecting_functions(16, 12), 1820);
+        assert_eq!(bit_selecting_functions(5, 0), 1);
+        assert_eq!(bit_selecting_functions(5, 5), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "m must not exceed n")]
+    fn invalid_parameters_panic() {
+        let _ = distinct_null_spaces(4, 5);
+    }
+}

@@ -1,0 +1,175 @@
+//! Seeded random generation of GF(2) objects.
+//!
+//! Randomized searches (random restarts, simulated annealing) and the
+//! property-based tests need random vectors, full-rank matrices and subspaces.
+//! All generation is driven by a caller-supplied [`rand::Rng`], so experiments
+//! stay reproducible when seeded.
+
+use rand::Rng;
+
+use crate::{BitMatrix, BitVec, Subspace};
+
+/// Generates a uniformly random vector of the given width.
+///
+/// # Panics
+///
+/// Panics if `width` is 0 or larger than [`BitVec::MAX_WIDTH`].
+pub fn random_vector<R: Rng + ?Sized>(rng: &mut R, width: usize) -> BitVec {
+    BitVec::from_u64(rng.gen::<u64>(), width)
+}
+
+/// Generates a uniformly random non-zero vector of the given width.
+///
+/// # Panics
+///
+/// Panics if `width` is 0 or larger than [`BitVec::MAX_WIDTH`].
+pub fn random_nonzero_vector<R: Rng + ?Sized>(rng: &mut R, width: usize) -> BitVec {
+    loop {
+        let v = random_vector(rng, width);
+        if !v.is_zero() {
+            return v;
+        }
+    }
+}
+
+/// Generates a random `n_rows × n_cols` matrix with independent uniform entries.
+///
+/// # Panics
+///
+/// Panics if either dimension is unsupported.
+pub fn random_matrix<R: Rng + ?Sized>(rng: &mut R, n_rows: usize, n_cols: usize) -> BitMatrix {
+    BitMatrix::from_fn(n_rows, n_cols, |_, _| rng.gen::<bool>())
+}
+
+/// Generates a random `n × m` matrix with full column rank, i.e. a valid hash
+/// function that uses all `2^m` cache sets.
+///
+/// Rejection-samples uniformly random matrices; for `m ≤ n` the acceptance
+/// probability exceeds 28 %, so this terminates quickly.
+///
+/// # Panics
+///
+/// Panics if `m > n` or a dimension is unsupported.
+pub fn random_full_rank_matrix<R: Rng + ?Sized>(rng: &mut R, n: usize, m: usize) -> BitMatrix {
+    assert!(m <= n, "cannot have rank {m} with only {n} rows");
+    loop {
+        let h = random_matrix(rng, n, m);
+        if h.has_full_column_rank() {
+            return h;
+        }
+    }
+}
+
+/// Generates a uniformly random subspace of GF(2)^width of the given dimension.
+///
+/// Sampling: draw random vectors and keep those that grow the span until the
+/// requested dimension is reached. Every subspace of the requested dimension
+/// has non-zero probability; the distribution is uniform because the number of
+/// ordered independent tuples spanning any fixed `d`-dimensional subspace is
+/// the same for all subspaces.
+///
+/// # Panics
+///
+/// Panics if `dim > width` or the width is unsupported.
+pub fn random_subspace<R: Rng + ?Sized>(rng: &mut R, width: usize, dim: usize) -> Subspace {
+    assert!(dim <= width, "dimension {dim} exceeds ambient width {width}");
+    let mut space = Subspace::trivial(width);
+    while space.dim() < dim {
+        let v = random_vector(rng, width);
+        let extended = space.extended(v);
+        if extended.dim() > space.dim() {
+            space = extended;
+        }
+    }
+    space
+}
+
+/// Generates a random null space admissible for permutation-based functions:
+/// a `(n−m)`-dimensional subspace intersecting `span(e_0..e_{m-1})` trivially
+/// (paper Eq. 5).
+///
+/// # Panics
+///
+/// Panics if `m > n` or the width is unsupported.
+pub fn random_permutation_null_space<R: Rng + ?Sized>(
+    rng: &mut R,
+    n: usize,
+    m: usize,
+) -> Subspace {
+    assert!(m <= n, "m must not exceed n");
+    loop {
+        let s = random_subspace(rng, n, n - m);
+        if s.admits_permutation_based_function(m) {
+            return s;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_vector_respects_width() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let v = random_vector(&mut rng, 12);
+            assert_eq!(v.width(), 12);
+            assert!(v.as_u64() < (1 << 12));
+        }
+    }
+
+    #[test]
+    fn random_nonzero_vector_is_nonzero() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..50 {
+            assert!(!random_nonzero_vector(&mut rng, 4).is_zero());
+        }
+    }
+
+    #[test]
+    fn random_full_rank_matrix_has_full_rank() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..20 {
+            let h = random_full_rank_matrix(&mut rng, 16, 8);
+            assert!(h.has_full_column_rank());
+            assert_eq!(h.n_rows(), 16);
+            assert_eq!(h.n_cols(), 8);
+        }
+    }
+
+    #[test]
+    fn random_subspace_has_requested_dimension() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for dim in 0..=8 {
+            let s = random_subspace(&mut rng, 8, dim);
+            assert_eq!(s.dim(), dim);
+            assert_eq!(s.ambient_width(), 8);
+        }
+    }
+
+    #[test]
+    fn random_permutation_null_space_is_admissible() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..10 {
+            let s = random_permutation_null_space(&mut rng, 12, 5);
+            assert_eq!(s.dim(), 7);
+            assert!(s.admits_permutation_based_function(5));
+            // And the permutation-based matrix really exists.
+            assert!(BitMatrix::permutation_based_with_null_space(&s).is_ok());
+        }
+    }
+
+    #[test]
+    fn seeded_generation_is_deterministic() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        assert_eq!(
+            random_full_rank_matrix(&mut a, 10, 4),
+            random_full_rank_matrix(&mut b, 10, 4)
+        );
+        assert_eq!(random_subspace(&mut a, 10, 5), random_subspace(&mut b, 10, 5));
+    }
+}

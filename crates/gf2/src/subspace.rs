@@ -1,0 +1,568 @@
+//! Linear subspaces of GF(2)^n in canonical form.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{BitMatrix, BitVec};
+
+/// A linear subspace of GF(2)^n, stored as a canonical (reduced row-echelon)
+/// basis.
+///
+/// The design space explored by the XOR-indexing search consists of *null
+/// spaces* rather than matrices: distinct matrices with the same null space
+/// cause exactly the same conflict misses (paper Section 2), and there are far
+/// fewer subspaces than matrices. Canonicalizing the basis makes equal
+/// subspaces compare and hash equal, so a search never evaluates the same
+/// function twice.
+///
+/// # Example
+///
+/// ```
+/// use gf2::{BitVec, Subspace};
+///
+/// let s = Subspace::from_generators(4, &[
+///     BitVec::from_u64(0b0011, 4),
+///     BitVec::from_u64(0b0110, 4),
+///     BitVec::from_u64(0b0101, 4), // dependent on the first two
+/// ]);
+/// assert_eq!(s.dim(), 2);
+/// assert!(s.contains(BitVec::from_u64(0b0101, 4)));
+/// assert!(!s.contains(BitVec::from_u64(0b1000, 4)));
+/// assert_eq!(s.vectors().count(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Subspace {
+    /// Canonical basis: RREF rows sorted by strictly decreasing leading bit.
+    basis: Vec<BitVec>,
+    ambient_width: usize,
+}
+
+impl Subspace {
+    /// The trivial subspace `{0}` of GF(2)^width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or larger than [`BitVec::MAX_WIDTH`].
+    #[must_use]
+    pub fn trivial(width: usize) -> Self {
+        // Constructing a BitVec validates the width.
+        let _ = BitVec::zero(width);
+        Subspace {
+            basis: Vec::new(),
+            ambient_width: width,
+        }
+    }
+
+    /// The full space GF(2)^width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or larger than [`BitVec::MAX_WIDTH`].
+    #[must_use]
+    pub fn full(width: usize) -> Self {
+        let gens: Vec<BitVec> = (0..width).map(|i| BitVec::unit(i, width)).collect();
+        Self::from_generators(width, &gens)
+    }
+
+    /// The span of the standard basis vectors `e_k` for the given bit indices.
+    ///
+    /// `standard_span(n, 0..m)` is the null space of the conventional tag
+    /// function (paper Section 4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is `>= width` or the width is unsupported.
+    #[must_use]
+    pub fn standard_span(width: usize, bits: impl IntoIterator<Item = usize>) -> Self {
+        let gens: Vec<BitVec> = bits.into_iter().map(|i| BitVec::unit(i, width)).collect();
+        Self::from_generators(width, &gens)
+    }
+
+    /// Builds the subspace spanned by the given generators (which may be
+    /// dependent, repeated, or zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a generator's width differs from `width`, or if the width is
+    /// unsupported.
+    #[must_use]
+    pub fn from_generators(width: usize, generators: &[BitVec]) -> Self {
+        let _ = BitVec::zero(width);
+        let mut basis: Vec<BitVec> = Vec::new();
+        for &g in generators {
+            assert_eq!(
+                g.width(),
+                width,
+                "generator width {} does not match ambient width {width}",
+                g.width()
+            );
+        }
+        // Incremental Gaussian elimination keeping rows sorted by leading bit.
+        for &g in generators {
+            Self::insert_reduced(&mut basis, g);
+        }
+        Self::recanonicalize(&mut basis);
+        Subspace {
+            basis,
+            ambient_width: width,
+        }
+    }
+
+    /// Reduces `v` against `basis` and inserts the remainder if non-zero,
+    /// keeping `basis` sorted by strictly decreasing leading bit.
+    fn insert_reduced(basis: &mut Vec<BitVec>, mut v: BitVec) {
+        loop {
+            let Some(lv) = v.leading_bit() else { return };
+            match basis.iter().position(|b| b.leading_bit() == Some(lv)) {
+                // XOR-ing a vector with the same leading bit strictly lowers
+                // v's leading bit, so this loop terminates.
+                Some(i) => v ^= basis[i],
+                None => {
+                    let pos = basis
+                        .iter()
+                        .position(|b| b.leading_bit() < Some(lv))
+                        .unwrap_or(basis.len());
+                    basis.insert(pos, v);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Back-substitutes so each leading bit appears in exactly one basis vector.
+    fn recanonicalize(basis: &mut [BitVec]) {
+        for i in (0..basis.len()).rev() {
+            let lead = basis[i].leading_bit().expect("basis vectors are non-zero");
+            for j in 0..i {
+                if basis[j].get(lead) {
+                    basis[j] = basis[j] ^ basis[i];
+                }
+            }
+        }
+    }
+
+    /// Dimension of the subspace.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.basis.len()
+    }
+
+    /// Codimension (`ambient_width - dim`).
+    #[must_use]
+    pub fn codim(&self) -> usize {
+        self.ambient_width - self.basis.len()
+    }
+
+    /// Width of the ambient space GF(2)^n.
+    #[must_use]
+    pub fn ambient_width(&self) -> usize {
+        self.ambient_width
+    }
+
+    /// `true` for the trivial subspace `{0}`.
+    #[must_use]
+    pub fn is_trivial(&self) -> bool {
+        self.basis.is_empty()
+    }
+
+    /// The canonical basis, sorted by strictly decreasing leading bit.
+    #[must_use]
+    pub fn basis(&self) -> &[BitVec] {
+        &self.basis
+    }
+
+    /// Membership test.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.width()` differs from the ambient width.
+    #[must_use]
+    pub fn contains(&self, v: BitVec) -> bool {
+        assert_eq!(v.width(), self.ambient_width, "ambient width mismatch");
+        self.reduce(v).is_zero()
+    }
+
+    /// Reduces `v` modulo the subspace: the returned vector is zero exactly
+    /// when `v` is a member.
+    #[must_use]
+    pub fn reduce(&self, mut v: BitVec) -> BitVec {
+        // The basis is sorted by strictly decreasing leading bit and each
+        // leading bit occurs in exactly one basis vector, so a single
+        // high-to-low pass fully reduces v.
+        for b in &self.basis {
+            let lead = b.leading_bit().expect("basis vectors are non-zero");
+            if v.get(lead) {
+                v ^= *b;
+            }
+        }
+        v
+    }
+
+    /// `true` when every vector of `other` lies in `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ambient widths differ.
+    #[must_use]
+    pub fn contains_subspace(&self, other: &Subspace) -> bool {
+        assert_eq!(self.ambient_width, other.ambient_width);
+        other.basis.iter().all(|&b| self.contains(b))
+    }
+
+    /// Sum (join) of two subspaces: the span of both bases.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ambient widths differ.
+    #[must_use]
+    pub fn sum(&self, other: &Subspace) -> Subspace {
+        assert_eq!(self.ambient_width, other.ambient_width);
+        let mut gens = self.basis.clone();
+        gens.extend_from_slice(&other.basis);
+        Subspace::from_generators(self.ambient_width, &gens)
+    }
+
+    /// Span of this subspace and one extra vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.width()` differs from the ambient width.
+    #[must_use]
+    pub fn extended(&self, v: BitVec) -> Subspace {
+        assert_eq!(v.width(), self.ambient_width, "ambient width mismatch");
+        let mut gens = self.basis.clone();
+        gens.push(v);
+        Subspace::from_generators(self.ambient_width, &gens)
+    }
+
+    /// Intersection (meet) of two subspaces.
+    ///
+    /// Uses the identity `U ∩ V = (U^⊥ + V^⊥)^⊥`, which is exact over GF(2)
+    /// for the standard bilinear form even though that form is degenerate on
+    /// some subspaces, because `dim S^⊥ = n − dim S` always holds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ambient widths differ.
+    #[must_use]
+    pub fn intersection(&self, other: &Subspace) -> Subspace {
+        assert_eq!(self.ambient_width, other.ambient_width);
+        self.orthogonal_complement()
+            .sum(&other.orthogonal_complement())
+            .orthogonal_complement()
+    }
+
+    /// Orthogonal complement with respect to the standard GF(2) inner product.
+    #[must_use]
+    pub fn orthogonal_complement(&self) -> Subspace {
+        if self.basis.is_empty() {
+            return Subspace::full(self.ambient_width);
+        }
+        let m = BitMatrix::from_rows(&self.basis).expect("non-empty canonical basis");
+        m.kernel()
+    }
+
+    /// Iterates over all `2^dim` vectors of the subspace, starting with zero.
+    ///
+    /// Enumeration follows a Gray code, so consecutive vectors differ by a
+    /// single basis vector; this keeps full-null-space miss estimation cheap.
+    #[must_use]
+    pub fn vectors(&self) -> SubspaceVectors<'_> {
+        SubspaceVectors {
+            space: self,
+            index: 0,
+            count: 1u64 << self.basis.len(),
+            current: BitVec::zero(self.ambient_width),
+        }
+    }
+
+    /// Enumerates all hyperplanes (subspaces of dimension `dim − 1`) of this
+    /// subspace.
+    ///
+    /// Each non-zero linear functional on the subspace (there are `2^dim − 1`)
+    /// determines one hyperplane; distinct functionals give distinct
+    /// hyperplanes.
+    #[must_use]
+    pub fn hyperplanes(&self) -> Vec<Subspace> {
+        let d = self.dim();
+        if d == 0 {
+            return Vec::new();
+        }
+        let mut out = Vec::with_capacity((1usize << d) - 1);
+        for functional in 1u64..(1u64 << d) {
+            // Pick the lowest basis index with a non-zero coefficient.
+            let j = functional.trailing_zeros() as usize;
+            let mut gens = Vec::with_capacity(d - 1);
+            for i in 0..d {
+                if i == j {
+                    continue;
+                }
+                if (functional >> i) & 1 == 1 {
+                    gens.push(self.basis[i] ^ self.basis[j]);
+                } else {
+                    gens.push(self.basis[i]);
+                }
+            }
+            out.push(Subspace::from_generators(self.ambient_width, &gens));
+        }
+        out
+    }
+
+    /// Dimension of the intersection with `other` without materializing it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ambient widths differ.
+    #[must_use]
+    pub fn intersection_dim(&self, other: &Subspace) -> usize {
+        // dim(U ∩ V) = dim U + dim V − dim(U + V)
+        self.dim() + other.dim() - self.sum(other).dim()
+    }
+
+    /// `true` when this subspace intersects `span(e_0, …, e_{m-1})` only in
+    /// the zero vector — the defining property (Eq. 5) of the null space of a
+    /// permutation-based hash function.
+    #[must_use]
+    pub fn admits_permutation_based_function(&self, m: usize) -> bool {
+        let low = Subspace::standard_span(self.ambient_width, 0..m);
+        self.intersection(&low).is_trivial()
+    }
+}
+
+impl fmt::Display for Subspace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "span{{")?;
+        for (i, b) in self.basis.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{b}")?;
+        }
+        write!(f, "}} ⊆ GF(2)^{}", self.ambient_width)
+    }
+}
+
+/// Iterator over the vectors of a [`Subspace`], produced by
+/// [`Subspace::vectors`].
+#[derive(Debug, Clone)]
+pub struct SubspaceVectors<'a> {
+    space: &'a Subspace,
+    index: u64,
+    count: u64,
+    current: BitVec,
+}
+
+impl Iterator for SubspaceVectors<'_> {
+    type Item = BitVec;
+
+    fn next(&mut self) -> Option<BitVec> {
+        if self.index >= self.count {
+            return None;
+        }
+        if self.index > 0 {
+            // Gray code: between index-1 and index exactly one coordinate flips.
+            let prev_gray = (self.index - 1) ^ ((self.index - 1) >> 1);
+            let gray = self.index ^ (self.index >> 1);
+            let changed = (prev_gray ^ gray).trailing_zeros() as usize;
+            self.current ^= self.space.basis[changed];
+        }
+        self.index += 1;
+        Some(self.current)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = (self.count - self.index) as usize;
+        (remaining, Some(remaining))
+    }
+}
+
+impl ExactSizeIterator for SubspaceVectors<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn trivial_and_full() {
+        let t = Subspace::trivial(8);
+        assert_eq!(t.dim(), 0);
+        assert!(t.is_trivial());
+        assert!(t.contains(BitVec::zero(8)));
+        assert!(!t.contains(BitVec::unit(1, 8)));
+
+        let f = Subspace::full(8);
+        assert_eq!(f.dim(), 8);
+        for bits in [0u64, 1, 0xFF, 0xA5] {
+            assert!(f.contains(BitVec::from_u64(bits, 8)));
+        }
+    }
+
+    #[test]
+    fn canonical_form_is_generator_order_independent() {
+        let g1 = [
+            BitVec::from_u64(0b1100, 4),
+            BitVec::from_u64(0b0110, 4),
+            BitVec::from_u64(0b1010, 4),
+        ];
+        let g2 = [
+            BitVec::from_u64(0b0110, 4),
+            BitVec::from_u64(0b1010, 4),
+        ];
+        let s1 = Subspace::from_generators(4, &g1);
+        let s2 = Subspace::from_generators(4, &g2);
+        assert_eq!(s1, s2);
+        assert_eq!(s1.dim(), 2);
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut h1 = DefaultHasher::new();
+        let mut h2 = DefaultHasher::new();
+        s1.hash(&mut h1);
+        s2.hash(&mut h2);
+        assert_eq!(h1.finish(), h2.finish());
+    }
+
+    #[test]
+    fn membership_matches_exhaustive_span() {
+        let gens = [
+            BitVec::from_u64(0b00110, 5),
+            BitVec::from_u64(0b01100, 5),
+            BitVec::from_u64(0b10001, 5),
+        ];
+        let s = Subspace::from_generators(5, &gens);
+        // Exhaustive span.
+        let mut span = HashSet::new();
+        for mask in 0u32..8 {
+            let mut v = BitVec::zero(5);
+            for (i, g) in gens.iter().enumerate() {
+                if (mask >> i) & 1 == 1 {
+                    v ^= *g;
+                }
+            }
+            span.insert(v);
+        }
+        for bits in 0..32u64 {
+            let v = BitVec::from_u64(bits, 5);
+            assert_eq!(s.contains(v), span.contains(&v), "vector {bits:05b}");
+        }
+        assert_eq!(span.len(), 1 << s.dim());
+    }
+
+    #[test]
+    fn vectors_enumerates_exactly_the_span() {
+        let s = Subspace::from_generators(
+            6,
+            &[
+                BitVec::from_u64(0b000111, 6),
+                BitVec::from_u64(0b011100, 6),
+                BitVec::from_u64(0b110000, 6),
+            ],
+        );
+        let vecs: HashSet<BitVec> = s.vectors().collect();
+        assert_eq!(vecs.len(), 1 << s.dim());
+        assert_eq!(s.vectors().len(), 1 << s.dim());
+        for v in &vecs {
+            assert!(s.contains(*v));
+        }
+        assert!(vecs.contains(&BitVec::zero(6)));
+    }
+
+    #[test]
+    fn sum_and_intersection_dimensions() {
+        let u = Subspace::standard_span(6, [0, 1, 2]);
+        let v = Subspace::standard_span(6, [2, 3, 4]);
+        let sum = u.sum(&v);
+        let inter = u.intersection(&v);
+        assert_eq!(sum.dim(), 5);
+        assert_eq!(inter.dim(), 1);
+        assert!(inter.contains(BitVec::unit(2, 6)));
+        assert_eq!(u.intersection_dim(&v), 1);
+        // dim(U) + dim(V) = dim(U+V) + dim(U∩V)
+        assert_eq!(u.dim() + v.dim(), sum.dim() + inter.dim());
+    }
+
+    #[test]
+    fn intersection_with_xor_heavy_spaces() {
+        // U = span{1100, 0011}, V = span{1111, 1010}; U ∩ V = span{1111}.
+        let u = Subspace::from_generators(
+            4,
+            &[BitVec::from_u64(0b1100, 4), BitVec::from_u64(0b0011, 4)],
+        );
+        let v = Subspace::from_generators(
+            4,
+            &[BitVec::from_u64(0b1111, 4), BitVec::from_u64(0b1010, 4)],
+        );
+        let inter = u.intersection(&v);
+        assert_eq!(inter.dim(), 1);
+        assert!(inter.contains(BitVec::from_u64(0b1111, 4)));
+    }
+
+    #[test]
+    fn orthogonal_complement_dimension_and_double_complement() {
+        let s = Subspace::from_generators(
+            8,
+            &[
+                BitVec::from_u64(0b0000_1111, 8),
+                BitVec::from_u64(0b1111_0000, 8),
+                BitVec::from_u64(0b1010_1010, 8),
+            ],
+        );
+        let c = s.orthogonal_complement();
+        assert_eq!(c.dim(), 8 - s.dim());
+        assert_eq!(c.orthogonal_complement(), s);
+        // Complement of the trivial space is everything and vice versa.
+        assert_eq!(Subspace::trivial(8).orthogonal_complement(), Subspace::full(8));
+        assert_eq!(Subspace::full(8).orthogonal_complement(), Subspace::trivial(8));
+    }
+
+    #[test]
+    fn hyperplane_count_and_dimension() {
+        let s = Subspace::standard_span(8, [0, 2, 4]);
+        let hps = s.hyperplanes();
+        assert_eq!(hps.len(), (1 << 3) - 1);
+        let distinct: HashSet<_> = hps.iter().cloned().collect();
+        assert_eq!(distinct.len(), hps.len(), "hyperplanes must be distinct");
+        for h in &hps {
+            assert_eq!(h.dim(), 2);
+            assert!(s.contains_subspace(h));
+        }
+        assert!(Subspace::trivial(4).hyperplanes().is_empty());
+    }
+
+    #[test]
+    fn extended_grows_dimension_only_for_outside_vectors() {
+        let s = Subspace::standard_span(6, [0, 1]);
+        assert_eq!(s.extended(BitVec::from_u64(0b11, 6)).dim(), 2);
+        assert_eq!(s.extended(BitVec::unit(5, 6)).dim(), 3);
+    }
+
+    #[test]
+    fn permutation_based_admission() {
+        // The null space of the modulo function is span(e_m..e_{n-1}), which
+        // intersects span(e_0..e_{m-1}) trivially.
+        let ns = Subspace::standard_span(16, 4..16);
+        assert!(ns.admits_permutation_based_function(4));
+        // A null space containing e_0 cannot be permutation-based.
+        let bad = Subspace::standard_span(16, [0usize, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15]);
+        assert!(!bad.admits_permutation_based_function(4));
+    }
+
+    #[test]
+    fn display_mentions_ambient_space() {
+        let s = Subspace::standard_span(4, [1]);
+        let text = s.to_string();
+        assert!(text.contains("GF(2)^4"));
+        assert!(text.contains("0b0010"));
+    }
+
+    #[test]
+    fn contains_subspace_is_reflexive_and_orders() {
+        let small = Subspace::standard_span(6, [1, 2]);
+        let big = Subspace::standard_span(6, [0, 1, 2, 3]);
+        assert!(big.contains_subspace(&small));
+        assert!(!small.contains_subspace(&big));
+        assert!(small.contains_subspace(&small));
+        assert!(small.contains_subspace(&Subspace::trivial(6)));
+    }
+}

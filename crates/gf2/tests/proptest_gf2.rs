@@ -1,0 +1,206 @@
+//! Property-based tests for the GF(2) linear-algebra kernel.
+//!
+//! These check the algebraic invariants that the XOR-indexing machinery relies
+//! on: XOR is a group operation, null spaces characterize set conflicts,
+//! canonical subspace bases are representation-independent, and the dimension
+//! formulas hold.
+
+use gf2::{count, random, BitMatrix, BitVec, Subspace};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Strategy producing a width in the interesting range and a value fitting it.
+fn vec_strategy() -> impl Strategy<Value = BitVec> {
+    (1usize..=24).prop_flat_map(|w| {
+        (Just(w), 0u64..(1u64 << w)).prop_map(|(w, bits)| BitVec::from_u64(bits, w))
+    })
+}
+
+/// Strategy producing two vectors of the same width.
+fn vec_pair_strategy() -> impl Strategy<Value = (BitVec, BitVec)> {
+    (1usize..=24).prop_flat_map(|w| {
+        (
+            (0u64..(1u64 << w)).prop_map(move |b| BitVec::from_u64(b, w)),
+            (0u64..(1u64 << w)).prop_map(move |b| BitVec::from_u64(b, w)),
+        )
+    })
+}
+
+/// Strategy producing a random (n, m, seed) triple for matrix properties.
+fn matrix_params() -> impl Strategy<Value = (usize, usize, u64)> {
+    (2usize..=16).prop_flat_map(|n| (Just(n), 1usize..=n, any::<u64>()))
+}
+
+proptest! {
+    #[test]
+    fn xor_is_an_involution(v in vec_strategy()) {
+        prop_assert!((v ^ v).is_zero());
+        let zero = BitVec::zero(v.width());
+        prop_assert_eq!(v ^ zero, v);
+    }
+
+    #[test]
+    fn xor_commutes_and_weight_bounds((a, b) in vec_pair_strategy()) {
+        prop_assert_eq!(a ^ b, b ^ a);
+        prop_assert!((a ^ b).weight() <= a.weight() + b.weight());
+        // Parity of the weight is additive over GF(2).
+        prop_assert_eq!((a ^ b).weight() % 2, (a.weight() + b.weight()) % 2);
+    }
+
+    #[test]
+    fn dot_product_is_bilinear((a, b) in vec_pair_strategy(), c_bits in any::<u64>()) {
+        let c = BitVec::from_u64(c_bits, a.width());
+        // <a ^ c, b> = <a, b> ^ <c, b>
+        prop_assert_eq!((a ^ c).dot(b), a.dot(b) ^ c.dot(b));
+    }
+
+    #[test]
+    fn set_bits_roundtrip(v in vec_strategy()) {
+        let rebuilt = BitVec::with_bits(&v.set_bits().collect::<Vec<_>>(), v.width());
+        prop_assert_eq!(rebuilt, v);
+        prop_assert_eq!(v.set_bits().count(), v.weight());
+    }
+
+    #[test]
+    fn mul_vec_is_linear((n, m, seed) in matrix_params(), a_bits in any::<u64>(), b_bits in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let h = random::random_matrix(&mut rng, n, m);
+        let a = BitVec::from_u64(a_bits, n);
+        let b = BitVec::from_u64(b_bits, n);
+        prop_assert_eq!(h.mul_vec(a ^ b), h.mul_vec(a) ^ h.mul_vec(b));
+    }
+
+    #[test]
+    fn rank_is_bounded_and_transpose_invariant((n, m, seed) in matrix_params()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let h = random::random_matrix(&mut rng, n, m);
+        let r = h.rank();
+        prop_assert!(r <= n.min(m));
+        prop_assert_eq!(r, h.transpose().rank());
+    }
+
+    #[test]
+    fn null_space_dimension_is_n_minus_rank((n, m, seed) in matrix_params()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let h = random::random_matrix(&mut rng, n, m);
+        let ns = h.null_space();
+        prop_assert_eq!(ns.dim(), n - h.rank());
+        // Every basis vector of the null space really maps to zero.
+        for v in ns.basis() {
+            prop_assert!(h.mul_vec(*v).is_zero());
+        }
+    }
+
+    #[test]
+    fn conflict_condition_matches_null_space(
+        (n, m, seed) in matrix_params(),
+        x_bits in any::<u64>(),
+        y_bits in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let h = random::random_full_rank_matrix(&mut rng, n, m);
+        let ns = h.null_space();
+        let x = BitVec::from_u64(x_bits, n);
+        let y = BitVec::from_u64(y_bits, n);
+        // Paper Eq. 2: x·H = y·H  <=>  (x ⊕ y) ∈ N(H)
+        prop_assert_eq!(h.mul_vec(x) == h.mul_vec(y), ns.contains(x ^ y));
+    }
+
+    #[test]
+    fn with_null_space_reconstructs_the_same_space((n, m, seed) in matrix_params()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let h = random::random_full_rank_matrix(&mut rng, n, m);
+        let ns = h.null_space();
+        let h2 = BitMatrix::with_null_space(&ns).unwrap();
+        prop_assert_eq!(h2.null_space(), ns);
+        prop_assert!(h2.has_full_column_rank());
+        prop_assert_eq!(h2.n_cols(), m);
+    }
+
+    #[test]
+    fn subspace_canonicalization_is_stable((n, m, seed) in matrix_params()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let s = random::random_subspace(&mut rng, n, m.min(n));
+        // Rebuilding from shuffled/extended generator sets gives the same space.
+        let mut gens: Vec<BitVec> = s.basis().to_vec();
+        if gens.len() >= 2 {
+            let extra = gens[0] ^ gens[1];
+            gens.push(extra);
+        }
+        gens.reverse();
+        let rebuilt = Subspace::from_generators(n, &gens);
+        prop_assert_eq!(rebuilt, s);
+    }
+
+    #[test]
+    fn dimension_formula_for_sum_and_intersection(seed in any::<u64>(), n in 3usize..=12) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let u = random::random_subspace(&mut rng, n, n / 2);
+        let v = random::random_subspace(&mut rng, n, n / 3 + 1);
+        let sum = u.sum(&v);
+        let inter = u.intersection(&v);
+        prop_assert_eq!(u.dim() + v.dim(), sum.dim() + inter.dim());
+        prop_assert!(sum.contains_subspace(&u));
+        prop_assert!(sum.contains_subspace(&v));
+        prop_assert!(u.contains_subspace(&inter));
+        prop_assert!(v.contains_subspace(&inter));
+    }
+
+    #[test]
+    fn orthogonal_complement_is_involutive(seed in any::<u64>(), n in 2usize..=14) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let s = random::random_subspace(&mut rng, n, n / 2);
+        let c = s.orthogonal_complement();
+        prop_assert_eq!(c.dim(), n - s.dim());
+        prop_assert_eq!(c.orthogonal_complement(), s);
+    }
+
+    #[test]
+    fn subspace_vectors_are_members_and_distinct(seed in any::<u64>(), n in 2usize..=10) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let s = random::random_subspace(&mut rng, n, (n / 2).min(6));
+        let vectors: Vec<BitVec> = s.vectors().collect();
+        prop_assert_eq!(vectors.len(), 1 << s.dim());
+        let distinct: std::collections::HashSet<_> = vectors.iter().copied().collect();
+        prop_assert_eq!(distinct.len(), vectors.len());
+        for v in vectors {
+            prop_assert!(s.contains(v));
+        }
+    }
+
+    #[test]
+    fn hyperplanes_have_codimension_one_in_parent(seed in any::<u64>(), n in 2usize..=10) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dim = (n / 2).max(1).min(5);
+        let s = random::random_subspace(&mut rng, n, dim);
+        let hps = s.hyperplanes();
+        prop_assert_eq!(hps.len(), (1usize << dim) - 1);
+        for h in hps {
+            prop_assert_eq!(h.dim(), dim - 1);
+            prop_assert!(s.contains_subspace(&h));
+            prop_assert_eq!(s.intersection_dim(&h), dim - 1);
+        }
+    }
+
+    #[test]
+    fn gaussian_binomial_symmetry(n in 1u32..=20, k_frac in 0.0f64..1.0) {
+        let k = (k_frac * n as f64) as u32;
+        let a = count::gaussian_binomial(n, k);
+        let b = count::gaussian_binomial(n, n - k);
+        prop_assert!((a / b - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn permutation_based_matrix_has_identity_low_rows(seed in any::<u64>(), n in 4usize..=16) {
+        let m = n / 2;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ns = random::random_permutation_null_space(&mut rng, n, m);
+        let p = BitMatrix::permutation_based_with_null_space(&ns).unwrap();
+        prop_assert!(p.is_permutation_based());
+        prop_assert_eq!(p.null_space(), ns);
+        for r in 0..m {
+            prop_assert_eq!(p.row(r), BitVec::unit(r, m));
+        }
+    }
+}

@@ -1,0 +1,346 @@
+//! Parameterized synthetic access-pattern generators.
+//!
+//! These produce the classic pathological and well-behaved data access
+//! patterns discussed in the cache-indexing literature: constant strides
+//! (Rau's interleaving work), row/column matrix walks, blocked matrix walks,
+//! pointer chasing and gather/scatter table lookups. They are used by the unit
+//! tests, the quickstart example and the estimator-accuracy ablation; the
+//! paper's benchmark programs themselves live in the `workloads` crate.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::{Trace, TraceBuilder};
+
+/// A constant-stride access stream: `base, base+stride, base+2·stride, …`,
+/// repeated for a number of passes.
+///
+/// Power-of-two strides interact catastrophically with modulo indexing — they
+/// touch only a fraction of the sets — which is exactly the behaviour
+/// XOR-functions are designed to repair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StridedGenerator {
+    base: u64,
+    stride: u64,
+    count: u64,
+    passes: u32,
+}
+
+impl StridedGenerator {
+    /// Creates a generator touching `count` addresses `stride` bytes apart,
+    /// starting at `base`, repeated `passes` times.
+    #[must_use]
+    pub fn new(base: u64, stride: u64, count: u64, passes: u32) -> Self {
+        StridedGenerator {
+            base,
+            stride,
+            count,
+            passes,
+        }
+    }
+
+    /// Generates the trace (loads only).
+    #[must_use]
+    pub fn generate(&self) -> Trace {
+        let mut b = TraceBuilder::with_capacity(
+            format!("stride-{}x{}", self.stride, self.count),
+            (self.count * u64::from(self.passes)) as usize,
+        );
+        for _ in 0..self.passes {
+            for i in 0..self.count {
+                b.load(self.base + i * self.stride);
+            }
+        }
+        b.finish()
+    }
+}
+
+/// Row-major or column-major traversal order for [`MatrixWalk`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalkOrder {
+    /// Innermost loop walks along a row (unit stride).
+    RowMajor,
+    /// Innermost loop walks down a column (stride = row pitch).
+    ColumnMajor,
+}
+
+/// A dense 2-D matrix traversal with a configurable element size and row
+/// pitch.
+///
+/// Column-major walks over power-of-two pitches are the canonical source of
+/// cache conflicts in numerical kernels (FFT, transposes, image filters).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MatrixWalk {
+    base: u64,
+    rows: u64,
+    cols: u64,
+    element_bytes: u64,
+    order: WalkOrder,
+    passes: u32,
+}
+
+impl MatrixWalk {
+    /// Creates a walk over a `rows × cols` matrix of `element_bytes`-sized
+    /// elements stored row-major at `base`.
+    #[must_use]
+    pub fn new(base: u64, rows: u64, cols: u64, element_bytes: u64, order: WalkOrder) -> Self {
+        MatrixWalk {
+            base,
+            rows,
+            cols,
+            element_bytes,
+            order,
+            passes: 1,
+        }
+    }
+
+    /// Repeats the traversal several times.
+    #[must_use]
+    pub fn passes(mut self, passes: u32) -> Self {
+        self.passes = passes;
+        self
+    }
+
+    fn element_addr(&self, r: u64, c: u64) -> u64 {
+        self.base + (r * self.cols + c) * self.element_bytes
+    }
+
+    /// Generates the trace (loads only).
+    #[must_use]
+    pub fn generate(&self) -> Trace {
+        let mut b = TraceBuilder::with_capacity(
+            format!("matrix-{}x{}-{:?}", self.rows, self.cols, self.order),
+            (self.rows * self.cols * u64::from(self.passes)) as usize,
+        );
+        for _ in 0..self.passes {
+            match self.order {
+                WalkOrder::RowMajor => {
+                    for r in 0..self.rows {
+                        for c in 0..self.cols {
+                            b.load(self.element_addr(r, c));
+                        }
+                    }
+                }
+                WalkOrder::ColumnMajor => {
+                    for c in 0..self.cols {
+                        for r in 0..self.rows {
+                            b.load(self.element_addr(r, c));
+                        }
+                    }
+                }
+            }
+        }
+        b.finish()
+    }
+}
+
+/// A pointer-chasing stream over a random cyclic permutation of nodes, the
+/// classic linked-list / hash-bucket behaviour with little spatial locality.
+#[derive(Debug, Clone)]
+pub struct PointerChase {
+    base: u64,
+    nodes: u64,
+    node_bytes: u64,
+    steps: u64,
+    seed: u64,
+}
+
+impl PointerChase {
+    /// Creates a chase over `nodes` nodes of `node_bytes` bytes each, starting
+    /// at `base`, following `steps` pointers. Node order is a seeded random
+    /// cyclic permutation.
+    #[must_use]
+    pub fn new(base: u64, nodes: u64, node_bytes: u64, steps: u64, seed: u64) -> Self {
+        PointerChase {
+            base,
+            nodes,
+            node_bytes,
+            steps,
+            seed,
+        }
+    }
+
+    /// Generates the trace (loads only).
+    #[must_use]
+    pub fn generate(&self) -> Trace {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut order: Vec<u64> = (0..self.nodes).collect();
+        order.shuffle(&mut rng);
+        // next[order[i]] = order[i+1] builds one big cycle.
+        let mut next = vec![0u64; self.nodes as usize];
+        for i in 0..order.len() {
+            next[order[i] as usize] = order[(i + 1) % order.len()];
+        }
+        let mut b = TraceBuilder::with_capacity(
+            format!("pointer-chase-{}", self.nodes),
+            self.steps as usize,
+        );
+        let mut current = order[0];
+        for _ in 0..self.steps {
+            b.load(self.base + current * self.node_bytes);
+            current = next[current as usize];
+        }
+        b.finish()
+    }
+}
+
+/// A gather/scatter pattern: a sequential walk over an index array combined
+/// with random lookups into a table (histogramming, LUT-based codecs).
+#[derive(Debug, Clone)]
+pub struct GatherScatter {
+    index_base: u64,
+    table_base: u64,
+    table_entries: u64,
+    entry_bytes: u64,
+    accesses: u64,
+    seed: u64,
+}
+
+impl GatherScatter {
+    /// Creates a gather/scatter stream of `accesses` index+table pairs.
+    #[must_use]
+    pub fn new(
+        index_base: u64,
+        table_base: u64,
+        table_entries: u64,
+        entry_bytes: u64,
+        accesses: u64,
+        seed: u64,
+    ) -> Self {
+        GatherScatter {
+            index_base,
+            table_base,
+            table_entries,
+            entry_bytes,
+            accesses,
+            seed,
+        }
+    }
+
+    /// Generates the trace: a load of the index element followed by a store
+    /// into the randomly selected table entry.
+    #[must_use]
+    pub fn generate(&self) -> Trace {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut b = TraceBuilder::with_capacity(
+            format!("gather-scatter-{}", self.accesses),
+            (2 * self.accesses) as usize,
+        );
+        for i in 0..self.accesses {
+            b.load(self.index_base + 4 * i);
+            let entry = rng.gen_range(0..self.table_entries);
+            b.store(self.table_base + entry * self.entry_bytes);
+        }
+        b.finish()
+    }
+}
+
+/// Interleaves several traces round-robin, modelling a loop body that touches
+/// multiple arrays per iteration.
+#[must_use]
+pub fn interleave(name: &str, traces: &[Trace]) -> Trace {
+    let mut b = TraceBuilder::new(name);
+    let mut cursors: Vec<_> = traces.iter().map(|t| t.records()).collect();
+    let mut exhausted = 0;
+    while exhausted < cursors.len() {
+        exhausted = 0;
+        for c in &mut cursors {
+            match c.next() {
+                Some(r) => b.push(*r),
+                None => exhausted += 1,
+            }
+        }
+    }
+    let mut t = b.finish();
+    // Preserve the op totals of the sources.
+    let extra: u64 = traces.iter().map(Trace::ops).sum::<u64>();
+    t = Trace::from_records(name.to_string(), t.as_slice().to_vec(), extra);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AccessKind;
+
+    #[test]
+    fn stride_generator_produces_expected_addresses() {
+        let t = StridedGenerator::new(0x100, 16, 4, 2).generate();
+        let addrs: Vec<u64> = t.records().map(|r| r.addr).collect();
+        assert_eq!(
+            addrs,
+            vec![0x100, 0x110, 0x120, 0x130, 0x100, 0x110, 0x120, 0x130]
+        );
+        assert!(t.records().all(|r| r.kind == AccessKind::Load));
+    }
+
+    #[test]
+    fn row_major_walk_is_unit_stride() {
+        let t = MatrixWalk::new(0, 2, 3, 4, WalkOrder::RowMajor).generate();
+        let addrs: Vec<u64> = t.records().map(|r| r.addr).collect();
+        assert_eq!(addrs, vec![0, 4, 8, 12, 16, 20]);
+    }
+
+    #[test]
+    fn column_major_walk_strides_by_the_row_pitch() {
+        let t = MatrixWalk::new(0, 2, 3, 4, WalkOrder::ColumnMajor).generate();
+        let addrs: Vec<u64> = t.records().map(|r| r.addr).collect();
+        assert_eq!(addrs, vec![0, 12, 4, 16, 8, 20]);
+    }
+
+    #[test]
+    fn matrix_walk_passes_multiply_length() {
+        let t = MatrixWalk::new(0, 4, 4, 8, WalkOrder::RowMajor)
+            .passes(3)
+            .generate();
+        assert_eq!(t.len(), 48);
+    }
+
+    #[test]
+    fn pointer_chase_visits_every_node_each_cycle() {
+        let nodes = 32u64;
+        let t = PointerChase::new(0x4000, nodes, 16, nodes * 2, 7).generate();
+        assert_eq!(t.len() as u64, nodes * 2);
+        let distinct: std::collections::HashSet<u64> = t.records().map(|r| r.addr).collect();
+        assert_eq!(distinct.len() as u64, nodes, "one full cycle visits all nodes");
+        // Addresses stay inside the node array.
+        for r in t.records() {
+            assert!(r.addr >= 0x4000 && r.addr < 0x4000 + nodes * 16);
+        }
+    }
+
+    #[test]
+    fn pointer_chase_is_deterministic_per_seed() {
+        let a = PointerChase::new(0, 16, 8, 40, 1).generate();
+        let b = PointerChase::new(0, 16, 8, 40, 1).generate();
+        let c = PointerChase::new(0, 16, 8, 40, 2).generate();
+        assert_eq!(a.as_slice(), b.as_slice());
+        assert_ne!(a.as_slice(), c.as_slice());
+    }
+
+    #[test]
+    fn gather_scatter_alternates_loads_and_stores() {
+        let t = GatherScatter::new(0, 0x10000, 256, 4, 50, 3).generate();
+        assert_eq!(t.len(), 100);
+        for (i, r) in t.records().enumerate() {
+            if i % 2 == 0 {
+                assert_eq!(r.kind, AccessKind::Load);
+                assert!(r.addr < 0x10000);
+            } else {
+                assert_eq!(r.kind, AccessKind::Store);
+                assert!(r.addr >= 0x10000 && r.addr < 0x10000 + 256 * 4);
+            }
+        }
+    }
+
+    #[test]
+    fn interleave_round_robins_sources() {
+        let a = StridedGenerator::new(0, 4, 3, 1).generate();
+        let b = StridedGenerator::new(0x1000, 4, 3, 1).generate();
+        let t = interleave("pair", &[a, b]);
+        let addrs: Vec<u64> = t.records().map(|r| r.addr).collect();
+        assert_eq!(addrs, vec![0, 0x1000, 4, 0x1004, 8, 0x1008]);
+        assert_eq!(t.ops(), 6);
+    }
+}

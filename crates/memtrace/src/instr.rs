@@ -1,0 +1,284 @@
+//! Instruction-fetch stream synthesis.
+//!
+//! The paper evaluates instruction caches as well as data caches (both halves
+//! of Table 2). The original study traced real ARM binaries; here the
+//! `workloads` crate models each kernel's *static code layout* — functions laid
+//! out consecutively in the text segment — and replays its control flow (loop
+//! nests, helper calls) to produce an instruction-fetch address stream with the
+//! same structure: long sequential runs, tight loop bodies re-fetched many
+//! times, and ping-ponging between caller and callee regions whose distance in
+//! the binary determines whether they conflict.
+
+use serde::{Deserialize, Serialize};
+
+use crate::TraceBuilder;
+
+/// Allocates consecutive code regions (functions) in a synthetic text segment.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CodeLayout {
+    next_addr: u64,
+    instr_bytes: u64,
+}
+
+impl CodeLayout {
+    /// Creates a layout starting at `base` with fixed-size instructions of
+    /// `instr_bytes` bytes (4 for ARM, as in the paper's SA-110 target).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `instr_bytes` is zero.
+    #[must_use]
+    pub fn new(base: u64, instr_bytes: u64) -> Self {
+        assert!(instr_bytes > 0, "instructions must occupy at least one byte");
+        CodeLayout {
+            next_addr: base,
+            instr_bytes,
+        }
+    }
+
+    /// Standard ARM-like layout: text segment at 0x8000, 4-byte instructions.
+    #[must_use]
+    pub fn arm() -> Self {
+        Self::new(0x8000, 4)
+    }
+
+    /// Allocates a function of `instructions` instructions and returns its
+    /// region. Consecutive calls allocate adjacent regions, mimicking the
+    /// linker laying functions out in order.
+    #[must_use]
+    pub fn function(&mut self, name: impl Into<String>, instructions: u64) -> CodeRegion {
+        let region = CodeRegion {
+            name: name.into(),
+            base: self.next_addr,
+            instructions,
+            instr_bytes: self.instr_bytes,
+        };
+        self.next_addr += instructions * self.instr_bytes;
+        region
+    }
+
+    /// Leaves a gap of `bytes` bytes (padding, other modules) before the next
+    /// allocation.
+    pub fn skip(&mut self, bytes: u64) {
+        self.next_addr += bytes;
+    }
+
+    /// Address where the next function would be placed.
+    #[must_use]
+    pub fn cursor(&self) -> u64 {
+        self.next_addr
+    }
+}
+
+/// A contiguous region of code (a function or a basic-block cluster).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CodeRegion {
+    name: String,
+    base: u64,
+    instructions: u64,
+    instr_bytes: u64,
+}
+
+impl CodeRegion {
+    /// The region's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// First instruction address.
+    #[must_use]
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// Number of instructions in the region.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.instructions
+    }
+
+    /// `true` when the region holds no instructions.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.instructions == 0
+    }
+
+    /// Address of the `idx`-th instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    #[must_use]
+    pub fn addr_of(&self, idx: u64) -> u64 {
+        assert!(idx < self.instructions, "instruction index out of range");
+        self.base + idx * self.instr_bytes
+    }
+
+    /// Fetches every instruction of the region in order (straight-line
+    /// execution).
+    pub fn fetch_all(&self, trace: &mut TraceBuilder) {
+        self.fetch_range(trace, 0, self.instructions);
+    }
+
+    /// Fetches `len` instructions starting at instruction `start` (a basic
+    /// block inside the function).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range does not fit in the region.
+    pub fn fetch_range(&self, trace: &mut TraceBuilder, start: u64, len: u64) {
+        assert!(start + len <= self.instructions, "range exceeds region");
+        for i in start..start + len {
+            trace.fetch(self.base + i * self.instr_bytes);
+        }
+    }
+
+    /// Splits the region into `n` equal basic blocks (the last one absorbs the
+    /// remainder), useful for modelling branches inside a function.
+    #[must_use]
+    pub fn split_blocks(&self, n: u64) -> Vec<CodeRegion> {
+        assert!(n > 0, "cannot split into zero blocks");
+        let per = (self.instructions / n).max(1);
+        let mut out = Vec::new();
+        let mut start = 0;
+        for i in 0..n {
+            if start >= self.instructions {
+                break;
+            }
+            let len = if i == n - 1 {
+                self.instructions - start
+            } else {
+                per.min(self.instructions - start)
+            };
+            out.push(CodeRegion {
+                name: format!("{}#{}", self.name, i),
+                base: self.base + start * self.instr_bytes,
+                instructions: len,
+                instr_bytes: self.instr_bytes,
+            });
+            start += len;
+        }
+        out
+    }
+}
+
+/// Replays a counted loop: fetches the body regions in order, `trips` times.
+///
+/// This is the workhorse of the per-kernel instruction models: an inner loop
+/// re-fetching the same few hundred bytes dominates an embedded kernel's
+/// instruction stream.
+pub fn emit_loop(trace: &mut TraceBuilder, body: &[&CodeRegion], trips: u64) {
+    for _ in 0..trips {
+        for region in body {
+            region.fetch_all(trace);
+        }
+    }
+}
+
+/// Replays a loop whose body conditionally executes a second region every
+/// `period`-th iteration (e.g. a slow path, a flush, a Huffman table reload).
+pub fn emit_loop_with_periodic_call(
+    trace: &mut TraceBuilder,
+    body: &CodeRegion,
+    callee: &CodeRegion,
+    trips: u64,
+    period: u64,
+) {
+    assert!(period > 0, "period must be positive");
+    for i in 0..trips {
+        body.fetch_all(trace);
+        if i % period == 0 {
+            callee.fetch_all(trace);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AccessKind;
+
+    #[test]
+    fn layout_allocates_consecutive_functions() {
+        let mut layout = CodeLayout::new(0x8000, 4);
+        let f = layout.function("f", 10);
+        let g = layout.function("g", 5);
+        assert_eq!(f.base(), 0x8000);
+        assert_eq!(g.base(), 0x8000 + 40);
+        assert_eq!(layout.cursor(), 0x8000 + 60);
+        layout.skip(0x100);
+        let h = layout.function("h", 1);
+        assert_eq!(h.base(), 0x8000 + 60 + 0x100);
+        assert_eq!(f.name(), "f");
+        assert!(!f.is_empty());
+    }
+
+    #[test]
+    fn fetch_all_produces_sequential_addresses() {
+        let mut layout = CodeLayout::arm();
+        let f = layout.function("f", 4);
+        let mut b = TraceBuilder::new("t");
+        f.fetch_all(&mut b);
+        let t = b.finish();
+        let addrs: Vec<u64> = t.records().map(|r| r.addr).collect();
+        assert_eq!(addrs, vec![0x8000, 0x8004, 0x8008, 0x800C]);
+        assert!(t.records().all(|r| r.kind == AccessKind::InstrFetch));
+    }
+
+    #[test]
+    fn fetch_range_selects_a_basic_block() {
+        let mut layout = CodeLayout::arm();
+        let f = layout.function("f", 10);
+        let mut b = TraceBuilder::new("t");
+        f.fetch_range(&mut b, 3, 2);
+        let t = b.finish();
+        let addrs: Vec<u64> = t.records().map(|r| r.addr).collect();
+        assert_eq!(addrs, vec![0x8000 + 12, 0x8000 + 16]);
+        assert_eq!(f.addr_of(3), 0x8000 + 12);
+    }
+
+    #[test]
+    fn split_blocks_covers_the_region_exactly() {
+        let mut layout = CodeLayout::arm();
+        let f = layout.function("f", 10);
+        let blocks = f.split_blocks(3);
+        assert_eq!(blocks.len(), 3);
+        let total: u64 = blocks.iter().map(CodeRegion::len).sum();
+        assert_eq!(total, 10);
+        assert_eq!(blocks[0].base(), f.base());
+        assert_eq!(
+            blocks[1].base(),
+            f.base() + blocks[0].len() * 4
+        );
+    }
+
+    #[test]
+    fn emit_loop_refetches_the_body() {
+        let mut layout = CodeLayout::arm();
+        let f = layout.function("loop", 8);
+        let mut b = TraceBuilder::new("t");
+        emit_loop(&mut b, &[&f], 5);
+        assert_eq!(b.len(), 40);
+    }
+
+    #[test]
+    fn periodic_call_adds_callee_fetches() {
+        let mut layout = CodeLayout::arm();
+        let body = layout.function("body", 4);
+        let callee = layout.function("callee", 6);
+        let mut b = TraceBuilder::new("t");
+        emit_loop_with_periodic_call(&mut b, &body, &callee, 10, 4);
+        // 10 body iterations (40 fetches) + ceil(10/4)=3 callee runs (18 fetches).
+        assert_eq!(b.len(), 40 + 18);
+    }
+
+    #[test]
+    #[should_panic(expected = "range exceeds region")]
+    fn out_of_range_fetch_panics() {
+        let mut layout = CodeLayout::arm();
+        let f = layout.function("f", 4);
+        let mut b = TraceBuilder::new("t");
+        f.fetch_range(&mut b, 2, 5);
+    }
+}

@@ -1,0 +1,307 @@
+//! Trace (de)serialization.
+//!
+//! Two formats are provided:
+//!
+//! * a human-readable, versioned text format (one record per line) that is
+//!   convenient for inspecting small traces and for interoperating with other
+//!   tools;
+//! * a compact binary format built with [`bytes`], used when traces are cached
+//!   on disk between experiment runs.
+
+use std::fmt;
+use std::fs;
+use std::path::Path;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::{AccessKind, Trace, TraceRecord};
+
+/// Magic string identifying the text format.
+const TEXT_HEADER: &str = "# memtrace v1";
+/// Magic number identifying the binary format.
+const BINARY_MAGIC: u32 = 0x4D54_5231; // "MTR1"
+
+/// Errors produced when parsing a serialized trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseTraceError {
+    /// The header line / magic number is missing or unsupported.
+    BadHeader,
+    /// A record line or record entry could not be parsed.
+    BadRecord {
+        /// Line (text format) or record index (binary format).
+        index: usize,
+        /// Description of the problem.
+        reason: String,
+    },
+    /// An I/O error occurred while reading or writing a file.
+    Io(String),
+}
+
+impl fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseTraceError::BadHeader => write!(f, "missing or unsupported trace header"),
+            ParseTraceError::BadRecord { index, reason } => {
+                write!(f, "bad record at index {index}: {reason}")
+            }
+            ParseTraceError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseTraceError {}
+
+/// Serializes a trace to the text format.
+#[must_use]
+pub fn to_text(trace: &Trace) -> String {
+    let mut out = String::with_capacity(trace.len() * 12 + 64);
+    out.push_str(TEXT_HEADER);
+    out.push('\n');
+    out.push_str(&format!("# name {}\n", trace.name()));
+    out.push_str(&format!("# ops {}\n", trace.ops()));
+    for r in trace.records() {
+        out.push_str(&format!("{} {:x}\n", r.kind.mnemonic(), r.addr));
+    }
+    out
+}
+
+/// Parses a trace from the text format.
+///
+/// # Errors
+///
+/// Returns [`ParseTraceError`] when the header is missing or a record line is
+/// malformed.
+pub fn from_text(text: &str) -> Result<Trace, ParseTraceError> {
+    let mut lines = text.lines();
+    match lines.next() {
+        Some(l) if l.trim() == TEXT_HEADER => {}
+        _ => return Err(ParseTraceError::BadHeader),
+    }
+    let mut name = "unnamed".to_string();
+    let mut ops: u64 = 0;
+    let mut records = Vec::new();
+    for (i, line) in lines.enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# name ") {
+            name = rest.to_string();
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# ops ") {
+            ops = rest.parse().map_err(|e| ParseTraceError::BadRecord {
+                index: i,
+                reason: format!("bad ops count: {e}"),
+            })?;
+            continue;
+        }
+        if line.starts_with('#') {
+            continue;
+        }
+        let (kind_char, addr_str) =
+            line.split_once(' ')
+                .ok_or_else(|| ParseTraceError::BadRecord {
+                    index: i,
+                    reason: "expected '<kind> <hex address>'".to_string(),
+                })?;
+        let kind = kind_char
+            .chars()
+            .next()
+            .and_then(AccessKind::from_mnemonic)
+            .ok_or_else(|| ParseTraceError::BadRecord {
+                index: i,
+                reason: format!("unknown access kind {kind_char:?}"),
+            })?;
+        let addr = u64::from_str_radix(addr_str.trim(), 16).map_err(|e| {
+            ParseTraceError::BadRecord {
+                index: i,
+                reason: format!("bad address: {e}"),
+            }
+        })?;
+        records.push(TraceRecord::new(kind, addr));
+    }
+    Ok(Trace::from_records(name, records, ops))
+}
+
+/// Serializes a trace to the compact binary format.
+#[must_use]
+pub fn to_binary(trace: &Trace) -> Bytes {
+    let mut buf = BytesMut::with_capacity(trace.len() * 9 + 64);
+    buf.put_u32(BINARY_MAGIC);
+    let name = trace.name().as_bytes();
+    buf.put_u32(name.len() as u32);
+    buf.put_slice(name);
+    buf.put_u64(trace.ops());
+    buf.put_u64(trace.len() as u64);
+    for r in trace.records() {
+        let kind = match r.kind {
+            AccessKind::InstrFetch => 0u8,
+            AccessKind::Load => 1,
+            AccessKind::Store => 2,
+        };
+        buf.put_u8(kind);
+        buf.put_u64(r.addr);
+    }
+    buf.freeze()
+}
+
+/// Parses a trace from the compact binary format.
+///
+/// # Errors
+///
+/// Returns [`ParseTraceError`] when the magic number is wrong or the payload
+/// is truncated or malformed.
+pub fn from_binary(mut data: Bytes) -> Result<Trace, ParseTraceError> {
+    if data.remaining() < 4 || data.get_u32() != BINARY_MAGIC {
+        return Err(ParseTraceError::BadHeader);
+    }
+    if data.remaining() < 4 {
+        return Err(ParseTraceError::BadHeader);
+    }
+    let name_len = data.get_u32() as usize;
+    if data.remaining() < name_len + 16 {
+        return Err(ParseTraceError::BadHeader);
+    }
+    let name_bytes = data.copy_to_bytes(name_len);
+    let name = String::from_utf8(name_bytes.to_vec()).map_err(|e| ParseTraceError::BadRecord {
+        index: 0,
+        reason: format!("bad name: {e}"),
+    })?;
+    let ops = data.get_u64();
+    let count = data.get_u64() as usize;
+    let mut records = Vec::with_capacity(count);
+    for index in 0..count {
+        if data.remaining() < 9 {
+            return Err(ParseTraceError::BadRecord {
+                index,
+                reason: "truncated record".to_string(),
+            });
+        }
+        let kind = match data.get_u8() {
+            0 => AccessKind::InstrFetch,
+            1 => AccessKind::Load,
+            2 => AccessKind::Store,
+            other => {
+                return Err(ParseTraceError::BadRecord {
+                    index,
+                    reason: format!("unknown access kind byte {other}"),
+                })
+            }
+        };
+        let addr = data.get_u64();
+        records.push(TraceRecord::new(kind, addr));
+    }
+    Ok(Trace::from_records(name, records, ops))
+}
+
+/// Writes a trace to a file in the text format.
+///
+/// # Errors
+///
+/// Returns [`ParseTraceError::Io`] when the file cannot be written.
+pub fn save_text(trace: &Trace, path: impl AsRef<Path>) -> Result<(), ParseTraceError> {
+    fs::write(path, to_text(trace)).map_err(|e| ParseTraceError::Io(e.to_string()))
+}
+
+/// Reads a trace from a text-format file.
+///
+/// # Errors
+///
+/// Returns [`ParseTraceError`] when the file cannot be read or parsed.
+pub fn load_text(path: impl AsRef<Path>) -> Result<Trace, ParseTraceError> {
+    let text = fs::read_to_string(path).map_err(|e| ParseTraceError::Io(e.to_string()))?;
+    from_text(&text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TraceBuilder;
+
+    fn sample() -> Trace {
+        let mut b = TraceBuilder::new("roundtrip");
+        b.fetch(0x8000);
+        b.load(0xDEADBEEF);
+        b.store(0x42);
+        b.add_ops(10);
+        b.finish()
+    }
+
+    #[test]
+    fn text_roundtrip_preserves_everything() {
+        let t = sample();
+        let text = to_text(&t);
+        assert!(text.starts_with(TEXT_HEADER));
+        let back = from_text(&text).unwrap();
+        assert_eq!(back.name(), t.name());
+        assert_eq!(back.ops(), t.ops());
+        assert_eq!(back.as_slice(), t.as_slice());
+    }
+
+    #[test]
+    fn binary_roundtrip_preserves_everything() {
+        let t = sample();
+        let bin = to_binary(&t);
+        let back = from_binary(bin).unwrap();
+        assert_eq!(back.name(), t.name());
+        assert_eq!(back.ops(), t.ops());
+        assert_eq!(back.as_slice(), t.as_slice());
+    }
+
+    #[test]
+    fn text_parser_rejects_garbage() {
+        assert_eq!(from_text("not a trace"), Err(ParseTraceError::BadHeader));
+        let bad_record = format!("{TEXT_HEADER}\nX zzz\n");
+        assert!(matches!(
+            from_text(&bad_record),
+            Err(ParseTraceError::BadRecord { .. })
+        ));
+        let bad_addr = format!("{TEXT_HEADER}\nL not-hex\n");
+        assert!(matches!(
+            from_text(&bad_addr),
+            Err(ParseTraceError::BadRecord { .. })
+        ));
+    }
+
+    #[test]
+    fn binary_parser_rejects_truncation_and_bad_magic() {
+        let t = sample();
+        let bin = to_binary(&t);
+        let truncated = bin.slice(0..bin.len() - 4);
+        assert!(from_binary(truncated).is_err());
+        let bad_magic = Bytes::from_static(&[0, 0, 0, 0, 0, 0, 0, 0]);
+        assert_eq!(from_binary(bad_magic), Err(ParseTraceError::BadHeader));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let t = sample();
+        let dir = std::env::temp_dir().join("memtrace_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.txt");
+        save_text(&t, &path).unwrap();
+        let back = load_text(&path).unwrap();
+        assert_eq!(back.as_slice(), t.as_slice());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = ParseTraceError::BadRecord {
+            index: 3,
+            reason: "oops".to_string(),
+        };
+        assert!(e.to_string().contains('3'));
+        assert!(ParseTraceError::BadHeader.to_string().contains("header"));
+        assert!(ParseTraceError::Io("x".into()).to_string().contains("i/o"));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let text = format!("{TEXT_HEADER}\n# a comment\n\nL 10\n");
+        let t = from_text(&text).unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.as_slice()[0].addr, 0x10);
+    }
+}

@@ -1,0 +1,135 @@
+//! Individual trace records.
+
+use std::fmt;
+
+use cache_sim::{Address, BlockAddr};
+use serde::{Deserialize, Serialize};
+
+/// The kind of a memory reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessKind {
+    /// Instruction fetch.
+    InstrFetch,
+    /// Data load.
+    Load,
+    /// Data store.
+    Store,
+}
+
+impl AccessKind {
+    /// `true` for loads and stores.
+    #[must_use]
+    pub fn is_data(self) -> bool {
+        matches!(self, AccessKind::Load | AccessKind::Store)
+    }
+
+    /// `true` for instruction fetches.
+    #[must_use]
+    pub fn is_instruction(self) -> bool {
+        self == AccessKind::InstrFetch
+    }
+
+    /// Single-character mnemonic used by the text trace format.
+    #[must_use]
+    pub fn mnemonic(self) -> char {
+        match self {
+            AccessKind::InstrFetch => 'I',
+            AccessKind::Load => 'L',
+            AccessKind::Store => 'S',
+        }
+    }
+
+    /// Parses a mnemonic produced by [`AccessKind::mnemonic`].
+    #[must_use]
+    pub fn from_mnemonic(c: char) -> Option<Self> {
+        match c {
+            'I' => Some(AccessKind::InstrFetch),
+            'L' => Some(AccessKind::Load),
+            'S' => Some(AccessKind::Store),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            AccessKind::InstrFetch => "ifetch",
+            AccessKind::Load => "load",
+            AccessKind::Store => "store",
+        };
+        f.write_str(name)
+    }
+}
+
+/// One memory reference: a kind and a byte address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TraceRecord {
+    /// What kind of access this is.
+    pub kind: AccessKind,
+    /// The byte address referenced.
+    pub addr: u64,
+}
+
+impl TraceRecord {
+    /// Creates a record.
+    #[must_use]
+    pub fn new(kind: AccessKind, addr: u64) -> Self {
+        TraceRecord { kind, addr }
+    }
+
+    /// The byte address as the simulator's [`Address`] newtype.
+    #[must_use]
+    pub fn address(&self) -> Address {
+        Address(self.addr)
+    }
+
+    /// The cache-block address for the given block size.
+    #[must_use]
+    pub fn block(&self, block_bits: u32) -> BlockAddr {
+        self.address().block(block_bits)
+    }
+}
+
+impl fmt::Display for TraceRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {:#x}", self.kind.mnemonic(), self.addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_predicates() {
+        assert!(AccessKind::Load.is_data());
+        assert!(AccessKind::Store.is_data());
+        assert!(!AccessKind::InstrFetch.is_data());
+        assert!(AccessKind::InstrFetch.is_instruction());
+        assert!(!AccessKind::Load.is_instruction());
+    }
+
+    #[test]
+    fn mnemonic_roundtrip() {
+        for k in [AccessKind::InstrFetch, AccessKind::Load, AccessKind::Store] {
+            assert_eq!(AccessKind::from_mnemonic(k.mnemonic()), Some(k));
+        }
+        assert_eq!(AccessKind::from_mnemonic('X'), None);
+    }
+
+    #[test]
+    fn record_block_address() {
+        let r = TraceRecord::new(AccessKind::Load, 0x1234);
+        assert_eq!(r.block(2).as_u64(), 0x48D);
+        assert_eq!(r.address().as_u64(), 0x1234);
+        assert!(r.to_string().starts_with('L'));
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(AccessKind::InstrFetch.to_string(), "ifetch");
+        assert_eq!(AccessKind::Load.to_string(), "load");
+        assert_eq!(AccessKind::Store.to_string(), "store");
+    }
+}

@@ -1,0 +1,160 @@
+//! Trace statistics: footprint, strides and reuse distances.
+
+use std::collections::BTreeMap;
+
+use cache_sim::{LruStack, StackScan};
+
+use crate::Trace;
+
+/// Summary statistics of a trace at a given cache-block granularity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceStats {
+    /// Number of references considered.
+    pub references: usize,
+    /// Number of distinct blocks touched.
+    pub footprint_blocks: usize,
+    /// Histogram of reuse distances (stack distances), capped at `distance_cap`.
+    /// The key `usize::MAX` collects first touches (infinite distance).
+    pub reuse_histogram: BTreeMap<usize, u64>,
+    /// Histogram of byte strides between consecutive references.
+    pub stride_histogram: BTreeMap<i64, u64>,
+    /// Cap applied to recorded reuse distances.
+    pub distance_cap: usize,
+}
+
+impl TraceStats {
+    /// Computes statistics for the data side of a trace.
+    #[must_use]
+    pub fn for_data(trace: &Trace, block_bits: u32, distance_cap: usize) -> Self {
+        let blocks: Vec<u64> = trace
+            .data_block_addresses(block_bits)
+            .map(|b| b.as_u64())
+            .collect();
+        let addrs: Vec<u64> = trace.data_records().map(|r| r.addr).collect();
+        Self::compute(&blocks, &addrs, distance_cap)
+    }
+
+    /// Computes statistics for the instruction side of a trace.
+    #[must_use]
+    pub fn for_instructions(trace: &Trace, block_bits: u32, distance_cap: usize) -> Self {
+        let blocks: Vec<u64> = trace
+            .instruction_block_addresses(block_bits)
+            .map(|b| b.as_u64())
+            .collect();
+        let addrs: Vec<u64> = trace.instruction_records().map(|r| r.addr).collect();
+        Self::compute(&blocks, &addrs, distance_cap)
+    }
+
+    fn compute(blocks: &[u64], addrs: &[u64], distance_cap: usize) -> Self {
+        let mut stack = LruStack::new();
+        let mut reuse_histogram: BTreeMap<usize, u64> = BTreeMap::new();
+        for &b in blocks {
+            let bucket = match stack.access(b, distance_cap) {
+                StackScan::Cold => usize::MAX,
+                StackScan::Within { distance } => distance,
+                StackScan::Beyond => distance_cap,
+            };
+            *reuse_histogram.entry(bucket).or_insert(0) += 1;
+        }
+        let mut stride_histogram: BTreeMap<i64, u64> = BTreeMap::new();
+        for w in addrs.windows(2) {
+            let stride = w[1] as i64 - w[0] as i64;
+            *stride_histogram.entry(stride).or_insert(0) += 1;
+        }
+        TraceStats {
+            references: blocks.len(),
+            footprint_blocks: stack.len(),
+            reuse_histogram,
+            stride_histogram,
+            distance_cap,
+        }
+    }
+
+    /// Fraction of references whose reuse distance is below `threshold`
+    /// (ignoring first touches).
+    #[must_use]
+    pub fn fraction_reused_within(&self, threshold: usize) -> f64 {
+        let reused: u64 = self
+            .reuse_histogram
+            .iter()
+            .filter(|(&d, _)| d != usize::MAX && d < threshold)
+            .map(|(_, &n)| n)
+            .sum();
+        if self.references == 0 {
+            0.0
+        } else {
+            reused as f64 / self.references as f64
+        }
+    }
+
+    /// The most common non-zero stride and its count, if any.
+    #[must_use]
+    pub fn dominant_stride(&self) -> Option<(i64, u64)> {
+        self.stride_histogram
+            .iter()
+            .filter(|(&s, _)| s != 0)
+            .max_by_key(|(_, &n)| n)
+            .map(|(&s, &n)| (s, n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::StridedGenerator;
+    use crate::TraceBuilder;
+
+    #[test]
+    fn strided_trace_statistics() {
+        // 64 addresses, stride 16 bytes, 2 passes, 4-byte blocks.
+        let trace = StridedGenerator::new(0, 16, 64, 2).generate();
+        let stats = TraceStats::for_data(&trace, 2, 1024);
+        assert_eq!(stats.references, 128);
+        assert_eq!(stats.footprint_blocks, 64);
+        assert_eq!(stats.dominant_stride(), Some((16, 126)));
+        // Second pass re-touches every block at distance 63.
+        assert_eq!(stats.reuse_histogram.get(&63), Some(&64));
+        assert_eq!(stats.reuse_histogram.get(&usize::MAX), Some(&64));
+        assert!(stats.fraction_reused_within(64) > 0.49);
+        assert_eq!(stats.fraction_reused_within(10), 0.0);
+    }
+
+    #[test]
+    fn instruction_and_data_sides_are_separate() {
+        let mut b = TraceBuilder::new("mixed");
+        for i in 0..10u64 {
+            b.fetch(0x8000 + 4 * i);
+            b.load(0x1000);
+        }
+        let t = b.finish();
+        let d = TraceStats::for_data(&t, 2, 64);
+        let i = TraceStats::for_instructions(&t, 2, 64);
+        assert_eq!(d.references, 10);
+        assert_eq!(d.footprint_blocks, 1);
+        assert_eq!(i.references, 10);
+        assert_eq!(i.footprint_blocks, 10);
+    }
+
+    #[test]
+    fn deep_reuse_is_capped() {
+        let mut b = TraceBuilder::new("deep");
+        for i in 0..100u64 {
+            b.load(i * 64);
+        }
+        b.load(0); // reuse at distance 99
+        let t = b.finish();
+        let stats = TraceStats::for_data(&t, 2, 10);
+        assert_eq!(stats.reuse_histogram.get(&10), Some(&1));
+        assert_eq!(stats.distance_cap, 10);
+    }
+
+    #[test]
+    fn empty_trace_statistics() {
+        let t = crate::Trace::empty("nothing");
+        let stats = TraceStats::for_data(&t, 2, 16);
+        assert_eq!(stats.references, 0);
+        assert_eq!(stats.footprint_blocks, 0);
+        assert_eq!(stats.fraction_reused_within(4), 0.0);
+        assert_eq!(stats.dominant_stride(), None);
+    }
+}

@@ -1,0 +1,351 @@
+//! Trace containers and the builder used by instrumented workloads.
+
+use cache_sim::BlockAddr;
+use serde::{Deserialize, Serialize};
+
+use crate::{AccessKind, TraceRecord};
+
+/// An owned memory-access trace together with the number of executed
+/// operations (µops) of the traced program.
+///
+/// The operation count matters because the paper reports cache behaviour as
+/// *misses per K-uop*, not as a raw miss rate; workloads therefore count the
+/// arithmetic work they perform in addition to their memory references.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Trace {
+    name: String,
+    records: Vec<TraceRecord>,
+    ops: u64,
+}
+
+impl Trace {
+    /// Creates an empty trace (mostly useful in tests; workloads use
+    /// [`TraceBuilder`]).
+    #[must_use]
+    pub fn empty(name: impl Into<String>) -> Self {
+        Trace {
+            name: name.into(),
+            records: Vec::new(),
+            ops: 0,
+        }
+    }
+
+    /// Creates a trace from parts. `ops` is clamped up to the record count so
+    /// the misses-per-K-uop denominator can never be smaller than the number
+    /// of memory operations.
+    #[must_use]
+    pub fn from_records(
+        name: impl Into<String>,
+        records: Vec<TraceRecord>,
+        ops: u64,
+    ) -> Self {
+        let ops = ops.max(records.len() as u64);
+        Trace {
+            name: name.into(),
+            records,
+            ops,
+        }
+    }
+
+    /// The trace's name (usually the workload that produced it).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of records.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` when the trace holds no records.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Total executed operations (µops), for the misses-per-K-uop metric.
+    #[must_use]
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// Iterates over all records in program order.
+    pub fn records(&self) -> impl Iterator<Item = &TraceRecord> + '_ {
+        self.records.iter()
+    }
+
+    /// The underlying record slice.
+    #[must_use]
+    pub fn as_slice(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Iterates over the data references (loads and stores) only.
+    pub fn data_records(&self) -> impl Iterator<Item = &TraceRecord> + '_ {
+        self.records.iter().filter(|r| r.kind.is_data())
+    }
+
+    /// Iterates over the instruction fetches only.
+    pub fn instruction_records(&self) -> impl Iterator<Item = &TraceRecord> + '_ {
+        self.records.iter().filter(|r| r.kind.is_instruction())
+    }
+
+    /// Block addresses of every record, for a cache with `block_bits` offset
+    /// bits.
+    pub fn block_addresses(&self, block_bits: u32) -> impl Iterator<Item = BlockAddr> + '_ {
+        self.records.iter().map(move |r| r.block(block_bits))
+    }
+
+    /// Block addresses of the data references only.
+    pub fn data_block_addresses(&self, block_bits: u32) -> impl Iterator<Item = BlockAddr> + '_ {
+        self.data_records().map(move |r| r.block(block_bits))
+    }
+
+    /// Block addresses of the instruction fetches only.
+    pub fn instruction_block_addresses(
+        &self,
+        block_bits: u32,
+    ) -> impl Iterator<Item = BlockAddr> + '_ {
+        self.instruction_records().map(move |r| r.block(block_bits))
+    }
+
+    /// Number of data references.
+    #[must_use]
+    pub fn data_len(&self) -> usize {
+        self.data_records().count()
+    }
+
+    /// Number of instruction fetches.
+    #[must_use]
+    pub fn instruction_len(&self) -> usize {
+        self.instruction_records().count()
+    }
+
+    /// Concatenates another trace onto this one, summing the operation counts.
+    pub fn extend_from(&mut self, other: &Trace) {
+        self.records.extend_from_slice(&other.records);
+        self.ops += other.ops;
+    }
+
+    /// Returns a new trace containing only records of the given kinds.
+    #[must_use]
+    pub fn filtered(&self, keep: impl Fn(AccessKind) -> bool) -> Trace {
+        Trace {
+            name: self.name.clone(),
+            records: self
+                .records
+                .iter()
+                .copied()
+                .filter(|r| keep(r.kind))
+                .collect(),
+            ops: self.ops,
+        }
+    }
+}
+
+impl Extend<TraceRecord> for Trace {
+    fn extend<T: IntoIterator<Item = TraceRecord>>(&mut self, iter: T) {
+        self.records.extend(iter);
+    }
+}
+
+impl FromIterator<TraceRecord> for Trace {
+    fn from_iter<T: IntoIterator<Item = TraceRecord>>(iter: T) -> Self {
+        let records: Vec<TraceRecord> = iter.into_iter().collect();
+        let ops = records.len() as u64;
+        Trace {
+            name: "anonymous".to_string(),
+            records,
+            ops,
+        }
+    }
+}
+
+/// Builder used by instrumented workload kernels to record their references.
+///
+/// Every recorded reference counts as one executed operation; additional
+/// (non-memory) work is accounted with [`TraceBuilder::add_ops`], which keeps
+/// the misses-per-K-uop denominator realistic for compute-heavy kernels.
+///
+/// # Example
+///
+/// ```
+/// use memtrace::TraceBuilder;
+///
+/// let mut b = TraceBuilder::new("kernel");
+/// b.fetch(0x8000);     // one instruction
+/// b.load(0x1000);      // its operand
+/// b.add_ops(3);        // a few ALU operations
+/// let t = b.finish();
+/// assert_eq!(t.len(), 2);
+/// assert_eq!(t.ops(), 5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TraceBuilder {
+    name: String,
+    records: Vec<TraceRecord>,
+    extra_ops: u64,
+}
+
+impl TraceBuilder {
+    /// Creates a builder for a trace with the given name.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        TraceBuilder {
+            name: name.into(),
+            records: Vec::new(),
+            extra_ops: 0,
+        }
+    }
+
+    /// Creates a builder with pre-allocated record capacity.
+    #[must_use]
+    pub fn with_capacity(name: impl Into<String>, capacity: usize) -> Self {
+        TraceBuilder {
+            name: name.into(),
+            records: Vec::with_capacity(capacity),
+            extra_ops: 0,
+        }
+    }
+
+    /// Records a data load from `addr`.
+    pub fn load(&mut self, addr: u64) {
+        self.records.push(TraceRecord::new(AccessKind::Load, addr));
+    }
+
+    /// Records a data store to `addr`.
+    pub fn store(&mut self, addr: u64) {
+        self.records.push(TraceRecord::new(AccessKind::Store, addr));
+    }
+
+    /// Records an instruction fetch from `addr`.
+    pub fn fetch(&mut self, addr: u64) {
+        self.records
+            .push(TraceRecord::new(AccessKind::InstrFetch, addr));
+    }
+
+    /// Records a raw [`TraceRecord`].
+    pub fn push(&mut self, record: TraceRecord) {
+        self.records.push(record);
+    }
+
+    /// Accounts `n` executed operations that made no memory reference.
+    pub fn add_ops(&mut self, n: u64) {
+        self.extra_ops += n;
+    }
+
+    /// Number of records so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` when nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Finishes the builder into a [`Trace`].
+    #[must_use]
+    pub fn finish(self) -> Trace {
+        let ops = self.records.len() as u64 + self.extra_ops;
+        Trace {
+            name: self.name,
+            records: self.records,
+            ops,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        let mut b = TraceBuilder::new("sample");
+        b.fetch(0x8000);
+        b.load(0x1000);
+        b.fetch(0x8004);
+        b.store(0x2000);
+        b.add_ops(6);
+        b.finish()
+    }
+
+    #[test]
+    fn builder_counts_records_and_ops() {
+        let t = sample();
+        assert_eq!(t.name(), "sample");
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.ops(), 10);
+        assert_eq!(t.data_len(), 2);
+        assert_eq!(t.instruction_len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn views_select_the_right_records() {
+        let t = sample();
+        let data: Vec<u64> = t.data_records().map(|r| r.addr).collect();
+        assert_eq!(data, vec![0x1000, 0x2000]);
+        let instr: Vec<u64> = t.instruction_records().map(|r| r.addr).collect();
+        assert_eq!(instr, vec![0x8000, 0x8004]);
+    }
+
+    #[test]
+    fn block_addresses_respect_block_size() {
+        let t = sample();
+        let blocks: Vec<u64> = t.data_block_addresses(4).map(|b| b.as_u64()).collect();
+        assert_eq!(blocks, vec![0x100, 0x200]);
+        let all: Vec<u64> = t.block_addresses(2).map(|b| b.as_u64()).collect();
+        assert_eq!(all.len(), 4);
+        let ifetch: Vec<u64> = t
+            .instruction_block_addresses(2)
+            .map(|b| b.as_u64())
+            .collect();
+        assert_eq!(ifetch, vec![0x2000, 0x2001]);
+    }
+
+    #[test]
+    fn from_records_clamps_ops() {
+        let records = vec![TraceRecord::new(AccessKind::Load, 0); 10];
+        let t = Trace::from_records("x", records, 3);
+        assert_eq!(t.ops(), 10);
+        let t2 = Trace::from_records("y", vec![TraceRecord::new(AccessKind::Load, 0)], 100);
+        assert_eq!(t2.ops(), 100);
+    }
+
+    #[test]
+    fn extend_and_filter() {
+        let mut t = sample();
+        let other = sample();
+        t.extend_from(&other);
+        assert_eq!(t.len(), 8);
+        assert_eq!(t.ops(), 20);
+        let data_only = t.filtered(AccessKind::is_data);
+        assert_eq!(data_only.len(), 4);
+        assert!(data_only.records().all(|r| r.kind.is_data()));
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let t: Trace = (0..5)
+            .map(|i| TraceRecord::new(AccessKind::Load, i * 4))
+            .collect();
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.ops(), 5);
+        let mut t = t;
+        t.extend((0..3).map(|i| TraceRecord::new(AccessKind::Store, i)));
+        assert_eq!(t.len(), 8);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = Trace::empty("nothing");
+        assert!(t.is_empty());
+        assert_eq!(t.ops(), 0);
+        assert_eq!(t.block_addresses(2).count(), 0);
+    }
+}

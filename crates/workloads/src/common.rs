@@ -1,0 +1,248 @@
+//! Shared helpers for workload kernels: a simple data-segment allocator and
+//! array handles that record their accesses into a [`TraceBuilder`].
+
+use memtrace::TraceBuilder;
+
+/// Allocates arrays at consecutive addresses in a synthetic data segment,
+/// mimicking static/heap data laid out by a compiler and allocator.
+///
+/// # Example
+///
+/// ```
+/// use workloads::DataLayout;
+/// use memtrace::TraceBuilder;
+///
+/// let mut layout = DataLayout::new(0x1_0000);
+/// let a = layout.array("a", 256, 4);
+/// let b = layout.array("b", 256, 4);
+/// assert_eq!(b.base(), a.base() + 1024);
+///
+/// let mut trace = TraceBuilder::new("demo");
+/// a.load(&mut trace, 3);
+/// b.store(&mut trace, 0);
+/// assert_eq!(trace.len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DataLayout {
+    next: u64,
+}
+
+impl DataLayout {
+    /// Default data-segment base used by the workloads (above the code
+    /// segment produced by [`memtrace::instr::CodeLayout::arm`]).
+    pub const DEFAULT_BASE: u64 = 0x0010_0000;
+
+    /// Creates a layout starting at `base`.
+    #[must_use]
+    pub fn new(base: u64) -> Self {
+        DataLayout { next: base }
+    }
+
+    /// Creates a layout at the default base address.
+    #[must_use]
+    pub fn standard() -> Self {
+        Self::new(Self::DEFAULT_BASE)
+    }
+
+    /// Allocates an array of `elems` elements of `elem_bytes` bytes, aligned
+    /// to the element size, and returns its handle. The `name` is kept for
+    /// debugging purposes only.
+    #[must_use]
+    pub fn array(&mut self, name: &'static str, elems: u64, elem_bytes: u64) -> ArrayRef {
+        assert!(elem_bytes > 0, "elements must occupy at least one byte");
+        // Align the base to the element size (power-of-two sizes only matter
+        // for realism; non-power-of-two sizes are left as-is).
+        if elem_bytes.is_power_of_two() {
+            let mask = elem_bytes - 1;
+            self.next = (self.next + mask) & !mask;
+        }
+        let array = ArrayRef {
+            name,
+            base: self.next,
+            elems,
+            elem_bytes,
+        };
+        self.next += elems * elem_bytes;
+        array
+    }
+
+    /// Leaves an unallocated gap of `bytes` bytes.
+    pub fn skip(&mut self, bytes: u64) {
+        self.next += bytes;
+    }
+
+    /// Address where the next array would be placed.
+    #[must_use]
+    pub fn cursor(&self) -> u64 {
+        self.next
+    }
+}
+
+/// A handle to an allocated array: computes element addresses and records
+/// loads and stores.
+#[derive(Debug, Clone, Copy)]
+pub struct ArrayRef {
+    name: &'static str,
+    base: u64,
+    elems: u64,
+    elem_bytes: u64,
+}
+
+impl ArrayRef {
+    /// The array's debug name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Base byte address.
+    #[must_use]
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// Number of elements.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.elems
+    }
+
+    /// `true` when the array holds no elements.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.elems == 0
+    }
+
+    /// Element size in bytes.
+    #[must_use]
+    pub fn elem_bytes(&self) -> u64 {
+        self.elem_bytes
+    }
+
+    /// Byte address of element `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds — workload kernels are expected to stay
+    /// within their arrays just like the real programs do.
+    #[must_use]
+    pub fn addr(&self, i: u64) -> u64 {
+        assert!(
+            i < self.elems,
+            "index {i} out of bounds for array {} of {} elements",
+            self.name,
+            self.elems
+        );
+        self.base + i * self.elem_bytes
+    }
+
+    /// Records a load of element `i`.
+    pub fn load(&self, trace: &mut TraceBuilder, i: u64) {
+        trace.load(self.addr(i));
+    }
+
+    /// Records a store to element `i`.
+    pub fn store(&self, trace: &mut TraceBuilder, i: u64) {
+        trace.store(self.addr(i));
+    }
+
+    /// Records a load of element `(row, col)` of a row-major 2-D view with
+    /// `cols` columns.
+    pub fn load_2d(&self, trace: &mut TraceBuilder, row: u64, col: u64, cols: u64) {
+        self.load(trace, row * cols + col);
+    }
+
+    /// Records a store to element `(row, col)` of a row-major 2-D view.
+    pub fn store_2d(&self, trace: &mut TraceBuilder, row: u64, col: u64, cols: u64) {
+        self.store(trace, row * cols + col);
+    }
+}
+
+/// A tiny deterministic pseudo-random generator (xorshift64*) used by kernels
+/// that need data-dependent behaviour (sort pivots, motion vectors, symbol
+/// streams) without pulling a full RNG into every inner loop.
+#[derive(Debug, Clone)]
+pub(crate) struct Xorshift {
+    state: u64,
+}
+
+impl Xorshift {
+    pub(crate) fn new(seed: u64) -> Self {
+        Xorshift {
+            state: seed.max(1),
+        }
+    }
+
+    pub(crate) fn next(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform value in `0..bound` (bound must be non-zero).
+    pub(crate) fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_allocates_aligned_consecutive_arrays() {
+        let mut l = DataLayout::new(0x1001);
+        let a = l.array("a", 10, 4); // aligned up to 0x1004
+        assert_eq!(a.base(), 0x1004);
+        assert_eq!(a.len(), 10);
+        assert_eq!(a.elem_bytes(), 4);
+        let b = l.array("b", 3, 8);
+        assert_eq!(b.base() % 8, 0);
+        assert!(b.base() >= a.base() + 40);
+        l.skip(100);
+        assert!(l.cursor() >= b.base() + 24 + 100);
+        assert!(!a.is_empty());
+        assert_eq!(a.name(), "a");
+    }
+
+    #[test]
+    fn array_addressing_and_recording() {
+        let mut l = DataLayout::new(0x2000);
+        let a = l.array("a", 16, 4);
+        assert_eq!(a.addr(0), 0x2000);
+        assert_eq!(a.addr(5), 0x2014);
+        let mut t = TraceBuilder::new("t");
+        a.load(&mut t, 1);
+        a.store(&mut t, 2);
+        a.load_2d(&mut t, 1, 2, 4); // element 6
+        a.store_2d(&mut t, 3, 3, 4); // element 15
+        let trace = t.finish();
+        let addrs: Vec<u64> = trace.records().map(|r| r.addr).collect();
+        assert_eq!(addrs, vec![0x2004, 0x2008, 0x2018, 0x203C]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_access_panics() {
+        let mut l = DataLayout::standard();
+        let a = l.array("a", 4, 4);
+        let _ = a.addr(4);
+    }
+
+    #[test]
+    fn xorshift_is_deterministic_and_bounded() {
+        let mut a = Xorshift::new(42);
+        let mut b = Xorshift::new(42);
+        for _ in 0..100 {
+            let x = a.below(17);
+            assert_eq!(x, b.below(17));
+            assert!(x < 17);
+        }
+        // Seed zero is remapped to a non-zero state.
+        let mut z = Xorshift::new(0);
+        assert_ne!(z.next(), 0);
+    }
+}

@@ -1,0 +1,652 @@
+//! MediaBench-derived kernels: JPEG encode/decode, LAME-style audio encoding,
+//! ADPCM encode/decode and MPEG-2 decoding.
+
+use memtrace::instr::{emit_loop, emit_loop_with_periodic_call, CodeLayout};
+use memtrace::{Trace, TraceBuilder};
+
+use crate::common::{ArrayRef, DataLayout, Xorshift};
+use crate::{Scale, Workload};
+
+/// Zig-zag scan order of an 8×8 coefficient block, shared by the JPEG and
+/// MPEG-2 kernels.
+const ZIGZAG: [u64; 64] = [
+    0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5, 12, 19, 26, 33, 40, 48, 41, 34, 27,
+    20, 13, 6, 7, 14, 21, 28, 35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51, 58,
+    59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
+];
+
+/// Records a row-wise then column-wise 8×8 DCT/IDCT pass over a block held in
+/// `workspace`, the access pattern of the libjpeg/mpeg2play butterfly code.
+fn dct_pass(t: &mut TraceBuilder, workspace: &ArrayRef) {
+    // Row pass.
+    for row in 0..8u64 {
+        for col in 0..8u64 {
+            workspace.load(t, row * 8 + col);
+        }
+        for col in 0..8u64 {
+            workspace.store(t, row * 8 + col);
+        }
+        t.add_ops(29); // the AAN butterfly's multiply/add count
+    }
+    // Column pass (stride-8 accesses).
+    for col in 0..8u64 {
+        for row in 0..8u64 {
+            workspace.load(t, row * 8 + col);
+        }
+        for row in 0..8u64 {
+            workspace.store(t, row * 8 + col);
+        }
+        t.add_ops(29);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// JPEG encode
+// ---------------------------------------------------------------------------
+
+/// MediaBench `cjpeg`: for every 8×8 block of the source image — colour
+/// conversion, forward DCT, quantization and Huffman encoding with table
+/// lookups.
+#[derive(Debug, Clone, Default)]
+pub struct JpegEncode;
+
+impl JpegEncode {
+    fn dims(scale: Scale) -> (u64, u64) {
+        match scale {
+            Scale::Tiny => (32, 48),
+            Scale::Small => (64, 96),
+            Scale::Reference => (128, 192),
+        }
+    }
+}
+
+impl Workload for JpegEncode {
+    fn name(&self) -> &'static str {
+        "jpeg enc"
+    }
+
+    fn suite(&self) -> &'static str {
+        "mediabench"
+    }
+
+    fn data_trace(&self, scale: Scale) -> Trace {
+        let (rows, cols) = Self::dims(scale);
+        let mut layout = DataLayout::standard();
+        let image = layout.array("image", rows * cols, 1);
+        let workspace = layout.array("dct_workspace", 64, 4);
+        let quant = layout.array("quant_table", 64, 2);
+        let coeffs = layout.array("coefficients", rows * cols, 2);
+        let huff_counts = layout.array("huffman_counts", 256, 4);
+        let huff_codes = layout.array("huffman_codes", 256, 4);
+        let bitstream = layout.array("bitstream", rows * cols, 1);
+
+        let mut rng = Xorshift::new(0x01FE6);
+        let mut t = TraceBuilder::with_capacity("jpeg_enc", (rows * cols * 8) as usize);
+        let mut out_cursor = 0u64;
+        for block_row in 0..rows / 8 {
+            for block_col in 0..cols / 8 {
+                // Load the 8x8 pixel block (row pitch = cols).
+                for r in 0..8 {
+                    for c in 0..8 {
+                        image.load_2d(&mut t, block_row * 8 + r, block_col * 8 + c, cols);
+                        workspace.store(&mut t, r * 8 + c);
+                        t.add_ops(3); // level shift + colour conversion share
+                    }
+                }
+                dct_pass(&mut t, &workspace);
+                // Quantize in zig-zag order and emit Huffman codes.
+                for (i, &z) in ZIGZAG.iter().enumerate() {
+                    workspace.load(&mut t, z);
+                    quant.load(&mut t, i as u64);
+                    let base = (block_row * (cols / 8) + block_col) * 64;
+                    coeffs.store(&mut t, base + i as u64);
+                    t.add_ops(2);
+                    let symbol = rng.below(256);
+                    huff_counts.load(&mut t, symbol);
+                    huff_codes.load(&mut t, symbol);
+                    if rng.below(4) != 0 {
+                        bitstream.store(&mut t, out_cursor % bitstream.len());
+                        out_cursor += 1;
+                    }
+                }
+            }
+        }
+        t.finish()
+    }
+
+    fn instruction_trace(&self, scale: Scale) -> Trace {
+        let mut code = CodeLayout::arm();
+        let color = code.function("rgb_ycc_convert", 90);
+        let fdct = code.function("jpeg_fdct_islow", 240);
+        let quantize = code.function("quantize_block", 70);
+        let huffman = code.function("encode_one_block", 150);
+        let flush = code.function("flush_bits", 36);
+        let main = code.function("compress_data", 80);
+
+        let (rows, cols) = Self::dims(scale);
+        let blocks = (rows / 8) * (cols / 8);
+        let mut t = TraceBuilder::new("jpeg_enc.text");
+        main.fetch_all(&mut t);
+        for _ in 0..blocks {
+            color.fetch_all(&mut t);
+            fdct.fetch_all(&mut t);
+            quantize.fetch_all(&mut t);
+            emit_loop_with_periodic_call(&mut t, &huffman, &flush, 1, 1);
+        }
+        t.finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// JPEG decode
+// ---------------------------------------------------------------------------
+
+/// MediaBench `djpeg`: Huffman decoding, dequantization, inverse DCT and
+/// colour conversion per 8×8 block.
+#[derive(Debug, Clone, Default)]
+pub struct JpegDecode;
+
+impl JpegDecode {
+    fn dims(scale: Scale) -> (u64, u64) {
+        JpegEncode::dims(scale)
+    }
+}
+
+impl Workload for JpegDecode {
+    fn name(&self) -> &'static str {
+        "jpeg dec"
+    }
+
+    fn suite(&self) -> &'static str {
+        "mediabench"
+    }
+
+    fn data_trace(&self, scale: Scale) -> Trace {
+        let (rows, cols) = Self::dims(scale);
+        let mut layout = DataLayout::standard();
+        let bitstream = layout.array("bitstream", rows * cols, 1);
+        let huff_lookahead = layout.array("huffman_lookahead", 512, 2);
+        let huff_values = layout.array("huffman_values", 256, 1);
+        let quant = layout.array("quant_table", 64, 2);
+        let workspace = layout.array("idct_workspace", 64, 4);
+        let range_limit = layout.array("range_limit", 1408, 1);
+        let output = layout.array("output_image", rows * cols, 1);
+
+        let mut rng = Xorshift::new(0xDEC0DE);
+        let mut t = TraceBuilder::with_capacity("jpeg_dec", (rows * cols * 8) as usize);
+        let mut in_cursor = 0u64;
+        for block_row in 0..rows / 8 {
+            for block_col in 0..cols / 8 {
+                // Huffman-decode 64 coefficients (data-dependent table walks).
+                for i in 0..64u64 {
+                    bitstream.load(&mut t, in_cursor % bitstream.len());
+                    in_cursor += 1 + rng.below(2);
+                    let code = rng.below(512);
+                    huff_lookahead.load(&mut t, code);
+                    huff_values.load(&mut t, code % 256);
+                    quant.load(&mut t, i);
+                    workspace.store(&mut t, ZIGZAG[i as usize]);
+                    t.add_ops(6);
+                    // Most high-frequency coefficients are zero: the real
+                    // decoder exits the block early.
+                    if i > 8 && rng.below(8) == 0 {
+                        break;
+                    }
+                }
+                dct_pass(&mut t, &workspace);
+                // Range-limit and store the pixel block.
+                for r in 0..8 {
+                    for c in 0..8 {
+                        workspace.load(&mut t, r * 8 + c);
+                        range_limit.load(&mut t, rng.below(1408));
+                        output.store_2d(&mut t, block_row * 8 + r, block_col * 8 + c, cols);
+                        t.add_ops(2);
+                    }
+                }
+            }
+        }
+        t.finish()
+    }
+
+    fn instruction_trace(&self, scale: Scale) -> Trace {
+        let mut code = CodeLayout::arm();
+        let huff = code.function("decode_mcu", 200);
+        let idct = code.function("jpeg_idct_islow", 280);
+        let upsample = code.function("h2v2_fancy_upsample", 110);
+        let color = code.function("ycc_rgb_convert", 90);
+        let main = code.function("decompress_onepass", 70);
+
+        let (rows, cols) = Self::dims(scale);
+        let blocks = (rows / 8) * (cols / 8);
+        let mut t = TraceBuilder::new("jpeg_dec.text");
+        main.fetch_all(&mut t);
+        for _ in 0..blocks {
+            huff.fetch_all(&mut t);
+            idct.fetch_all(&mut t);
+            upsample.fetch_all(&mut t);
+            color.fetch_all(&mut t);
+        }
+        t.finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// LAME-style MP3 encoder front end
+// ---------------------------------------------------------------------------
+
+/// A LAME-style MP3 encoder front end: the polyphase filterbank (a 512-tap
+/// windowed FIR evaluated per subband sample), the MDCT per granule and a
+/// psychoacoustic FFT — the loops that dominate MediaBench's `lame` run time.
+#[derive(Debug, Clone, Default)]
+pub struct Lame;
+
+impl Lame {
+    fn granules(scale: Scale) -> u64 {
+        match scale {
+            Scale::Tiny => 4,
+            Scale::Small => 16,
+            Scale::Reference => 64,
+        }
+    }
+}
+
+impl Workload for Lame {
+    fn name(&self) -> &'static str {
+        "lame"
+    }
+
+    fn suite(&self) -> &'static str {
+        "mediabench"
+    }
+
+    fn data_trace(&self, scale: Scale) -> Trace {
+        let granules = Self::granules(scale);
+        let mut layout = DataLayout::standard();
+        let pcm = layout.array("pcm", granules * 576 + 1024, 2);
+        let window = layout.array("enwindow", 512, 4);
+        let subband = layout.array("subband_samples", 32 * 18, 4);
+        let mdct_out = layout.array("mdct_coeffs", 576, 4);
+        let fft_real = layout.array("psy_fft_real", 1024, 4);
+        let fft_imag = layout.array("psy_fft_imag", 1024, 4);
+        let energy = layout.array("band_energy", 64, 4);
+
+        let mut t = TraceBuilder::with_capacity("lame", (granules * 40_000) as usize);
+        for g in 0..granules {
+            // Polyphase filterbank: 18 subband sample sets per granule; each
+            // evaluates a 512-tap windowed dot product over the PCM history.
+            for s in 0..18u64 {
+                for tap in (0..512u64).step_by(8) {
+                    for k in 0..8u64 {
+                        pcm.load(&mut t, g * 576 + s * 32 + ((tap + k) % 1024));
+                        window.load(&mut t, tap + k);
+                    }
+                    t.add_ops(16);
+                }
+                for band in 0..32u64 {
+                    subband.store(&mut t, band * 18 + s);
+                    t.add_ops(2);
+                }
+            }
+            // MDCT per band.
+            for band in 0..32u64 {
+                for k in 0..18u64 {
+                    subband.load(&mut t, band * 18 + k);
+                    t.add_ops(4);
+                }
+                for k in 0..18u64 {
+                    mdct_out.store(&mut t, band * 18 + k);
+                }
+            }
+            // Psychoacoustic FFT (radix-2 over 1024 points) every granule.
+            let n = 1024u64;
+            let mut len = 2u64;
+            while len <= n {
+                let half = len / 2;
+                for start in (0..n).step_by(len as usize) {
+                    for k in 0..half.min(4) {
+                        // The model samples 4 butterflies per group to keep the
+                        // trace size proportional between scales.
+                        let even = start + k;
+                        let odd = start + k + half;
+                        fft_real.load(&mut t, even);
+                        fft_imag.load(&mut t, even);
+                        fft_real.load(&mut t, odd);
+                        fft_imag.load(&mut t, odd);
+                        fft_real.store(&mut t, even);
+                        fft_imag.store(&mut t, odd);
+                        t.add_ops(10);
+                    }
+                }
+                len *= 2;
+            }
+            for band in 0..64u64 {
+                energy.store(&mut t, band);
+            }
+        }
+        t.finish()
+    }
+
+    fn instruction_trace(&self, scale: Scale) -> Trace {
+        let mut code = CodeLayout::arm();
+        let filterbank = code.function("window_subband", 300);
+        let mdct = code.function("mdct_sub48", 180);
+        let psy_fft = code.function("fht", 160);
+        let psymodel = code.function("L3psycho_anal", 420);
+        let quantize = code.function("iteration_loop", 260);
+        let main = code.function("lame_encode_frame", 90);
+
+        let mut t = TraceBuilder::new("lame.text");
+        main.fetch_all(&mut t);
+        for _ in 0..Self::granules(scale) {
+            emit_loop(&mut t, &[&filterbank], 18);
+            emit_loop(&mut t, &[&mdct], 32);
+            emit_loop(&mut t, &[&psy_fft], 10);
+            psymodel.fetch_all(&mut t);
+            quantize.fetch_all(&mut t);
+        }
+        t.finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ADPCM
+// ---------------------------------------------------------------------------
+
+/// MediaBench `adpcm` encoder: IMA ADPCM compression of a PCM stream. Nearly
+/// perfectly sequential with a tiny working set — the paper's Table 2 shows
+/// almost no misses above 1 KB, which this model reproduces.
+#[derive(Debug, Clone, Default)]
+pub struct AdpcmEncode;
+
+/// MediaBench `adpcm` decoder: the inverse transformation, same structure.
+#[derive(Debug, Clone, Default)]
+pub struct AdpcmDecode;
+
+fn adpcm_trace(name: &'static str, scale: Scale, decode: bool) -> Trace {
+    let samples = match scale {
+        Scale::Tiny => 4_000u64,
+        Scale::Small => 16_000,
+        Scale::Reference => 64_000,
+    };
+    let mut layout = DataLayout::standard();
+    let input = layout.array("input", samples * 2, 1);
+    let output = layout.array("output", samples * 2, 1);
+    let step_table = layout.array("step_size_table", 89, 2);
+    let index_table = layout.array("index_table", 16, 1);
+    let state = layout.array("coder_state", 4, 4);
+
+    let mut rng = Xorshift::new(0xADC);
+    let mut t = TraceBuilder::with_capacity(name, (samples * 6) as usize);
+    for i in 0..samples {
+        if decode {
+            // One input byte yields two output samples.
+            input.load(&mut t, i % input.len());
+            output.store(&mut t, (2 * i) % output.len());
+            output.store(&mut t, (2 * i + 1) % output.len());
+        } else {
+            input.load(&mut t, (2 * i) % input.len());
+            input.load(&mut t, (2 * i + 1) % input.len());
+            output.store(&mut t, i % output.len());
+        }
+        let idx = rng.below(89);
+        step_table.load(&mut t, idx);
+        index_table.load(&mut t, rng.below(16));
+        state.load(&mut t, 0);
+        state.store(&mut t, 0);
+        t.add_ops(12);
+    }
+    t.finish()
+}
+
+fn adpcm_instr(name: &'static str, scale: Scale) -> Trace {
+    let mut code = CodeLayout::arm();
+    let coder = code.function("adpcm_coder", 110);
+    let io = code.function("read_write_buffers", 30);
+    let main = code.function("main", 40);
+    let samples = match scale {
+        Scale::Tiny => 4_000u64,
+        Scale::Small => 16_000,
+        Scale::Reference => 64_000,
+    };
+    let mut t = TraceBuilder::new(name);
+    main.fetch_all(&mut t);
+    // The coder processes samples in buffered chunks; its tiny loop dominates.
+    emit_loop_with_periodic_call(&mut t, &coder, &io, samples / 16, 64);
+    t.finish()
+}
+
+impl Workload for AdpcmEncode {
+    fn name(&self) -> &'static str {
+        "adpcm enc"
+    }
+
+    fn suite(&self) -> &'static str {
+        "mediabench"
+    }
+
+    fn data_trace(&self, scale: Scale) -> Trace {
+        adpcm_trace("adpcm_enc", scale, false)
+    }
+
+    fn instruction_trace(&self, scale: Scale) -> Trace {
+        adpcm_instr("adpcm_enc.text", scale)
+    }
+}
+
+impl Workload for AdpcmDecode {
+    fn name(&self) -> &'static str {
+        "adpcm dec"
+    }
+
+    fn suite(&self) -> &'static str {
+        "mediabench"
+    }
+
+    fn data_trace(&self, scale: Scale) -> Trace {
+        adpcm_trace("adpcm_dec", scale, true)
+    }
+
+    fn instruction_trace(&self, scale: Scale) -> Trace {
+        adpcm_instr("adpcm_dec.text", scale)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// MPEG-2 decode
+// ---------------------------------------------------------------------------
+
+/// MediaBench `mpeg2dec`: per macroblock — coefficient decoding, inverse DCT
+/// and motion compensation copying 16×16 (and 8×8 chroma) regions from a
+/// reference frame at data-dependent offsets into the current frame.
+#[derive(Debug, Clone, Default)]
+pub struct Mpeg2Decode;
+
+impl Mpeg2Decode {
+    fn dims(scale: Scale) -> (u64, u64, u64) {
+        // (width, height, frames)
+        match scale {
+            Scale::Tiny => (64, 48, 2),
+            Scale::Small => (128, 96, 3),
+            Scale::Reference => (176, 144, 6),
+        }
+    }
+}
+
+impl Workload for Mpeg2Decode {
+    fn name(&self) -> &'static str {
+        "mpeg2 dec"
+    }
+
+    fn suite(&self) -> &'static str {
+        "mediabench"
+    }
+
+    fn data_trace(&self, scale: Scale) -> Trace {
+        let (width, height, frames) = Self::dims(scale);
+        let mut layout = DataLayout::standard();
+        let bitstream = layout.array("bitstream", 1 << 15, 1);
+        let vlc_table = layout.array("vlc_tables", 1024, 2);
+        let workspace = layout.array("idct_block", 64, 4);
+        let reference = layout.array("reference_frame", width * height, 1);
+        let current = layout.array("current_frame", width * height, 1);
+
+        let mut rng = Xorshift::new(0x3F6);
+        let mut t =
+            TraceBuilder::with_capacity("mpeg2_dec", (frames * width * height * 4) as usize);
+        let mut cursor = 0u64;
+        for frame in 0..frames {
+            let intra = frame == 0;
+            for mb_row in 0..height / 16 {
+                for mb_col in 0..width / 16 {
+                    // Variable-length decode a handful of coefficients.
+                    let coded = 6 + rng.below(20);
+                    for i in 0..coded {
+                        bitstream.load(&mut t, cursor % bitstream.len());
+                        cursor += 1 + rng.below(3);
+                        vlc_table.load(&mut t, rng.below(1024));
+                        workspace.store(&mut t, ZIGZAG[(i % 64) as usize]);
+                        t.add_ops(5);
+                    }
+                    dct_pass(&mut t, &workspace);
+                    if intra {
+                        // Intra block: write the 16x16 macroblock directly.
+                        for r in 0..16 {
+                            for c in 0..16 {
+                                workspace.load(&mut t, (r % 8) * 8 + (c % 8));
+                                current.store_2d(&mut t, mb_row * 16 + r, mb_col * 16 + c, width);
+                            }
+                        }
+                    } else {
+                        // Motion compensation: copy from the reference frame at
+                        // a small data-dependent displacement, add the residual.
+                        let dx = rng.below(8) as i64 - 4;
+                        let dy = rng.below(8) as i64 - 4;
+                        for r in 0..16u64 {
+                            for c in 0..16u64 {
+                                let sr = (mb_row * 16 + r) as i64 + dy;
+                                let sc = (mb_col * 16 + c) as i64 + dx;
+                                let sr = sr.clamp(0, height as i64 - 1) as u64;
+                                let sc = sc.clamp(0, width as i64 - 1) as u64;
+                                reference.load_2d(&mut t, sr, sc, width);
+                                workspace.load(&mut t, (r % 8) * 8 + (c % 8));
+                                current.store_2d(&mut t, mb_row * 16 + r, mb_col * 16 + c, width);
+                                t.add_ops(2);
+                            }
+                        }
+                    }
+                }
+            }
+            // The decoded frame becomes the next reference: a frame-sized copy.
+            for i in (0..width * height).step_by(4) {
+                current.load(&mut t, i);
+                reference.store(&mut t, i);
+            }
+        }
+        t.finish()
+    }
+
+    fn instruction_trace(&self, scale: Scale) -> Trace {
+        let mut code = CodeLayout::arm();
+        let vlc = code.function("decode_macroblock", 240);
+        let idct = code.function("fast_idct", 200);
+        let motion = code.function("form_component_prediction", 170);
+        let addblock = code.function("add_block", 80);
+        let store = code.function("store_frame", 60);
+        let main = code.function("decode_picture", 90);
+
+        let (width, height, frames) = Self::dims(scale);
+        let macroblocks = (width / 16) * (height / 16);
+        let mut t = TraceBuilder::new("mpeg2_dec.text");
+        for _ in 0..frames {
+            main.fetch_all(&mut t);
+            for _ in 0..macroblocks {
+                vlc.fetch_all(&mut t);
+                idct.fetch_all(&mut t);
+                motion.fetch_all(&mut t);
+                addblock.fetch_all(&mut t);
+            }
+            store.fetch_all(&mut t);
+        }
+        t.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memtrace::stats::TraceStats;
+
+    #[test]
+    fn jpeg_encode_walks_blocks_and_tables() {
+        let trace = JpegEncode.data_trace(Scale::Tiny);
+        assert!(trace.len() > 10_000);
+        let stats = TraceStats::for_data(&trace, 2, 65536);
+        // Image + coefficient arrays dominate the footprint.
+        assert!(stats.footprint_blocks > 500);
+    }
+
+    #[test]
+    fn jpeg_decode_is_data_dependent_but_deterministic() {
+        let a = JpegDecode.data_trace(Scale::Tiny);
+        let b = JpegDecode.data_trace(Scale::Tiny);
+        assert_eq!(a.as_slice(), b.as_slice());
+        assert!(a.len() > 8_000);
+    }
+
+    #[test]
+    fn lame_reuses_its_window_and_subband_buffers() {
+        let trace = Lame.data_trace(Scale::Tiny);
+        let stats = TraceStats::for_data(&trace, 2, 65536);
+        assert!(stats.fraction_reused_within(4096) > 0.5);
+        assert!(trace.len() > 50_000);
+    }
+
+    #[test]
+    fn adpcm_has_a_tiny_hot_working_set() {
+        for trace in [
+            AdpcmEncode.data_trace(Scale::Tiny),
+            AdpcmDecode.data_trace(Scale::Tiny),
+        ] {
+            let stats = TraceStats::for_data(&trace, 2, 65536);
+            // Streaming input/output plus a few table blocks; the hot state is
+            // re-touched every sample.
+            assert!(stats.fraction_reused_within(64) > 0.4, "{stats:?}");
+        }
+    }
+
+    #[test]
+    fn mpeg2_touches_two_frames_per_macroblock() {
+        let trace = Mpeg2Decode.data_trace(Scale::Tiny);
+        let stats = TraceStats::for_data(&trace, 2, 1 << 20);
+        // Reference + current frame of 64*48 bytes each ≈ 1.5k blocks.
+        assert!(stats.footprint_blocks > 1_000);
+        assert!(trace.len() > 20_000);
+    }
+
+    #[test]
+    fn encoder_and_decoder_traces_differ() {
+        let enc = AdpcmEncode.data_trace(Scale::Tiny);
+        let dec = AdpcmDecode.data_trace(Scale::Tiny);
+        assert_ne!(enc.as_slice(), dec.as_slice());
+    }
+
+    #[test]
+    fn instruction_sides_are_loop_dominated() {
+        for w in [
+            Box::new(JpegEncode) as Box<dyn Workload>,
+            Box::new(JpegDecode),
+            Box::new(Lame),
+            Box::new(Mpeg2Decode),
+            Box::new(AdpcmEncode),
+        ] {
+            let trace = w.instruction_trace(Scale::Tiny);
+            let stats = TraceStats::for_instructions(&trace, 2, 65536);
+            assert!(
+                stats.fraction_reused_within(8192) > 0.5,
+                "{}: {:.2}",
+                w.name(),
+                stats.fraction_reused_within(8192)
+            );
+        }
+    }
+}

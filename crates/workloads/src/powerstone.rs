@@ -1,0 +1,974 @@
+//! PowerStone-derived kernels, the fourteen small embedded programs of the
+//! paper's Table 3: adpcm, bcnt, blit, compress, crc, des, engine, fir,
+//! g3fax, jpeg, pocsag, qurt, ucbqsort and v42.
+//!
+//! PowerStone programs are much smaller than MediaBench/MiBench ones (the
+//! paper can only run the *optimal* bit-selecting search on them because the
+//! traces are short); the models below keep that property.
+
+use memtrace::instr::{emit_loop, CodeLayout};
+use memtrace::{Trace, TraceBuilder};
+
+use crate::common::{DataLayout, Xorshift};
+use crate::{Scale, Workload};
+
+fn samples(scale: Scale, base: u64) -> u64 {
+    base * scale.factor()
+}
+
+// ---------------------------------------------------------------------------
+// adpcm
+// ---------------------------------------------------------------------------
+
+/// PowerStone `adpcm`: the same IMA ADPCM coder as the MediaBench version but
+/// over a much shorter sample stream.
+#[derive(Debug, Clone, Default)]
+pub struct Adpcm;
+
+impl Workload for Adpcm {
+    fn name(&self) -> &'static str {
+        "adpcm"
+    }
+
+    fn suite(&self) -> &'static str {
+        "powerstone"
+    }
+
+    fn data_trace(&self, scale: Scale) -> Trace {
+        let n = samples(scale, 1_000);
+        let mut layout = DataLayout::standard();
+        let input = layout.array("pcm_in", n, 2);
+        let output = layout.array("adpcm_out", n / 2 + 1, 1);
+        let step = layout.array("step_table", 89, 2);
+        let index_tab = layout.array("index_table", 16, 1);
+
+        let mut rng = Xorshift::new(0xAD);
+        let mut t = TraceBuilder::with_capacity("ps_adpcm", (n * 5) as usize);
+        for i in 0..n {
+            input.load(&mut t, i);
+            step.load(&mut t, rng.below(89));
+            index_tab.load(&mut t, rng.below(16));
+            if i % 2 == 1 {
+                output.store(&mut t, i / 2);
+            }
+            t.add_ops(10);
+        }
+        t.finish()
+    }
+
+    fn instruction_trace(&self, scale: Scale) -> Trace {
+        let mut code = CodeLayout::arm();
+        let coder = code.function("adpcm_encoder", 96);
+        let main = code.function("main", 30);
+        let mut t = TraceBuilder::new("ps_adpcm.text");
+        main.fetch_all(&mut t);
+        emit_loop(&mut t, &[&coder], samples(scale, 1_000) / 8);
+        t.finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// bcnt
+// ---------------------------------------------------------------------------
+
+/// PowerStone `bcnt`: counts set bits over a buffer using a byte-indexed
+/// population-count lookup table.
+#[derive(Debug, Clone, Default)]
+pub struct Bcnt;
+
+impl Workload for Bcnt {
+    fn name(&self) -> &'static str {
+        "bcnt"
+    }
+
+    fn suite(&self) -> &'static str {
+        "powerstone"
+    }
+
+    fn data_trace(&self, scale: Scale) -> Trace {
+        let words = samples(scale, 1_500);
+        let mut layout = DataLayout::standard();
+        let buffer = layout.array("buffer", words, 4);
+        let popcount = layout.array("popcount_table", 256, 1);
+
+        let mut rng = Xorshift::new(0xBC);
+        let mut t = TraceBuilder::with_capacity("bcnt", (words * 5) as usize);
+        for i in 0..words {
+            buffer.load(&mut t, i);
+            // Four byte lookups per 32-bit word.
+            for _ in 0..4 {
+                popcount.load(&mut t, rng.below(256));
+            }
+            t.add_ops(6);
+        }
+        t.finish()
+    }
+
+    fn instruction_trace(&self, scale: Scale) -> Trace {
+        let mut code = CodeLayout::arm();
+        let count = code.function("bit_count", 40);
+        let main = code.function("main", 24);
+        let mut t = TraceBuilder::new("bcnt.text");
+        main.fetch_all(&mut t);
+        emit_loop(&mut t, &[&count], samples(scale, 1_500) / 4);
+        t.finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// blit
+// ---------------------------------------------------------------------------
+
+/// PowerStone `blit`: copies a rectangular region between two bitmaps with
+/// different row pitches — two interleaved strided streams.
+#[derive(Debug, Clone, Default)]
+pub struct Blit;
+
+impl Workload for Blit {
+    fn name(&self) -> &'static str {
+        "blit"
+    }
+
+    fn suite(&self) -> &'static str {
+        "powerstone"
+    }
+
+    fn data_trace(&self, scale: Scale) -> Trace {
+        let passes = scale.factor();
+        let (rows, cols) = (64u64, 64u64);
+        let src_pitch = 128u64; // source bitmap is wider than the copied region
+        let dst_pitch = 64u64;
+        let mut layout = DataLayout::standard();
+        let src = layout.array("source_bitmap", src_pitch * rows, 4);
+        let dst = layout.array("dest_bitmap", dst_pitch * rows, 4);
+
+        let mut t = TraceBuilder::with_capacity("blit", (passes * rows * cols * 2) as usize);
+        for _ in 0..passes {
+            for r in 0..rows {
+                for c in 0..cols {
+                    src.load(&mut t, r * src_pitch + c);
+                    dst.store(&mut t, r * dst_pitch + c);
+                    t.add_ops(2);
+                }
+            }
+        }
+        t.finish()
+    }
+
+    fn instruction_trace(&self, scale: Scale) -> Trace {
+        let mut code = CodeLayout::arm();
+        let inner = code.function("blit_row", 32);
+        let main = code.function("main", 28);
+        let mut t = TraceBuilder::new("blit.text");
+        main.fetch_all(&mut t);
+        emit_loop(&mut t, &[&inner], scale.factor() * 64);
+        t.finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// compress
+// ---------------------------------------------------------------------------
+
+/// PowerStone `compress`: LZW-style compression with a hash table of
+/// (prefix, character) pairs — data-dependent probes into a table that is
+/// large relative to the 4 KB cache.
+#[derive(Debug, Clone, Default)]
+pub struct Compress;
+
+impl Workload for Compress {
+    fn name(&self) -> &'static str {
+        "compress"
+    }
+
+    fn suite(&self) -> &'static str {
+        "powerstone"
+    }
+
+    fn data_trace(&self, scale: Scale) -> Trace {
+        let input_len = samples(scale, 2_000);
+        let table_size = 5003u64; // the classic compress hash table size
+        let mut layout = DataLayout::standard();
+        let input = layout.array("input", input_len, 1);
+        let hash_table = layout.array("htab", table_size, 4);
+        let code_table = layout.array("codetab", table_size, 2);
+        let output = layout.array("output", input_len, 1);
+
+        let mut rng = Xorshift::new(0xC0);
+        let mut t = TraceBuilder::with_capacity("compress", (input_len * 6) as usize);
+        let mut prefix = 0u64;
+        let mut out_cursor = 0u64;
+        for i in 0..input_len {
+            input.load(&mut t, i);
+            let ch = rng.below(64); // text-like alphabet
+            let mut h = (ch << 4) ^ prefix;
+            // Probe the hash table; collisions re-probe with a displacement,
+            // just like the original open-addressing scheme.
+            let mut probes = 0;
+            loop {
+                h %= table_size;
+                hash_table.load(&mut t, h);
+                code_table.load(&mut t, h);
+                t.add_ops(4);
+                probes += 1;
+                if rng.below(4) != 0 || probes >= 4 {
+                    break;
+                }
+                h += table_size - (h + 1) % 101 - 1;
+            }
+            if rng.below(8) == 0 {
+                // New entry: write it and emit a code.
+                hash_table.store(&mut t, h % table_size);
+                code_table.store(&mut t, h % table_size);
+                output.store(&mut t, out_cursor % output.len());
+                out_cursor += 1;
+            }
+            prefix = (prefix + ch) % 4096;
+        }
+        t.finish()
+    }
+
+    fn instruction_trace(&self, scale: Scale) -> Trace {
+        let mut code = CodeLayout::arm();
+        let hash_probe = code.function("cl_hash_probe", 64);
+        let emit = code.function("output_code", 52);
+        let main = code.function("compress", 80);
+        let mut t = TraceBuilder::new("compress.text");
+        main.fetch_all(&mut t);
+        for i in 0..samples(scale, 2_000) / 4 {
+            hash_probe.fetch_all(&mut t);
+            if i % 8 == 0 {
+                emit.fetch_all(&mut t);
+            }
+        }
+        t.finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// crc
+// ---------------------------------------------------------------------------
+
+/// PowerStone `crc`: table-driven CRC-32 over a buffer — a sequential input
+/// stream plus a hot 1 KB lookup table.
+#[derive(Debug, Clone, Default)]
+pub struct Crc;
+
+impl Workload for Crc {
+    fn name(&self) -> &'static str {
+        "crc"
+    }
+
+    fn suite(&self) -> &'static str {
+        "powerstone"
+    }
+
+    fn data_trace(&self, scale: Scale) -> Trace {
+        let len = samples(scale, 4_000);
+        let mut layout = DataLayout::standard();
+        let buffer = layout.array("message", len, 1);
+        let table = layout.array("crc_table", 256, 4);
+
+        let mut rng = Xorshift::new(0xCC);
+        let mut t = TraceBuilder::with_capacity("crc", (len * 3) as usize);
+        for i in 0..len {
+            buffer.load(&mut t, i);
+            table.load(&mut t, rng.below(256));
+            t.add_ops(4);
+        }
+        t.finish()
+    }
+
+    fn instruction_trace(&self, scale: Scale) -> Trace {
+        let mut code = CodeLayout::arm();
+        let update = code.function("crc32_update", 20);
+        let main = code.function("main", 26);
+        let mut t = TraceBuilder::new("crc.text");
+        main.fetch_all(&mut t);
+        emit_loop(&mut t, &[&update], samples(scale, 4_000) / 4);
+        t.finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// des
+// ---------------------------------------------------------------------------
+
+/// PowerStone `des`: DES encryption with its eight S-boxes and permutation
+/// tables — data-dependent lookups into several small tables per round.
+#[derive(Debug, Clone, Default)]
+pub struct Des;
+
+impl Workload for Des {
+    fn name(&self) -> &'static str {
+        "des"
+    }
+
+    fn suite(&self) -> &'static str {
+        "powerstone"
+    }
+
+    fn data_trace(&self, scale: Scale) -> Trace {
+        let blocks = samples(scale, 120);
+        let mut layout = DataLayout::standard();
+        let sboxes: Vec<_> = (0..8)
+            .map(|_| layout.array("sbox", 64, 4))
+            .collect();
+        let perm = layout.array("permutation", 32, 1);
+        let expansion = layout.array("expansion", 48, 1);
+        let key_schedule = layout.array("key_schedule", 16 * 48, 1);
+        let input = layout.array("input", blocks * 8, 1);
+        let output = layout.array("output", blocks * 8, 1);
+
+        let mut rng = Xorshift::new(0xDE5);
+        let mut t = TraceBuilder::with_capacity("des", (blocks * 500) as usize);
+        for b in 0..blocks {
+            for i in 0..8 {
+                input.load(&mut t, b * 8 + i);
+            }
+            for round in 0..16u64 {
+                for i in (0..48u64).step_by(6) {
+                    expansion.load(&mut t, i);
+                    key_schedule.load(&mut t, round * 48 + i);
+                    t.add_ops(3);
+                }
+                for sbox in &sboxes {
+                    sbox.load(&mut t, rng.below(64));
+                    t.add_ops(2);
+                }
+                for i in (0..32u64).step_by(4) {
+                    perm.load(&mut t, i);
+                }
+            }
+            for i in 0..8 {
+                output.store(&mut t, b * 8 + i);
+            }
+        }
+        t.finish()
+    }
+
+    fn instruction_trace(&self, scale: Scale) -> Trace {
+        let mut code = CodeLayout::arm();
+        let round = code.function("des_round", 150);
+        let permute = code.function("permute", 60);
+        let main = code.function("des_encrypt", 70);
+        let mut t = TraceBuilder::new("des.text");
+        for _ in 0..samples(scale, 120) {
+            main.fetch_all(&mut t);
+            for _ in 0..16 {
+                round.fetch_all(&mut t);
+            }
+            permute.fetch_all(&mut t);
+        }
+        t.finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// engine
+// ---------------------------------------------------------------------------
+
+/// PowerStone `engine`: engine-control loop interpolating spark advance and
+/// fuel values from two-dimensional calibration tables.
+#[derive(Debug, Clone, Default)]
+pub struct Engine;
+
+impl Workload for Engine {
+    fn name(&self) -> &'static str {
+        "engine"
+    }
+
+    fn suite(&self) -> &'static str {
+        "powerstone"
+    }
+
+    fn data_trace(&self, scale: Scale) -> Trace {
+        let iterations = samples(scale, 800);
+        let mut layout = DataLayout::standard();
+        let rpm_map = layout.array("rpm_map", 32 * 32, 2);
+        let load_map = layout.array("load_map", 32 * 32, 2);
+        let sensors = layout.array("sensor_ring", 64, 4);
+        let actuators = layout.array("actuator_state", 16, 4);
+
+        let mut rng = Xorshift::new(0xE6);
+        let mut t = TraceBuilder::with_capacity("engine", (iterations * 14) as usize);
+        for i in 0..iterations {
+            sensors.load(&mut t, i % 64);
+            sensors.load(&mut t, (i + 1) % 64);
+            let rpm = rng.below(31);
+            let load = rng.below(31);
+            // Bilinear interpolation touches four neighbouring cells per map.
+            for (dr, dc) in [(0, 0), (0, 1), (1, 0), (1, 1)] {
+                rpm_map.load_2d(&mut t, rpm + dr, load + dc, 32);
+                load_map.load_2d(&mut t, rpm + dr, load + dc, 32);
+                t.add_ops(4);
+            }
+            actuators.load(&mut t, i % 16);
+            actuators.store(&mut t, i % 16);
+            t.add_ops(8);
+        }
+        t.finish()
+    }
+
+    fn instruction_trace(&self, scale: Scale) -> Trace {
+        let mut code = CodeLayout::arm();
+        let interp = code.function("table_interpolate", 70);
+        let control = code.function("control_step", 90);
+        let main = code.function("main", 30);
+        let mut t = TraceBuilder::new("engine.text");
+        main.fetch_all(&mut t);
+        emit_loop(&mut t, &[&control, &interp, &interp], samples(scale, 800) / 2);
+        t.finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// fir
+// ---------------------------------------------------------------------------
+
+/// PowerStone `fir`: a 35-tap finite impulse response filter over a sample
+/// stream — the inner product walks the coefficient array and a sliding
+/// window of the input.
+#[derive(Debug, Clone, Default)]
+pub struct Fir;
+
+impl Workload for Fir {
+    fn name(&self) -> &'static str {
+        "fir"
+    }
+
+    fn suite(&self) -> &'static str {
+        "powerstone"
+    }
+
+    fn data_trace(&self, scale: Scale) -> Trace {
+        let n = samples(scale, 700);
+        let taps = 35u64;
+        let mut layout = DataLayout::standard();
+        let coeffs = layout.array("coefficients", taps, 4);
+        let input = layout.array("input", n + taps, 4);
+        let output = layout.array("output", n, 4);
+
+        let mut t = TraceBuilder::with_capacity("fir", (n * taps * 2) as usize);
+        for i in 0..n {
+            for k in 0..taps {
+                coeffs.load(&mut t, k);
+                input.load(&mut t, i + k);
+                t.add_ops(2);
+            }
+            output.store(&mut t, i);
+        }
+        t.finish()
+    }
+
+    fn instruction_trace(&self, scale: Scale) -> Trace {
+        let mut code = CodeLayout::arm();
+        let mac = code.function("fir_inner", 18);
+        let outer = code.function("fir_filter", 40);
+        let main = code.function("main", 24);
+        let mut t = TraceBuilder::new("fir.text");
+        main.fetch_all(&mut t);
+        for _ in 0..samples(scale, 700) / 4 {
+            outer.fetch_all(&mut t);
+            emit_loop(&mut t, &[&mac], 8);
+        }
+        t.finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// g3fax
+// ---------------------------------------------------------------------------
+
+/// PowerStone `g3fax`: Group-3 fax (modified Huffman run-length) decoding —
+/// a bitstream walk, code-table lookups and run writes into the output raster.
+#[derive(Debug, Clone, Default)]
+pub struct G3fax;
+
+impl Workload for G3fax {
+    fn name(&self) -> &'static str {
+        "g3fax"
+    }
+
+    fn suite(&self) -> &'static str {
+        "powerstone"
+    }
+
+    fn data_trace(&self, scale: Scale) -> Trace {
+        let lines = samples(scale, 60);
+        let line_width = 1728u64 / 8; // bytes per scan line
+        let mut layout = DataLayout::standard();
+        let bitstream = layout.array("coded_lines", lines * 64, 1);
+        let white_codes = layout.array("white_code_table", 256, 2);
+        let black_codes = layout.array("black_code_table", 256, 2);
+        let raster = layout.array("raster", lines * line_width, 1);
+
+        let mut rng = Xorshift::new(0x6F);
+        let mut t = TraceBuilder::with_capacity("g3fax", (lines * 800) as usize);
+        let mut cursor = 0u64;
+        for line in 0..lines {
+            let mut column = 0u64;
+            let mut white = true;
+            while column < line_width {
+                bitstream.load(&mut t, cursor % bitstream.len());
+                cursor += 1;
+                let table = if white { &white_codes } else { &black_codes };
+                table.load(&mut t, rng.below(256));
+                t.add_ops(4);
+                // Decode a run and write it to the raster.
+                let run = (1 + rng.below(24)).min(line_width - column);
+                for b in 0..run {
+                    raster.store(&mut t, line * line_width + column + b);
+                }
+                column += run;
+                white = !white;
+            }
+        }
+        t.finish()
+    }
+
+    fn instruction_trace(&self, scale: Scale) -> Trace {
+        let mut code = CodeLayout::arm();
+        let decode_run = code.function("decode_run", 72);
+        let putrun = code.function("put_run", 28);
+        let main = code.function("decode_page", 40);
+        let mut t = TraceBuilder::new("g3fax.text");
+        main.fetch_all(&mut t);
+        emit_loop(&mut t, &[&decode_run, &putrun], samples(scale, 60) * 18);
+        t.finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// jpeg (PowerStone's small encoder)
+// ---------------------------------------------------------------------------
+
+/// PowerStone `jpeg`: a small JPEG encoder fragment (forward DCT plus
+/// quantization over a small image) — a reduced version of the MediaBench
+/// encoder.
+#[derive(Debug, Clone, Default)]
+pub struct Jpeg;
+
+impl Workload for Jpeg {
+    fn name(&self) -> &'static str {
+        "jpeg"
+    }
+
+    fn suite(&self) -> &'static str {
+        "powerstone"
+    }
+
+    fn data_trace(&self, scale: Scale) -> Trace {
+        let inner = crate::mediabench::JpegEncode;
+        // PowerStone's image is tiny: reuse the MediaBench model at the
+        // smallest size regardless of scale, repeating it for larger scales.
+        let base = inner.data_trace(Scale::Tiny);
+        let mut combined = base.clone();
+        for _ in 1..scale.factor().min(4) {
+            combined.extend_from(&base);
+        }
+        Trace::from_records("ps_jpeg", combined.as_slice().to_vec(), combined.ops())
+    }
+
+    fn instruction_trace(&self, scale: Scale) -> Trace {
+        let inner = crate::mediabench::JpegEncode;
+        let base = inner.instruction_trace(Scale::Tiny);
+        let mut combined = base.clone();
+        for _ in 1..scale.factor().min(4) {
+            combined.extend_from(&base);
+        }
+        Trace::from_records("ps_jpeg.text", combined.as_slice().to_vec(), combined.ops())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// pocsag
+// ---------------------------------------------------------------------------
+
+/// PowerStone `pocsag`: pager-protocol decoding — BCH error checking over
+/// 32-bit codewords using a small syndrome table, plus message assembly.
+#[derive(Debug, Clone, Default)]
+pub struct Pocsag;
+
+impl Workload for Pocsag {
+    fn name(&self) -> &'static str {
+        "pocsag"
+    }
+
+    fn suite(&self) -> &'static str {
+        "powerstone"
+    }
+
+    fn data_trace(&self, scale: Scale) -> Trace {
+        let codewords = samples(scale, 900);
+        let mut layout = DataLayout::standard();
+        let input = layout.array("codewords", codewords, 4);
+        let syndrome = layout.array("syndrome_table", 1024, 2);
+        let messages = layout.array("message_buffer", 2048, 1);
+
+        let mut rng = Xorshift::new(0x0050_CA60);
+        let mut t = TraceBuilder::with_capacity("pocsag", (codewords * 8) as usize);
+        let mut out = 0u64;
+        for i in 0..codewords {
+            input.load(&mut t, i);
+            // BCH check: a handful of syndrome lookups per word.
+            for _ in 0..3 {
+                syndrome.load(&mut t, rng.below(1024));
+                t.add_ops(3);
+            }
+            // Every address codeword is followed by message digits.
+            if rng.below(4) == 0 {
+                for d in 0..5 {
+                    messages.store(&mut t, (out + d) % messages.len());
+                }
+                out += 5;
+            }
+        }
+        t.finish()
+    }
+
+    fn instruction_trace(&self, scale: Scale) -> Trace {
+        let mut code = CodeLayout::arm();
+        let bch = code.function("bch_check", 66);
+        let assemble = code.function("assemble_message", 44);
+        let main = code.function("pocsag_decode", 36);
+        let mut t = TraceBuilder::new("pocsag.text");
+        main.fetch_all(&mut t);
+        emit_loop(&mut t, &[&bch, &assemble], samples(scale, 900) / 2);
+        t.finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// qurt
+// ---------------------------------------------------------------------------
+
+/// PowerStone `qurt`: quadratic-equation root finding — almost entirely
+/// register arithmetic with a tiny stack frame, the smallest memory footprint
+/// of the suite (its Table 3 row shows nothing to gain).
+#[derive(Debug, Clone, Default)]
+pub struct Qurt;
+
+impl Workload for Qurt {
+    fn name(&self) -> &'static str {
+        "qurt"
+    }
+
+    fn suite(&self) -> &'static str {
+        "powerstone"
+    }
+
+    fn data_trace(&self, scale: Scale) -> Trace {
+        let iterations = samples(scale, 600);
+        let mut layout = DataLayout::standard();
+        let coeffs = layout.array("coefficients", 3 * 16, 8);
+        let roots = layout.array("roots", 2 * 16, 8);
+        let frame = layout.array("stack_frame", 16, 4);
+
+        let mut t = TraceBuilder::with_capacity("qurt", (iterations * 10) as usize);
+        for i in 0..iterations {
+            let set = i % 16;
+            for k in 0..3 {
+                coeffs.load(&mut t, set * 3 + k);
+            }
+            // sqrt by Newton iteration: a few frame spills.
+            for _ in 0..3 {
+                frame.store(&mut t, (i % 4) * 2);
+                frame.load(&mut t, (i % 4) * 2);
+                t.add_ops(14);
+            }
+            roots.store(&mut t, set * 2);
+            roots.store(&mut t, set * 2 + 1);
+        }
+        t.finish()
+    }
+
+    fn instruction_trace(&self, scale: Scale) -> Trace {
+        let mut code = CodeLayout::arm();
+        let sqrt = code.function("qurt_sqrt", 56);
+        let solve = code.function("qurt_solve", 48);
+        let main = code.function("main", 22);
+        let mut t = TraceBuilder::new("qurt.text");
+        main.fetch_all(&mut t);
+        emit_loop(&mut t, &[&solve, &sqrt], samples(scale, 600));
+        t.finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ucbqsort
+// ---------------------------------------------------------------------------
+
+/// PowerStone `ucbqsort`: the Berkeley quicksort over an integer array — a
+/// genuinely data-dependent divide-and-conquer access pattern (the paper's
+/// Table 3 shows it is also the biggest winner).
+#[derive(Debug, Clone, Default)]
+pub struct Ucbqsort;
+
+impl Ucbqsort {
+    fn quicksort(
+        t: &mut TraceBuilder,
+        array: &crate::common::ArrayRef,
+        data: &mut [u32],
+        lo: usize,
+        hi: usize,
+    ) {
+        if lo >= hi {
+            return;
+        }
+        // Median-of-three pivot selection, as in the Berkeley implementation.
+        let mid = lo + (hi - lo) / 2;
+        for &idx in &[lo, mid, hi] {
+            array.load(t, idx as u64);
+        }
+        t.add_ops(6);
+        let pivot = data[mid];
+        let (mut i, mut j) = (lo, hi);
+        while i <= j {
+            while {
+                array.load(t, i as u64);
+                t.add_ops(1);
+                data[i] < pivot
+            } {
+                i += 1;
+            }
+            while {
+                array.load(t, j as u64);
+                t.add_ops(1);
+                data[j] > pivot && j > 0
+            } {
+                j -= 1;
+            }
+            if i <= j {
+                array.load(t, i as u64);
+                array.load(t, j as u64);
+                data.swap(i, j);
+                array.store(t, i as u64);
+                array.store(t, j as u64);
+                i += 1;
+                if j == 0 {
+                    break;
+                }
+                j -= 1;
+            }
+        }
+        if j > lo {
+            Self::quicksort(t, array, data, lo, j);
+        }
+        if i < hi {
+            Self::quicksort(t, array, data, i, hi);
+        }
+    }
+}
+
+impl Workload for Ucbqsort {
+    fn name(&self) -> &'static str {
+        "ucbqsort"
+    }
+
+    fn suite(&self) -> &'static str {
+        "powerstone"
+    }
+
+    fn data_trace(&self, scale: Scale) -> Trace {
+        let n = samples(scale, 600) as usize;
+        let mut layout = DataLayout::standard();
+        let array = layout.array("sort_array", n as u64, 4);
+
+        let mut rng = Xorshift::new(0x50F7);
+        let mut data: Vec<u32> = (0..n).map(|_| rng.below(1 << 20) as u32).collect();
+        let mut t = TraceBuilder::with_capacity("ucbqsort", n * 40);
+        // Initial fill.
+        for i in 0..n {
+            array.store(&mut t, i as u64);
+        }
+        Self::quicksort(&mut t, &array, &mut data, 0, n - 1);
+        // Verification pass (the benchmark checks sortedness).
+        for i in 0..n {
+            array.load(&mut t, i as u64);
+            t.add_ops(1);
+        }
+        assert!(data.windows(2).all(|w| w[0] <= w[1]), "sort must be correct");
+        t.finish()
+    }
+
+    fn instruction_trace(&self, scale: Scale) -> Trace {
+        let mut code = CodeLayout::arm();
+        let partition = code.function("qst_partition", 88);
+        let insertion = code.function("insertion_sort", 54);
+        let main = code.function("qsort_main", 44);
+        let n = samples(scale, 600);
+        let mut t = TraceBuilder::new("ucbqsort.text");
+        main.fetch_all(&mut t);
+        // Roughly n log n / constant partition calls.
+        let calls = n * (64 - n.leading_zeros() as u64) / 8;
+        emit_loop(&mut t, &[&partition], calls);
+        emit_loop(&mut t, &[&insertion], n / 8);
+        t.finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// v42
+// ---------------------------------------------------------------------------
+
+/// PowerStone `v42`: V.42bis modem compression — a dictionary trie of
+/// (parent, character) nodes probed per input byte, similar to `compress` but
+/// with chained node walks.
+#[derive(Debug, Clone, Default)]
+pub struct V42;
+
+impl Workload for V42 {
+    fn name(&self) -> &'static str {
+        "v42"
+    }
+
+    fn suite(&self) -> &'static str {
+        "powerstone"
+    }
+
+    fn data_trace(&self, scale: Scale) -> Trace {
+        let input_len = samples(scale, 1_800);
+        let dict_nodes = 2048u64;
+        let mut layout = DataLayout::standard();
+        let input = layout.array("input", input_len, 1);
+        let parent = layout.array("dict_parent", dict_nodes, 2);
+        let child = layout.array("dict_child", dict_nodes, 2);
+        let sibling = layout.array("dict_sibling", dict_nodes, 2);
+        let output = layout.array("output", input_len, 1);
+
+        let mut rng = Xorshift::new(0x42);
+        let mut t = TraceBuilder::with_capacity("v42", (input_len * 8) as usize);
+        let mut node = 1u64;
+        let mut out = 0u64;
+        let mut next_free = 256u64;
+        for i in 0..input_len {
+            input.load(&mut t, i);
+            // Walk the child/sibling chain looking for the next character.
+            child.load(&mut t, node);
+            let mut hops = 0;
+            while rng.below(3) == 0 && hops < 6 {
+                sibling.load(&mut t, (node + hops * 7) % dict_nodes);
+                t.add_ops(2);
+                hops += 1;
+            }
+            if rng.below(5) == 0 {
+                // Not found: add a node, emit the current code, restart.
+                parent.store(&mut t, next_free % dict_nodes);
+                child.store(&mut t, node);
+                output.store(&mut t, out % output.len());
+                out += 1;
+                next_free += 1;
+                node = 1 + rng.below(255);
+            } else {
+                node = (node * 31 + 7) % dict_nodes;
+            }
+            t.add_ops(6);
+        }
+        t.finish()
+    }
+
+    fn instruction_trace(&self, scale: Scale) -> Trace {
+        let mut code = CodeLayout::arm();
+        let search = code.function("dictionary_search", 70);
+        let add = code.function("add_node", 40);
+        let emit = code.function("send_code", 34);
+        let main = code.function("v42_encode", 50);
+        let mut t = TraceBuilder::new("v42.text");
+        main.fetch_all(&mut t);
+        for i in 0..samples(scale, 1_800) / 3 {
+            search.fetch_all(&mut t);
+            if i % 5 == 0 {
+                add.fetch_all(&mut t);
+                emit.fetch_all(&mut t);
+            }
+        }
+        t.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memtrace::stats::TraceStats;
+
+    #[test]
+    fn ucbqsort_actually_sorts_and_touches_the_whole_array() {
+        let trace = Ucbqsort.data_trace(Scale::Tiny);
+        let stats = TraceStats::for_data(&trace, 2, 65536);
+        // 600 4-byte entries = 600 blocks with 4-byte cache blocks.
+        assert!(stats.footprint_blocks >= 600);
+        assert!(trace.len() > 5_000);
+    }
+
+    #[test]
+    fn compress_and_v42_probe_large_tables() {
+        for (trace, min_footprint) in [
+            (Compress.data_trace(Scale::Tiny), 1_000),
+            (V42.data_trace(Scale::Tiny), 800),
+        ] {
+            let stats = TraceStats::for_data(&trace, 2, 65536);
+            assert!(
+                stats.footprint_blocks > min_footprint,
+                "{}: footprint {}",
+                trace.name(),
+                stats.footprint_blocks
+            );
+        }
+    }
+
+    #[test]
+    fn small_kernels_have_small_hot_sets() {
+        for trace in [
+            Crc.data_trace(Scale::Tiny),
+            Bcnt.data_trace(Scale::Tiny),
+            Qurt.data_trace(Scale::Tiny),
+            Fir.data_trace(Scale::Tiny),
+        ] {
+            let stats = TraceStats::for_data(&trace, 2, 65536);
+            assert!(
+                stats.fraction_reused_within(1024) > 0.3,
+                "{}: {:.2}",
+                trace.name(),
+                stats.fraction_reused_within(1024)
+            );
+        }
+    }
+
+    #[test]
+    fn blit_interleaves_two_pitches() {
+        let trace = Blit.data_trace(Scale::Tiny);
+        let stats = TraceStats::for_data(&trace, 2, 65536);
+        // Alternating source/destination gives a dominant back-and-forth
+        // stride between the two bitmaps.
+        assert!(stats.dominant_stride().is_some());
+        assert_eq!(trace.len() as u64, 64 * 64 * 2);
+    }
+
+    #[test]
+    fn des_touches_all_its_tables() {
+        let trace = Des.data_trace(Scale::Tiny);
+        assert!(trace.len() > 20_000);
+        let stats = TraceStats::for_data(&trace, 2, 65536);
+        assert!(stats.fraction_reused_within(512) > 0.5);
+    }
+
+    #[test]
+    fn powerstone_jpeg_reuses_the_mediabench_kernel() {
+        let ps = Jpeg.data_trace(Scale::Tiny);
+        let mb = crate::mediabench::JpegEncode.data_trace(Scale::Tiny);
+        assert_eq!(ps.len(), mb.len());
+        assert_eq!(ps.as_slice()[..100], mb.as_slice()[..100]);
+    }
+
+    #[test]
+    fn g3fax_writes_full_scan_lines() {
+        let trace = G3fax.data_trace(Scale::Tiny);
+        let stores = trace
+            .data_records()
+            .filter(|r| r.kind == memtrace::AccessKind::Store)
+            .count();
+        // Each of the 60 lines writes 216 raster bytes.
+        assert!(stores >= 60 * 216);
+    }
+}

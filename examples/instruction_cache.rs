@@ -1,0 +1,57 @@
+//! Application-specific indexing for an instruction cache.
+//!
+//! The paper's Table 2 shows that instruction caches benefit even more than
+//! data caches: kernel loop bodies and the helper functions they call sit at
+//! fixed distances in the binary, so the same few conflicts repeat millions of
+//! times — and a reconfigurable XOR function removes them wholesale.
+//!
+//! This example reproduces that effect on the synthetic `jpeg dec` instruction
+//! stream.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example instruction_cache
+//! ```
+
+use xorindex_repro::prelude::*;
+
+fn main() {
+    let workload = WorkloadSuite::by_name("jpeg dec").expect("jpeg dec is a known benchmark");
+    let trace = workload.instruction_trace(Scale::Small);
+    println!(
+        "instruction trace: {} fetches, {} operations",
+        trace.instruction_len(),
+        trace.ops()
+    );
+
+    for size_kb in [1u64, 4, 16] {
+        let cache = CacheConfig::paper_cache(size_kb);
+        let blocks: Vec<BlockAddr> = trace
+            .instruction_block_addresses(cache.block_bits())
+            .collect();
+
+        let optimizer = Optimizer::builder()
+            .cache(cache)
+            .hashed_bits(16)
+            .function_class(FunctionClass::permutation_based(2))
+            .revert_if_worse(true)
+            .build();
+        let outcome = optimizer.optimize(blocks.iter().copied());
+
+        println!(
+            "{:>2} KB i-cache: baseline {:>7} misses ({:>6.1} / K-uop)  ->  optimized {:>7} misses  ({:>5.1}% removed{})",
+            size_kb,
+            outcome.baseline_stats.misses,
+            outcome.baseline_misses_per_kilo_ops(trace.ops()),
+            outcome.optimized_stats.misses,
+            outcome.percent_misses_removed(),
+            if outcome.reverted { ", reverted" } else { "" },
+        );
+    }
+
+    println!(
+        "\nconflict misses are the only category an index function can remove;\n\
+         compulsory and capacity misses are unchanged by construction."
+    );
+}

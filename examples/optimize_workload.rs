@@ -1,0 +1,53 @@
+//! Optimize the data-cache index function for one of the paper's benchmarks.
+//!
+//! Picks a workload by name (default: `fft`, the classic conflict-miss
+//! generator), runs the full pipeline for every function class the paper
+//! compares, and prints a Table-2-style report for the 1 KB and 4 KB caches.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example optimize_workload -- [benchmark-name]
+//! cargo run --release --example optimize_workload -- "jpeg dec"
+//! ```
+
+use xorindex_repro::prelude::*;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "fft".to_string());
+    let Some(workload) = WorkloadSuite::by_name(&name) else {
+        eprintln!("unknown benchmark {name:?}; available:");
+        for w in WorkloadSuite::all() {
+            eprintln!("  {:<12} ({})", w.name(), w.suite());
+        }
+        std::process::exit(1);
+    };
+
+    println!("benchmark: {} ({})", workload.name(), workload.suite());
+    let trace = workload.data_trace(Scale::Small);
+    println!(
+        "data trace: {} references, {} operations",
+        trace.data_len(),
+        trace.ops()
+    );
+
+    let classes = [
+        FunctionClass::bit_selecting(),
+        FunctionClass::permutation_based(2),
+        FunctionClass::permutation_based(4),
+        FunctionClass::permutation_based_unlimited(),
+        FunctionClass::xor_unlimited(),
+    ];
+
+    for size_kb in [1u64, 4] {
+        let cache = CacheConfig::paper_cache(size_kb);
+        let blocks: Vec<BlockAddr> = trace.data_block_addresses(cache.block_bits()).collect();
+        let report = EvaluationReport::evaluate(workload.name(), cache, 16, &classes, &blocks);
+        println!();
+        println!("{report}");
+        println!(
+            "baseline misses/K-uop: {:.1}",
+            report.baseline().misses_per_kilo_ops(trace.ops())
+        );
+    }
+}
