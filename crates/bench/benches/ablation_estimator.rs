@@ -25,7 +25,10 @@ fn bench_estimator_strategies(c: &mut Criterion) {
         let function =
             HashFunction::conventional(HASHED_BITS, prepared.cache.set_bits()).expect("valid");
         for (label, strategy) in [
-            ("enumerate_null_space", EstimationStrategy::EnumerateNullSpace),
+            (
+                "enumerate_null_space",
+                EstimationStrategy::EnumerateNullSpace,
+            ),
             ("scan_histogram", EstimationStrategy::ScanHistogram),
             ("auto", EstimationStrategy::Auto),
         ] {
@@ -33,8 +36,7 @@ fn bench_estimator_strategies(c: &mut Criterion) {
                 BenchmarkId::new(label, format!("{cache_kb}kb")),
                 &strategy,
                 |b, &strategy| {
-                    let estimator =
-                        MissEstimator::new(&prepared.profile).with_strategy(strategy);
+                    let estimator = MissEstimator::new(&prepared.profile).with_strategy(strategy);
                     b.iter(|| black_box(estimator.estimate(&function).expect("same geometry")))
                 },
             );

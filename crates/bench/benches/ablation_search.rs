@@ -60,14 +60,18 @@ fn bench_search_algorithms(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_search");
     group.sample_size(10);
     for (label, algorithm) in algorithms {
-        group.bench_with_input(BenchmarkId::new("algorithm", label), &algorithm, |b, &alg| {
-            b.iter(|| {
-                let searcher =
-                    Searcher::new(&prepared.profile, class, prepared.cache.set_bits())
-                        .expect("valid geometry");
-                black_box(searcher.run(alg).expect("search"))
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("algorithm", label),
+            &algorithm,
+            |b, &alg| {
+                b.iter(|| {
+                    let searcher =
+                        Searcher::new(&prepared.profile, class, prepared.cache.set_bits())
+                            .expect("valid geometry");
+                    black_box(searcher.run(alg).expect("search"))
+                })
+            },
+        );
     }
     group.bench_function("algorithm/optimal_bitselect", |b| {
         b.iter(|| {
@@ -87,14 +91,16 @@ fn bench_search_algorithms(c: &mut Criterion) {
     for (label, pool) in [
         ("units", NeighborPool::Units),
         ("units_and_pairs", NeighborPool::UnitsAndPairs),
-        ("units_pairs_profile", NeighborPool::UnitsPairsAndProfile(16)),
+        (
+            "units_pairs_profile",
+            NeighborPool::UnitsPairsAndProfile(16),
+        ),
     ] {
         group.bench_with_input(BenchmarkId::new("pool", label), &pool, |b, pool| {
             b.iter(|| {
-                let searcher =
-                    Searcher::new(&prepared.profile, class, prepared.cache.set_bits())
-                        .expect("valid geometry")
-                        .with_pool(pool.clone());
+                let searcher = Searcher::new(&prepared.profile, class, prepared.cache.set_bits())
+                    .expect("valid geometry")
+                    .with_pool(pool.clone());
                 black_box(searcher.run(SearchAlgorithm::HillClimb).expect("search"))
             })
         });

@@ -28,23 +28,19 @@ fn bench_general_vs_perm(c: &mut Criterion) {
         );
         for (label, class) in [
             ("general_xor", FunctionClass::xor_unlimited()),
-            ("permutation_based", FunctionClass::permutation_based_unlimited()),
+            (
+                "permutation_based",
+                FunctionClass::permutation_based_unlimited(),
+            ),
         ] {
-            group.bench_with_input(
-                BenchmarkId::new(label, name),
-                &prepared,
-                |b, prepared| {
-                    b.iter(|| {
-                        let searcher = Searcher::new(
-                            &prepared.profile,
-                            class,
-                            prepared.cache.set_bits(),
-                        )
-                        .expect("valid geometry");
-                        black_box(searcher.run(SearchAlgorithm::HillClimb).expect("search"))
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(label, name), &prepared, |b, prepared| {
+                b.iter(|| {
+                    let searcher =
+                        Searcher::new(&prepared.profile, class, prepared.cache.set_bits())
+                            .expect("valid geometry");
+                    black_box(searcher.run(SearchAlgorithm::HillClimb).expect("search"))
+                })
+            });
         }
     }
     group.finish();

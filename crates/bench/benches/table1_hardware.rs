@@ -6,7 +6,10 @@ use std::hint::black_box;
 use xorindex::hardware::{self, IndexingScheme};
 
 fn bench_table1(c: &mut Criterion) {
-    println!("\n{}", experiments::table1::render(&experiments::table1::paper_table()));
+    println!(
+        "\n{}",
+        experiments::table1::render(&experiments::table1::paper_table())
+    );
 
     let mut group = c.benchmark_group("table1_hardware");
     for m in [8usize, 10, 12] {

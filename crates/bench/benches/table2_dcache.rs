@@ -43,17 +43,25 @@ fn bench_table2_dcache(c: &mut Criterion) {
         // Measuring all three classes per iteration would make each sample
         // several seconds long; the measured unit is the 2-input pipeline,
         // the printed line above records the full cell.
-        group.bench_with_input(BenchmarkId::new("cell_2in", name), &prepared, |b, prepared| {
-            b.iter(|| {
-                let cache = prepared.cache;
-                let outcome = Searcher::new(&prepared.profile, experiments::table2::table2_classes()[0], cache.set_bits())
+        group.bench_with_input(
+            BenchmarkId::new("cell_2in", name),
+            &prepared,
+            |b, prepared| {
+                b.iter(|| {
+                    let cache = prepared.cache;
+                    let outcome = Searcher::new(
+                        &prepared.profile,
+                        experiments::table2::table2_classes()[0],
+                        cache.set_bits(),
+                    )
                     .expect("valid geometry")
                     .run(SearchAlgorithm::HillClimb)
                     .expect("search succeeds");
-                let mut optimized = Cache::new(cache, outcome.function.to_index_function());
-                black_box(optimized.simulate_blocks(prepared.blocks.iter().copied()))
-            })
-        });
+                    let mut optimized = Cache::new(cache, outcome.function.to_index_function());
+                    black_box(optimized.simulate_blocks(prepared.blocks.iter().copied()))
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -30,13 +30,7 @@ fn bench_table3(c: &mut Criterion) {
         );
         group.bench_with_input(BenchmarkId::new("row", name), &name, |b, name| {
             let workload = WorkloadSuite::by_name(name).expect("known PowerStone kernel");
-            b.iter(|| {
-                black_box(table3::evaluate_workload(
-                    &config,
-                    workload.as_ref(),
-                    cache,
-                ))
-            })
+            b.iter(|| black_box(table3::evaluate_workload(&config, workload.as_ref(), cache)))
         });
     }
     group.finish();

@@ -51,8 +51,8 @@ pub fn prepare_instructions(name: &str, cache_kb: u64) -> PreparedWorkload {
 }
 
 fn prepare(name: &str, cache_kb: u64, instructions: bool) -> PreparedWorkload {
-    let workload = WorkloadSuite::by_name(name)
-        .unwrap_or_else(|| panic!("unknown workload {name:?}"));
+    let workload =
+        WorkloadSuite::by_name(name).unwrap_or_else(|| panic!("unknown workload {name:?}"));
     let cache = CacheConfig::paper_cache(cache_kb);
     let trace = if instructions {
         workload.instruction_trace(Scale::Tiny)

@@ -276,7 +276,10 @@ mod tests {
         let wrong = ModuloIndex::new(4); // 16 sets, cache has 256
         assert!(matches!(
             Cache::try_new(config, wrong),
-            Err(CacheError::IndexFunctionMismatch { expected_sets: 256, actual_sets: 16 })
+            Err(CacheError::IndexFunctionMismatch {
+                expected_sets: 256,
+                actual_sets: 16
+            })
         ));
     }
 
@@ -373,8 +376,8 @@ mod tests {
     #[test]
     fn policies_can_be_selected() {
         let config = dm_1kb();
-        let cache =
-            Cache::new(config, ModuloIndex::for_config(&config)).with_policy(ReplacementPolicy::Fifo);
+        let cache = Cache::new(config, ModuloIndex::for_config(&config))
+            .with_policy(ReplacementPolicy::Fifo);
         assert_eq!(cache.policy(), ReplacementPolicy::Fifo);
         assert!(cache.index_description().contains("modulo"));
     }

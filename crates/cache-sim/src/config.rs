@@ -41,7 +41,10 @@ impl fmt::Display for CacheError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CacheError::NotPowerOfTwo { parameter, value } => {
-                write!(f, "{parameter} must be a non-zero power of two, got {value}")
+                write!(
+                    f,
+                    "{parameter} must be a non-zero power of two, got {value}"
+                )
             }
             CacheError::BlockLargerThanCache {
                 size_bytes,
@@ -326,14 +329,23 @@ mod tests {
     fn invalid_parameters_are_rejected() {
         assert!(matches!(
             CacheConfig::builder().size_bytes(3000).build(),
-            Err(CacheError::NotPowerOfTwo { parameter: "cache size", .. })
+            Err(CacheError::NotPowerOfTwo {
+                parameter: "cache size",
+                ..
+            })
         ));
         assert!(matches!(
             CacheConfig::builder().block_bytes(0).build(),
-            Err(CacheError::NotPowerOfTwo { parameter: "block size", .. })
+            Err(CacheError::NotPowerOfTwo {
+                parameter: "block size",
+                ..
+            })
         ));
         assert!(matches!(
-            CacheConfig::builder().size_bytes(64).block_bytes(128).build(),
+            CacheConfig::builder()
+                .size_bytes(64)
+                .block_bytes(128)
+                .build(),
             Err(CacheError::BlockLargerThanCache { .. })
         ));
         assert!(matches!(

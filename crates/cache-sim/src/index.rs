@@ -182,7 +182,7 @@ impl XorIndex {
     /// Fallible constructor: returns `None` when the matrix is rank deficient.
     #[must_use]
     pub fn from_matrix(matrix: BitMatrix) -> Option<Self> {
-        matrix.has_full_column_rank().then(|| XorIndex { matrix })
+        matrix.has_full_column_rank().then_some(XorIndex { matrix })
     }
 
     /// The conventional modulo function expressed as a XOR index over
@@ -225,8 +225,7 @@ impl XorIndex {
     /// The set index as a GF(2) vector, for callers that need the bits.
     #[must_use]
     pub fn set_index_bits(&self, block: BlockAddr) -> BitVec {
-        self.matrix
-            .mul_vec(block.hashed_bits(self.matrix.n_rows()))
+        self.matrix.mul_vec(block.hashed_bits(self.matrix.n_rows()))
     }
 }
 

@@ -122,8 +122,14 @@ mod tests {
     fn direct_mapped_set_always_evicts_on_conflict() {
         let mut set = CacheSet::new(1);
         let mut r = rng();
-        assert_eq!(set.access(1, ReplacementPolicy::Lru, &mut r), SetAccess::MissFilled);
-        assert_eq!(set.access(1, ReplacementPolicy::Lru, &mut r), SetAccess::Hit);
+        assert_eq!(
+            set.access(1, ReplacementPolicy::Lru, &mut r),
+            SetAccess::MissFilled
+        );
+        assert_eq!(
+            set.access(1, ReplacementPolicy::Lru, &mut r),
+            SetAccess::Hit
+        );
         assert_eq!(
             set.access(2, ReplacementPolicy::Lru, &mut r),
             SetAccess::MissEvicted(1)
@@ -139,7 +145,10 @@ mod tests {
         set.access(1, ReplacementPolicy::Lru, &mut r);
         set.access(2, ReplacementPolicy::Lru, &mut r);
         // Touch 1 so 2 becomes LRU.
-        assert_eq!(set.access(1, ReplacementPolicy::Lru, &mut r), SetAccess::Hit);
+        assert_eq!(
+            set.access(1, ReplacementPolicy::Lru, &mut r),
+            SetAccess::Hit
+        );
         assert_eq!(
             set.access(3, ReplacementPolicy::Lru, &mut r),
             SetAccess::MissEvicted(2)
@@ -153,7 +162,10 @@ mod tests {
         set.access(1, ReplacementPolicy::Fifo, &mut r);
         set.access(2, ReplacementPolicy::Fifo, &mut r);
         // Hitting 1 does not save it: it is still the oldest insertion.
-        assert_eq!(set.access(1, ReplacementPolicy::Fifo, &mut r), SetAccess::Hit);
+        assert_eq!(
+            set.access(1, ReplacementPolicy::Fifo, &mut r),
+            SetAccess::Hit
+        );
         assert_eq!(
             set.access(3, ReplacementPolicy::Fifo, &mut r),
             SetAccess::MissEvicted(1)
@@ -182,7 +194,10 @@ mod tests {
         set.access(1, ReplacementPolicy::Lru, &mut r);
         set.flush();
         assert_eq!(set.resident().len(), 0);
-        assert_eq!(set.access(1, ReplacementPolicy::Lru, &mut r), SetAccess::MissFilled);
+        assert_eq!(
+            set.access(1, ReplacementPolicy::Lru, &mut r),
+            SetAccess::MissFilled
+        );
     }
 
     #[test]

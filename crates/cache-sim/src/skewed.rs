@@ -60,7 +60,10 @@ impl SkewedCache {
                 "all banks must have the same number of sets"
             );
         }
-        let banks = functions.iter().map(|_| vec![None; sets as usize]).collect();
+        let banks = functions
+            .iter()
+            .map(|_| vec![None; sets as usize])
+            .collect();
         SkewedCache {
             functions,
             banks,

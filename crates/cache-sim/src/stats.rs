@@ -213,7 +213,10 @@ mod tests {
         }
         assert!(CacheStats::percent_misses_removed(&base, &worse) < 0.0);
         // Zero baseline misses: defined as 0% removed.
-        assert_eq!(CacheStats::percent_misses_removed(&CacheStats::new(), &opt), 0.0);
+        assert_eq!(
+            CacheStats::percent_misses_removed(&CacheStats::new(), &opt),
+            0.0
+        );
     }
 
     #[test]

@@ -56,7 +56,10 @@ impl fmt::Display for XorIndexError {
                 write!(f, "hash-function matrix is rank deficient")
             }
             XorIndexError::NoRepresentative { reason } => {
-                write!(f, "null space admits no function of the requested class: {reason}")
+                write!(
+                    f,
+                    "null space admits no function of the requested class: {reason}"
+                )
             }
             XorIndexError::Linear(e) => write!(f, "GF(2) operation failed: {e}"),
             XorIndexError::ProfileMismatch {

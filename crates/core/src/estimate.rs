@@ -151,11 +151,7 @@ mod tests {
     use gf2::BitMatrix;
 
     fn profile_from(seq: &[u64], hashed_bits: usize, capacity: usize) -> ConflictProfile {
-        ConflictProfile::from_blocks(
-            seq.iter().copied().map(BlockAddr),
-            hashed_bits,
-            capacity,
-        )
+        ConflictProfile::from_blocks(seq.iter().copied().map(BlockAddr), hashed_bits, capacity)
     }
 
     #[test]
@@ -246,7 +242,9 @@ mod tests {
 
     #[test]
     fn null_space_estimate_matches_function_estimate() {
-        let seq: Vec<u64> = (0..100u64).map(|i| (i % 2) * 0x20 + (i % 3) * 0x100).collect();
+        let seq: Vec<u64> = (0..100u64)
+            .map(|i| (i % 2) * 0x20 + (i % 3) * 0x100)
+            .collect();
         let profile = profile_from(&seq, 12, 64);
         let estimator = MissEstimator::new(&profile);
         let f = HashFunction::new(BitMatrix::from_fn(12, 5, |r, c| r == c || r == c + 5)).unwrap();

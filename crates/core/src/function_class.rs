@@ -182,10 +182,7 @@ impl FunctionClass {
         }
         match self {
             FunctionClass::BitSelecting => {
-                let coordinate = null_space
-                    .basis()
-                    .iter()
-                    .all(|b| b.weight() == 1);
+                let coordinate = null_space.basis().iter().all(|b| b.weight() == 1);
                 if !coordinate {
                     return Err(XorIndexError::NoRepresentative {
                         reason: "null space is not spanned by standard basis vectors".to_string(),
@@ -196,14 +193,15 @@ impl FunctionClass {
                     .iter()
                     .map(|b| b.trailing_bit().expect("basis vectors are non-zero"))
                     .collect();
-                let selected: Vec<usize> =
-                    (0..n).filter(|i| !excluded.contains(i)).collect();
+                let selected: Vec<usize> = (0..n).filter(|i| !excluded.contains(i)).collect();
                 HashFunction::bit_selecting(n, &selected)
             }
             FunctionClass::PermutationBased { .. } => {
-                let matrix = BitMatrix::permutation_based_with_null_space(null_space)
-                    .map_err(|e| XorIndexError::NoRepresentative {
-                        reason: e.to_string(),
+                let matrix =
+                    BitMatrix::permutation_based_with_null_space(null_space).map_err(|e| {
+                        XorIndexError::NoRepresentative {
+                            reason: e.to_string(),
+                        }
                     })?;
                 HashFunction::new(matrix)
             }
@@ -259,7 +257,9 @@ mod tests {
         assert_eq!(FunctionClass::xor_unlimited().max_inputs(), None);
         assert_eq!(FunctionClass::permutation_based(4).max_inputs(), Some(4));
         assert!(FunctionClass::permutation_based(2).label().contains("2-in"));
-        assert!(FunctionClass::bit_selecting().to_string().contains("bit-select"));
+        assert!(FunctionClass::bit_selecting()
+            .to_string()
+            .contains("bit-select"));
     }
 
     #[test]
@@ -273,7 +273,9 @@ mod tests {
 
         let conventional = HashFunction::conventional(16, 8).unwrap();
         assert!(FunctionClass::bit_selecting().check(&conventional).is_ok());
-        assert!(FunctionClass::permutation_based(2).check(&conventional).is_ok());
+        assert!(FunctionClass::permutation_based(2)
+            .check(&conventional)
+            .is_ok());
 
         // A 3-input permutation-based function violates the 2-input bound.
         let perm3 = HashFunction::new(BitMatrix::from_fn(16, 4, |r, c| {

@@ -136,9 +136,7 @@ pub fn cost(scheme: IndexingScheme, n: usize, m: usize) -> HardwareCost {
         // Every one of the n produced bits selects among all n inputs.
         IndexingScheme::BitSelect => (n * n, 0, n, n),
         // m index selectors of (n-m+1) inputs + (n-m) tag selectors of (m+1).
-        IndexingScheme::OptimizedBitSelect => {
-            (m * (n - m + 1) + (n - m) * (m + 1), 0, n, n)
-        }
+        IndexingScheme::OptimizedBitSelect => (m * (n - m + 1) + (n - m) * (m + 1), 0, n, n),
         // First XOR input: optimized selection, m*(n-m+1).
         // Second XOR input: any of the n bits or a constant, with the same
         // permutation redundancy removed: (n+1)*m - m*(m-1)/2.
@@ -170,10 +168,7 @@ pub fn cost(scheme: IndexingScheme, n: usize, m: usize) -> HardwareCost {
 /// Costs of all four schemes at one geometry, in Table 1 order.
 #[must_use]
 pub fn all_costs(n: usize, m: usize) -> Vec<HardwareCost> {
-    IndexingScheme::ALL
-        .iter()
-        .map(|&s| cost(s, n, m))
-        .collect()
+    IndexingScheme::ALL.iter().map(|&s| cost(s, n, m)).collect()
 }
 
 #[cfg(test)]
@@ -192,9 +187,15 @@ mod tests {
         ];
         for (m, bits, opt, gen, perm) in expected {
             assert_eq!(cost(IndexingScheme::BitSelect, 16, m).switches, bits);
-            assert_eq!(cost(IndexingScheme::OptimizedBitSelect, 16, m).switches, opt);
+            assert_eq!(
+                cost(IndexingScheme::OptimizedBitSelect, 16, m).switches,
+                opt
+            );
             assert_eq!(cost(IndexingScheme::GeneralXor2, 16, m).switches, gen);
-            assert_eq!(cost(IndexingScheme::PermutationBased2, 16, m).switches, perm);
+            assert_eq!(
+                cost(IndexingScheme::PermutationBased2, 16, m).switches,
+                perm
+            );
         }
     }
 

@@ -97,10 +97,7 @@ impl HashFunction {
     /// no function of the class (e.g. Eq. 5 fails for permutation-based
     /// functions), and [`XorIndexError::NotInClass`] when the representative
     /// exists but violates a fan-in bound.
-    pub fn from_null_space(
-        ns: &Subspace,
-        class: FunctionClass,
-    ) -> Result<Self, XorIndexError> {
+    pub fn from_null_space(ns: &Subspace, class: FunctionClass) -> Result<Self, XorIndexError> {
         let function = class.representative(ns)?;
         class.check(&function)?;
         Ok(function)
@@ -288,8 +285,10 @@ mod tests {
 
     #[test]
     fn null_space_roundtrip_for_general_class() {
-        let h = HashFunction::new(BitMatrix::from_fn(10, 4, |r, c| (r + 2 * c) % 5 == 0 || r == c))
-            .unwrap();
+        let h = HashFunction::new(BitMatrix::from_fn(10, 4, |r, c| {
+            (r + 2 * c) % 5 == 0 || r == c
+        }))
+        .unwrap();
         let ns = h.null_space();
         let rebuilt = HashFunction::from_null_space(&ns, FunctionClass::xor_unlimited()).unwrap();
         assert_eq!(rebuilt.null_space(), ns);

@@ -165,11 +165,7 @@ impl Optimizer {
     where
         I: IntoIterator<Item = BlockAddr>,
     {
-        ConflictProfile::from_blocks(
-            blocks,
-            self.hashed_bits,
-            self.cache.num_blocks() as usize,
-        )
+        ConflictProfile::from_blocks(blocks, self.hashed_bits, self.cache.num_blocks() as usize)
     }
 
     /// Searches for the best function of the configured class given a profile.
@@ -231,17 +227,16 @@ impl Optimizer {
             .with_classification();
         let optimized_stats = optimized_cache.simulate_blocks(blocks.iter().copied());
 
-        let (function, optimized_stats, reverted) = if self.revert_if_worse
-            && optimized_stats.misses > baseline_stats.misses
-        {
-            (
-                HashFunction::conventional(self.hashed_bits, self.cache.set_bits())?,
-                baseline_stats,
-                true,
-            )
-        } else {
-            (search.function.clone(), optimized_stats, false)
-        };
+        let (function, optimized_stats, reverted) =
+            if self.revert_if_worse && optimized_stats.misses > baseline_stats.misses {
+                (
+                    HashFunction::conventional(self.hashed_bits, self.cache.set_bits())?,
+                    baseline_stats,
+                    true,
+                )
+            } else {
+                (search.function.clone(), optimized_stats, false)
+            };
 
         Ok(OptimizationOutcome {
             function,

@@ -72,7 +72,7 @@ impl ConflictProfile {
         I: IntoIterator<Item = BlockAddr>,
     {
         assert!(
-            hashed_bits >= 1 && hashed_bits <= 64,
+            (1..=64).contains(&hashed_bits),
             "hashed_bits must be in 1..=64"
         );
         assert!(capacity_blocks > 0, "cache capacity must be positive");
@@ -252,11 +252,7 @@ mod tests {
     #[test]
     fn heaviest_sorts_by_weight() {
         // Vector 0x10 appears twice as often as 0x20.
-        let p = ConflictProfile::from_blocks(
-            blocks(&[0, 0x10, 0, 0x10, 0, 0x20, 0]),
-            16,
-            64,
-        );
+        let p = ConflictProfile::from_blocks(blocks(&[0, 0x10, 0, 0x10, 0, 0x20, 0]), 16, 64);
         let top = p.heaviest(2);
         assert_eq!(top[0].0.as_u64(), 0x10);
         assert!(top[0].1 > top[1].1);

@@ -104,8 +104,7 @@ impl EvaluationReport {
                 }
                 FunctionClass::Xor { .. } => hardware::IndexingScheme::GeneralXor2,
             };
-            let hardware_switches =
-                hardware::cost(scheme, hashed_bits, cache.set_bits()).switches;
+            let hardware_switches = hardware::cost(scheme, hashed_bits, cache.set_bits()).switches;
             rows.push(ReportRow {
                 class,
                 outcome,
@@ -206,7 +205,9 @@ mod tests {
         // Permutation-based hardware is cheaper than the bit-selecting network.
         assert!(report.rows()[1].hardware_switches < report.rows()[0].hardware_switches);
         let best = report.best_row().unwrap();
-        assert!(best.outcome.optimized_stats.misses <= report.rows()[0].outcome.optimized_stats.misses);
+        assert!(
+            best.outcome.optimized_stats.misses <= report.rows()[0].outcome.optimized_stats.misses
+        );
         let text = report.to_string();
         assert!(text.contains("% removed"));
         assert!(text.contains("permutation-based"));

@@ -28,17 +28,17 @@ use gf2::{BitVec, Subspace};
 use serde::{Deserialize, Serialize};
 
 use crate::{
-    ConflictProfile, EstimationStrategy, FunctionClass, HashFunction, MissEstimator,
-    XorIndexError,
+    ConflictProfile, EstimationStrategy, FunctionClass, HashFunction, MissEstimator, XorIndexError,
 };
 
 pub use neighbors::NeighborPool;
 
 /// Which search algorithm to run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum SearchAlgorithm {
     /// Steepest-descent hill climbing from the conventional function (the
     /// paper's algorithm).
+    #[default]
     HillClimb,
     /// Hill climbing from the conventional function plus `restarts` random
     /// starting points; the best local optimum wins.
@@ -60,12 +60,6 @@ pub enum SearchAlgorithm {
     /// Exhaustive search over all bit-selecting functions (optimal with
     /// respect to the profile, as in Patel et al.).
     OptimalBitSelect,
-}
-
-impl Default for SearchAlgorithm {
-    fn default() -> Self {
-        SearchAlgorithm::HillClimb
-    }
 }
 
 /// Result of a search.
@@ -190,10 +184,7 @@ impl<'a> Searcher<'a> {
     /// of the paper's hill climb.
     #[must_use]
     pub fn conventional_null_space(&self) -> Subspace {
-        Subspace::standard_span(
-            self.hashed_bits(),
-            self.set_bits..self.hashed_bits(),
-        )
+        Subspace::standard_span(self.hashed_bits(), self.set_bits..self.hashed_bits())
     }
 
     fn estimator(&self) -> MissEstimator<'a> {

@@ -20,24 +20,19 @@ use serde::{Deserialize, Serialize};
 use crate::{ConflictProfile, FunctionClass};
 
 /// The pool of replacement directions used to build neighbours.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub enum NeighborPool {
     /// Standard basis vectors only (`n` directions). Fastest, coarsest.
     Units,
     /// Standard basis vectors and all pairwise XORs
     /// (`n + n(n−1)/2` directions). The default.
+    #[default]
     UnitsAndPairs,
     /// `UnitsAndPairs` plus the `k` heaviest conflict vectors of the profile,
     /// which lets the search explicitly steer the null space around them.
     UnitsPairsAndProfile(usize),
     /// An explicit list of directions.
     Custom(Vec<BitVec>),
-}
-
-impl Default for NeighborPool {
-    fn default() -> Self {
-        NeighborPool::UnitsAndPairs
-    }
 }
 
 impl NeighborPool {
@@ -88,11 +83,7 @@ impl NeighborPool {
 /// (swap one selected address bit for an unselected one), which is both exact
 /// and far smaller.
 #[must_use]
-pub fn neighbors(
-    null_space: &Subspace,
-    class: FunctionClass,
-    pool: &[BitVec],
-) -> Vec<Subspace> {
+pub fn neighbors(null_space: &Subspace, class: FunctionClass, pool: &[BitVec]) -> Vec<Subspace> {
     let n = null_space.ambient_width();
     let m = n - null_space.dim();
     if class == FunctionClass::BitSelecting {
@@ -127,9 +118,7 @@ fn admissible(candidate: &Subspace, class: FunctionClass, m: usize) -> bool {
     match class {
         FunctionClass::BitSelecting => candidate.basis().iter().all(|b| b.weight() == 1),
         FunctionClass::Xor { .. } => true,
-        FunctionClass::PermutationBased { .. } => {
-            candidate.admits_permutation_based_function(m)
-        }
+        FunctionClass::PermutationBased { .. } => candidate.admits_permutation_based_function(m),
     }
 }
 
@@ -141,7 +130,13 @@ fn bit_select_neighbors(null_space: &Subspace) -> Vec<Subspace> {
     let excluded: Vec<usize> = null_space
         .basis()
         .iter()
-        .filter_map(|b| if b.weight() == 1 { b.trailing_bit() } else { None })
+        .filter_map(|b| {
+            if b.weight() == 1 {
+                b.trailing_bit()
+            } else {
+                None
+            }
+        })
         .collect();
     if excluded.len() != null_space.dim() {
         // Not a coordinate subspace: no structural neighbours.
@@ -166,11 +161,7 @@ mod tests {
     use cache_sim::BlockAddr;
 
     fn dummy_profile(n: usize) -> ConflictProfile {
-        ConflictProfile::from_blocks(
-            (0..10u64).map(|i| BlockAddr((i % 2) * 16)),
-            n,
-            64,
-        )
+        ConflictProfile::from_blocks((0..10u64).map(|i| BlockAddr((i % 2) * 16)), n, 64)
     }
 
     #[test]

@@ -120,10 +120,7 @@ mod tests {
         let profile = skewed_profile();
         let searcher = Searcher::new(&profile, FunctionClass::bit_selecting(), 4).unwrap();
         let outcome = searcher.run(SearchAlgorithm::OptimalBitSelect).unwrap();
-        assert_eq!(
-            outcome.evaluations as u128,
-            bit_selecting_functions(10, 4)
-        );
+        assert_eq!(outcome.evaluations as u128, bit_selecting_functions(10, 4));
         assert_eq!(outcome.estimated_misses, 0);
         assert!(outcome.function.is_bit_selecting());
         // Bit 4 must be part of the winning selection.

@@ -67,9 +67,7 @@ impl Searcher<'_> {
             FunctionClass::PermutationBased { max_inputs: None } => {
                 gf2::random::random_permutation_null_space(rng, n, m)
             }
-            FunctionClass::Xor { max_inputs: None } => {
-                gf2::random::random_subspace(rng, n, n - m)
-            }
+            FunctionClass::Xor { max_inputs: None } => gf2::random::random_subspace(rng, n, n - m),
         }
     }
 
@@ -147,10 +145,16 @@ mod tests {
         let p = profile();
         let searcher = Searcher::new(&p, FunctionClass::permutation_based(2), 6).unwrap();
         let a = searcher
-            .run(SearchAlgorithm::RandomRestart { restarts: 2, seed: 5 })
+            .run(SearchAlgorithm::RandomRestart {
+                restarts: 2,
+                seed: 5,
+            })
             .unwrap();
         let b = searcher
-            .run(SearchAlgorithm::RandomRestart { restarts: 2, seed: 5 })
+            .run(SearchAlgorithm::RandomRestart {
+                restarts: 2,
+                seed: 5,
+            })
             .unwrap();
         assert_eq!(a.function, b.function);
         assert_eq!(a.estimated_misses, b.estimated_misses);

@@ -5,9 +5,7 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use xorindex::search::{SearchAlgorithm, Searcher};
-use xorindex::{
-    ConflictProfile, EstimationStrategy, FunctionClass, HashFunction, MissEstimator,
-};
+use xorindex::{ConflictProfile, EstimationStrategy, FunctionClass, HashFunction, MissEstimator};
 
 const HASHED_BITS: usize = 10;
 

@@ -74,7 +74,10 @@ fn run(command: &str, config: &ExperimentConfig) -> Result<(), String> {
             println!("{}", table2::render(&table));
         }
         "table3" => {
-            let size = *config.cache_sizes_kb.get(1).unwrap_or(&config.cache_sizes_kb[0]);
+            let size = *config
+                .cache_sizes_kb
+                .get(1)
+                .unwrap_or(&config.cache_sizes_kb[0]);
             let table = table3::compute(config, size);
             println!("{}", table3::render(&table));
         }

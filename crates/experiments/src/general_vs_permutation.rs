@@ -60,12 +60,14 @@ pub fn compute_for(
                 scope.spawn(move |_| {
                     let cache = config.cache(kb);
                     let trace = workload.data_trace(config.scale);
-                    let blocks: Vec<BlockAddr> =
-                        TraceSide::Data.blocks(&trace, cache.block_bits());
-                    let results =
-                        evaluate_trace(&config, cache, &blocks, trace.ops(), &classes);
-                    tx.send((size_index, results[0].percent_removed(), results[1].percent_removed()))
-                        .expect("result channel stays open");
+                    let blocks: Vec<BlockAddr> = TraceSide::Data.blocks(&trace, cache.block_bits());
+                    let results = evaluate_trace(&config, cache, &blocks, trace.ops(), &classes);
+                    tx.send((
+                        size_index,
+                        results[0].percent_removed(),
+                        results[1].percent_removed(),
+                    ))
+                    .expect("result channel stays open");
                 });
             }
         }

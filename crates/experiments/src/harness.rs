@@ -150,10 +150,9 @@ pub fn evaluate_trace(
     classes
         .iter()
         .map(|&class| {
-            let searcher =
-                xorindex::search::Searcher::new(&profile, class, cache.set_bits())
-                    .expect("experiment geometry is valid")
-                    .with_pool(config.pool.clone());
+            let searcher = xorindex::search::Searcher::new(&profile, class, cache.set_bits())
+                .expect("experiment geometry is valid")
+                .with_pool(config.pool.clone());
             let outcome = searcher
                 .run(config.algorithm)
                 .expect("search on a valid geometry succeeds");

@@ -43,7 +43,10 @@ pub fn compute(hashed_bits: usize, cache_sizes_kb: &[u64]) -> Table1 {
         .map(|&kb| {
             let config = cache_sim::CacheConfig::paper_cache(kb);
             let m = config.set_bits();
-            assert!(m <= hashed_bits, "cache needs more set bits than hashed bits");
+            assert!(
+                m <= hashed_bits,
+                "cache needs more set bits than hashed bits"
+            );
             Table1Column {
                 cache_kb: kb,
                 set_bits: m,

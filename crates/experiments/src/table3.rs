@@ -217,8 +217,7 @@ mod tests {
     #[test]
     fn table_over_two_benchmarks_averages_columns() {
         let config = ExperimentConfig::quick();
-        let workloads: Vec<Box<dyn workloads::Workload>> =
-            vec![Box::new(Crc), Box::new(Blit)];
+        let workloads: Vec<Box<dyn workloads::Workload>> = vec![Box::new(Crc), Box::new(Blit)];
         let table = compute_for(&config, 1, &workloads);
         assert_eq!(table.rows.len(), 2);
         let expect_avg = (table.rows[0].xor_2in + table.rows[1].xor_2in) / 2.0;

@@ -110,7 +110,7 @@ impl BitVec {
 
     fn check_width(width: usize) {
         assert!(
-            width >= 1 && width <= Self::MAX_WIDTH,
+            (1..=Self::MAX_WIDTH).contains(&width),
             "unsupported BitVec width {width}"
         );
     }
@@ -193,10 +193,7 @@ impl BitVec {
     /// Panics if the widths differ.
     #[must_use]
     pub fn dot(self, other: Self) -> bool {
-        assert_eq!(
-            self.width, other.width,
-            "dot product requires equal widths"
-        );
+        assert_eq!(self.width, other.width, "dot product requires equal widths");
         (self.bits & other.bits).count_ones() % 2 == 1
     }
 

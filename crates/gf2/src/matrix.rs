@@ -39,11 +39,11 @@ impl BitMatrix {
 
     fn check_dims(n_rows: usize, n_cols: usize) {
         assert!(
-            n_rows >= 1 && n_rows <= Self::MAX_DIM,
+            (1..=Self::MAX_DIM).contains(&n_rows),
             "unsupported row count {n_rows}"
         );
         assert!(
-            n_cols >= 1 && n_cols <= Self::MAX_DIM,
+            (1..=Self::MAX_DIM).contains(&n_cols),
             "unsupported column count {n_cols}"
         );
     }
@@ -109,11 +109,7 @@ impl BitMatrix {
     ///
     /// Panics if either dimension is unsupported.
     #[must_use]
-    pub fn from_fn<F: FnMut(usize, usize) -> bool>(
-        n_rows: usize,
-        n_cols: usize,
-        mut f: F,
-    ) -> Self {
+    pub fn from_fn<F: FnMut(usize, usize) -> bool>(n_rows: usize, n_cols: usize, mut f: F) -> Self {
         let mut m = Self::zero(n_rows, n_cols);
         for r in 0..n_rows {
             for c in 0..n_cols {
@@ -255,7 +251,10 @@ impl BitMatrix {
     /// this matrix as an index function.
     #[must_use]
     pub fn max_column_weight(&self) -> usize {
-        (0..self.n_cols).map(|c| self.column_weight(c)).max().unwrap_or(0)
+        (0..self.n_cols)
+            .map(|c| self.column_weight(c))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Total number of ones in the matrix (total XOR-gate inputs).
@@ -397,22 +396,22 @@ impl BitMatrix {
         // Gauss-Jordan on [self | I].
         let mut left = self.rows.clone();
         let mut right: Vec<u64> = (0..n).map(|i| 1u64 << i).collect();
-        let mut row = 0usize;
+        // A square matrix is invertible iff every column yields a pivot, so
+        // the pivot row always equals the current column.
         for col in 0..n {
             let mask = 1u64 << col;
-            let Some(p) = (row..n).find(|&r| left[r] & mask != 0) else {
+            let Some(p) = (col..n).find(|&r| left[r] & mask != 0) else {
                 return Err(Gf2Error::Singular);
             };
-            left.swap(row, p);
-            right.swap(row, p);
-            let (lp, rp) = (left[row], right[row]);
+            left.swap(col, p);
+            right.swap(col, p);
+            let (lp, rp) = (left[col], right[col]);
             for r in 0..n {
-                if r != row && left[r] & mask != 0 {
+                if r != col && left[r] & mask != 0 {
                     left[r] ^= lp;
                     right[r] ^= rp;
                 }
             }
-            row += 1;
         }
         Ok(BitMatrix {
             rows: right,
@@ -614,7 +613,10 @@ mod tests {
         let b = BitMatrix::identity(4);
         assert!(matches!(
             a.mul(&b),
-            Err(Gf2Error::DimensionMismatch { expected: 3, actual: 4 })
+            Err(Gf2Error::DimensionMismatch {
+                expected: 3,
+                actual: 4
+            })
         ));
     }
 
@@ -643,7 +645,10 @@ mod tests {
         let rows = [BitVec::zero(4), BitVec::zero(5)];
         assert!(matches!(
             BitMatrix::from_rows(&rows),
-            Err(Gf2Error::DimensionMismatch { expected: 4, actual: 5 })
+            Err(Gf2Error::DimensionMismatch {
+                expected: 4,
+                actual: 5
+            })
         ));
         assert!(matches!(
             BitMatrix::from_rows(&[]),

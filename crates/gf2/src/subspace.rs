@@ -136,7 +136,7 @@ impl Subspace {
             let lead = basis[i].leading_bit().expect("basis vectors are non-zero");
             for j in 0..i {
                 if basis[j].get(lead) {
-                    basis[j] = basis[j] ^ basis[i];
+                    basis[j] ^= basis[i];
                 }
             }
         }
@@ -406,10 +406,7 @@ mod tests {
             BitVec::from_u64(0b0110, 4),
             BitVec::from_u64(0b1010, 4),
         ];
-        let g2 = [
-            BitVec::from_u64(0b0110, 4),
-            BitVec::from_u64(0b1010, 4),
-        ];
+        let g2 = [BitVec::from_u64(0b0110, 4), BitVec::from_u64(0b1010, 4)];
         let s1 = Subspace::from_generators(4, &g1);
         let s2 = Subspace::from_generators(4, &g2);
         assert_eq!(s1, s2);
@@ -512,8 +509,14 @@ mod tests {
         assert_eq!(c.dim(), 8 - s.dim());
         assert_eq!(c.orthogonal_complement(), s);
         // Complement of the trivial space is everything and vice versa.
-        assert_eq!(Subspace::trivial(8).orthogonal_complement(), Subspace::full(8));
-        assert_eq!(Subspace::full(8).orthogonal_complement(), Subspace::trivial(8));
+        assert_eq!(
+            Subspace::trivial(8).orthogonal_complement(),
+            Subspace::full(8)
+        );
+        assert_eq!(
+            Subspace::full(8).orthogonal_complement(),
+            Subspace::trivial(8)
+        );
     }
 
     #[test]

@@ -172,7 +172,7 @@ proptest! {
     #[test]
     fn hyperplanes_have_codimension_one_in_parent(seed in any::<u64>(), n in 2usize..=10) {
         let mut rng = StdRng::seed_from_u64(seed);
-        let dim = (n / 2).max(1).min(5);
+        let dim = (n / 2).clamp(1, 5);
         let s = random::random_subspace(&mut rng, n, dim);
         let hps = s.hyperplanes();
         prop_assert_eq!(hps.len(), (1usize << dim) - 1);

@@ -29,7 +29,10 @@ impl CodeLayout {
     /// Panics if `instr_bytes` is zero.
     #[must_use]
     pub fn new(base: u64, instr_bytes: u64) -> Self {
-        assert!(instr_bytes > 0, "instructions must occupy at least one byte");
+        assert!(
+            instr_bytes > 0,
+            "instructions must occupy at least one byte"
+        );
         CodeLayout {
             next_addr: base,
             instr_bytes,
@@ -247,10 +250,7 @@ mod tests {
         let total: u64 = blocks.iter().map(CodeRegion::len).sum();
         assert_eq!(total, 10);
         assert_eq!(blocks[0].base(), f.base());
-        assert_eq!(
-            blocks[1].base(),
-            f.base() + blocks[0].len() * 4
-        );
+        assert_eq!(blocks[1].base(), f.base() + blocks[0].len() * 4);
     }
 
     #[test]

@@ -113,12 +113,11 @@ pub fn from_text(text: &str) -> Result<Trace, ParseTraceError> {
                 index: i,
                 reason: format!("unknown access kind {kind_char:?}"),
             })?;
-        let addr = u64::from_str_radix(addr_str.trim(), 16).map_err(|e| {
-            ParseTraceError::BadRecord {
+        let addr =
+            u64::from_str_radix(addr_str.trim(), 16).map_err(|e| ParseTraceError::BadRecord {
                 index: i,
                 reason: format!("bad address: {e}"),
-            }
-        })?;
+            })?;
         records.push(TraceRecord::new(kind, addr));
     }
     Ok(Trace::from_records(name, records, ops))

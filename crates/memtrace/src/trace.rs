@@ -34,11 +34,7 @@ impl Trace {
     /// the misses-per-K-uop denominator can never be smaller than the number
     /// of memory operations.
     #[must_use]
-    pub fn from_records(
-        name: impl Into<String>,
-        records: Vec<TraceRecord>,
-        ops: u64,
-    ) -> Self {
+    pub fn from_records(name: impl Into<String>, records: Vec<TraceRecord>, ops: u64) -> Self {
         let ops = ops.max(records.len() as u64);
         Trace {
             name: name.into(),

@@ -168,9 +168,7 @@ pub(crate) struct Xorshift {
 
 impl Xorshift {
     pub(crate) fn new(seed: u64) -> Self {
-        Xorshift {
-            state: seed.max(1),
-        }
+        Xorshift { state: seed.max(1) }
     }
 
     pub(crate) fn next(&mut self) -> u64 {

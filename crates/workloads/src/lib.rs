@@ -118,16 +118,16 @@ impl WorkloadSuite {
     #[must_use]
     pub fn table2() -> Vec<Box<dyn Workload>> {
         vec![
-            Box::new(mibench::Dijkstra::default()),
-            Box::new(mibench::Fft::default()),
-            Box::new(mediabench::JpegEncode::default()),
-            Box::new(mediabench::JpegDecode::default()),
-            Box::new(mediabench::Lame::default()),
-            Box::new(mibench::Rijndael::default()),
-            Box::new(mibench::Susan::default()),
-            Box::new(mediabench::AdpcmDecode::default()),
-            Box::new(mediabench::AdpcmEncode::default()),
-            Box::new(mediabench::Mpeg2Decode::default()),
+            Box::new(mibench::Dijkstra),
+            Box::new(mibench::Fft),
+            Box::new(mediabench::JpegEncode),
+            Box::new(mediabench::JpegDecode),
+            Box::new(mediabench::Lame),
+            Box::new(mibench::Rijndael),
+            Box::new(mibench::Susan),
+            Box::new(mediabench::AdpcmDecode),
+            Box::new(mediabench::AdpcmEncode),
+            Box::new(mediabench::Mpeg2Decode),
         ]
     }
 
@@ -135,20 +135,20 @@ impl WorkloadSuite {
     #[must_use]
     pub fn powerstone() -> Vec<Box<dyn Workload>> {
         vec![
-            Box::new(powerstone::Adpcm::default()),
-            Box::new(powerstone::Bcnt::default()),
-            Box::new(powerstone::Blit::default()),
-            Box::new(powerstone::Compress::default()),
-            Box::new(powerstone::Crc::default()),
-            Box::new(powerstone::Des::default()),
-            Box::new(powerstone::Engine::default()),
-            Box::new(powerstone::Fir::default()),
-            Box::new(powerstone::G3fax::default()),
-            Box::new(powerstone::Jpeg::default()),
-            Box::new(powerstone::Pocsag::default()),
-            Box::new(powerstone::Qurt::default()),
-            Box::new(powerstone::Ucbqsort::default()),
-            Box::new(powerstone::V42::default()),
+            Box::new(powerstone::Adpcm),
+            Box::new(powerstone::Bcnt),
+            Box::new(powerstone::Blit),
+            Box::new(powerstone::Compress),
+            Box::new(powerstone::Crc),
+            Box::new(powerstone::Des),
+            Box::new(powerstone::Engine),
+            Box::new(powerstone::Fir),
+            Box::new(powerstone::G3fax),
+            Box::new(powerstone::Jpeg),
+            Box::new(powerstone::Pocsag),
+            Box::new(powerstone::Qurt),
+            Box::new(powerstone::Ucbqsort),
+            Box::new(powerstone::V42),
         ]
     }
 
@@ -193,9 +193,23 @@ mod tests {
         for w in WorkloadSuite::all() {
             let d = w.data_trace(Scale::Tiny);
             let i = w.instruction_trace(Scale::Tiny);
-            assert!(d.len() > 100, "{} data trace too small ({})", w.name(), d.len());
-            assert!(i.len() > 100, "{} instr trace too small ({})", w.name(), i.len());
-            assert!(d.data_len() == d.len(), "{} data trace has non-data records", w.name());
+            assert!(
+                d.len() > 100,
+                "{} data trace too small ({})",
+                w.name(),
+                d.len()
+            );
+            assert!(
+                i.len() > 100,
+                "{} instr trace too small ({})",
+                w.name(),
+                i.len()
+            );
+            assert!(
+                d.data_len() == d.len(),
+                "{} data trace has non-data records",
+                w.name()
+            );
             assert!(
                 i.instruction_len() == i.len(),
                 "{} instruction trace has non-fetch records",
@@ -213,17 +227,17 @@ mod tests {
         assert!(Scale::Small.factor() < Scale::Reference.factor());
         assert_eq!(Scale::default(), Scale::Small);
         // Spot-check one cheap workload across scales.
-        let w = powerstone::Fir::default();
+        let w = powerstone::Fir;
         assert!(w.data_trace(Scale::Tiny).len() < w.data_trace(Scale::Small).len());
     }
 
     #[test]
     fn traces_are_deterministic() {
-        let a = mibench::Fft::default().data_trace(Scale::Tiny);
-        let b = mibench::Fft::default().data_trace(Scale::Tiny);
+        let a = mibench::Fft.data_trace(Scale::Tiny);
+        let b = mibench::Fft.data_trace(Scale::Tiny);
         assert_eq!(a.as_slice(), b.as_slice());
-        let a = powerstone::Compress::default().data_trace(Scale::Tiny);
-        let b = powerstone::Compress::default().data_trace(Scale::Tiny);
+        let a = powerstone::Compress.data_trace(Scale::Tiny);
+        let b = powerstone::Compress.data_trace(Scale::Tiny);
         assert_eq!(a.as_slice(), b.as_slice());
     }
 }

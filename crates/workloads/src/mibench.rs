@@ -64,7 +64,8 @@ impl Workload for Dijkstra {
             *w = (rng.below(99) + 1) as u32;
         }
 
-        let mut t = TraceBuilder::with_capacity("dijkstra", (Self::sources(scale) * n * n) as usize);
+        let mut t =
+            TraceBuilder::with_capacity("dijkstra", (Self::sources(scale) * n * n) as usize);
         for source in 0..Self::sources(scale) {
             let src = source % n;
             // Initialization pass.
@@ -408,18 +409,47 @@ impl Workload for Susan {
 
         // Offsets of the SUSAN 37-pixel circular mask (rows -3..=3).
         let mask: [(i64, i64); 37] = [
-            (-3, -1), (-3, 0), (-3, 1),
-            (-2, -2), (-2, -1), (-2, 0), (-2, 1), (-2, 2),
-            (-1, -3), (-1, -2), (-1, -1), (-1, 0), (-1, 1), (-1, 2), (-1, 3),
-            (0, -3), (0, -2), (0, -1), (0, 0), (0, 1), (0, 2), (0, 3),
-            (1, -3), (1, -2), (1, -1), (1, 0), (1, 1), (1, 2), (1, 3),
-            (2, -2), (2, -1), (2, 0), (2, 1), (2, 2),
-            (3, -1), (3, 0), (3, 1),
+            (-3, -1),
+            (-3, 0),
+            (-3, 1),
+            (-2, -2),
+            (-2, -1),
+            (-2, 0),
+            (-2, 1),
+            (-2, 2),
+            (-1, -3),
+            (-1, -2),
+            (-1, -1),
+            (-1, 0),
+            (-1, 1),
+            (-1, 2),
+            (-1, 3),
+            (0, -3),
+            (0, -2),
+            (0, -1),
+            (0, 0),
+            (0, 1),
+            (0, 2),
+            (0, 3),
+            (1, -3),
+            (1, -2),
+            (1, -1),
+            (1, 0),
+            (1, 1),
+            (1, 2),
+            (1, 3),
+            (2, -2),
+            (2, -1),
+            (2, 0),
+            (2, 1),
+            (2, 2),
+            (3, -1),
+            (3, 0),
+            (3, 1),
         ];
 
         let mut rng = Xorshift::new(0x5A5);
-        let mut t =
-            TraceBuilder::with_capacity("susan", (rows * cols * 40) as usize);
+        let mut t = TraceBuilder::with_capacity("susan", (rows * cols * 40) as usize);
         for r in 3..rows - 3 {
             for c in 3..cols - 3 {
                 image.load_2d(&mut t, r, c, cols); // nucleus
@@ -486,7 +516,9 @@ mod tests {
             .map(|(&s, _)| s)
             .collect();
         assert!(
-            strides.iter().any(|s| s.abs() >= 64 && (s.abs() as u64).is_power_of_two()),
+            strides
+                .iter()
+                .any(|s| s.abs() >= 64 && s.unsigned_abs().is_power_of_two()),
             "expected large power-of-two strides, got {strides:?}"
         );
     }

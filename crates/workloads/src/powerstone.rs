@@ -311,9 +311,7 @@ impl Workload for Des {
     fn data_trace(&self, scale: Scale) -> Trace {
         let blocks = samples(scale, 120);
         let mut layout = DataLayout::standard();
-        let sboxes: Vec<_> = (0..8)
-            .map(|_| layout.array("sbox", 64, 4))
-            .collect();
+        let sboxes: Vec<_> = (0..8).map(|_| layout.array("sbox", 64, 4)).collect();
         let perm = layout.array("permutation", 32, 1);
         let expansion = layout.array("expansion", 48, 1);
         let key_schedule = layout.array("key_schedule", 16 * 48, 1);
@@ -417,7 +415,11 @@ impl Workload for Engine {
         let main = code.function("main", 30);
         let mut t = TraceBuilder::new("engine.text");
         main.fetch_all(&mut t);
-        emit_loop(&mut t, &[&control, &interp, &interp], samples(scale, 800) / 2);
+        emit_loop(
+            &mut t,
+            &[&control, &interp, &interp],
+            samples(scale, 800) / 2,
+        );
         t.finish()
     }
 }
@@ -788,7 +790,10 @@ impl Workload for Ucbqsort {
             array.load(&mut t, i as u64);
             t.add_ops(1);
         }
-        assert!(data.windows(2).all(|w| w[0] <= w[1]), "sort must be correct");
+        assert!(
+            data.windows(2).all(|w| w[0] <= w[1]),
+            "sort must be correct"
+        );
         t.finish()
     }
 

@@ -26,10 +26,16 @@ fn main() {
 
     let a = 0x0100u64; // two block addresses 256 blocks apart
     let b = 0x0200u64;
-    println!("conventional: set({a:#06x}) = {:#x}, set({b:#06x}) = {:#x}",
-        conventional.set_index_of(a), conventional.set_index_of(b));
-    println!("xor function: set({a:#06x}) = {:#x}, set({b:#06x}) = {:#x}",
-        xor.set_index_of(a), xor.set_index_of(b));
+    println!(
+        "conventional: set({a:#06x}) = {:#x}, set({b:#06x}) = {:#x}",
+        conventional.set_index_of(a),
+        conventional.set_index_of(b)
+    );
+    println!(
+        "xor function: set({a:#06x}) = {:#x}, set({b:#06x}) = {:#x}",
+        xor.set_index_of(a),
+        xor.set_index_of(b)
+    );
 
     // Conflicts are characterized by the null space (paper Eq. 2).
     let difference = BitVec::from_u64(a ^ b, n);

@@ -92,7 +92,9 @@ fn estimator_ranks_functions_consistently_with_simulation() {
         cache.set_bits(),
     )
     .expect("valid geometry");
-    let outcome = searcher.run(SearchAlgorithm::HillClimb).expect("search runs");
+    let outcome = searcher
+        .run(SearchAlgorithm::HillClimb)
+        .expect("search runs");
 
     let conventional = HashFunction::conventional(HASHED_BITS, cache.set_bits()).unwrap();
     let est_base = estimator.estimate(&conventional).unwrap();
@@ -134,13 +136,10 @@ fn richer_function_classes_never_do_worse_on_estimates() {
             .unwrap()
             .estimated_misses
     };
-    let baseline = xorindex::search::Searcher::new(
-        &profile,
-        FunctionClass::bit_selecting(),
-        cache.set_bits(),
-    )
-    .unwrap()
-    .baseline_estimate();
+    let baseline =
+        xorindex::search::Searcher::new(&profile, FunctionClass::bit_selecting(), cache.set_bits())
+            .unwrap()
+            .baseline_estimate();
     let bitselect = estimate(FunctionClass::bit_selecting());
     let perm2 = estimate(FunctionClass::permutation_based(2));
     let perm_unlimited = estimate(FunctionClass::permutation_based_unlimited());

@@ -40,7 +40,10 @@ fn permutation_based_hardware_beats_bit_selecting_hardware() {
     // reconfigurable bit-selecting networks, at every evaluated geometry.
     for m in [8usize, 10, 12] {
         let perm = hardware::cost(IndexingScheme::PermutationBased2, 16, m);
-        for scheme in [IndexingScheme::BitSelect, IndexingScheme::OptimizedBitSelect] {
+        for scheme in [
+            IndexingScheme::BitSelect,
+            IndexingScheme::OptimizedBitSelect,
+        ] {
             let other = hardware::cost(scheme, 16, m);
             assert!(perm.total_devices() < other.total_devices());
             assert!(perm.wire_crossings() < other.wire_crossings());
@@ -81,13 +84,14 @@ fn permutation_based_representative_is_unique() {
     // Any two matrices with the same null space and identity low rows are the
     // same matrix: the reconfigurable hardware stores exactly one
     // configuration per application.
-    let original =
-        HashFunction::new(BitMatrix::from_fn(12, 6, |r, c| r == c || r == (c * 7) % 6 + 6))
-            .unwrap();
+    let original = HashFunction::new(BitMatrix::from_fn(12, 6, |r, c| {
+        r == c || r == (c * 7) % 6 + 6
+    }))
+    .unwrap();
     assert!(original.is_permutation_based());
     let ns = original.null_space();
-    let rebuilt = HashFunction::from_null_space(&ns, FunctionClass::permutation_based_unlimited())
-        .unwrap();
+    let rebuilt =
+        HashFunction::from_null_space(&ns, FunctionClass::permutation_based_unlimited()).unwrap();
     assert_eq!(rebuilt, original);
 }
 
@@ -103,8 +107,8 @@ fn null_space_determines_miss_behaviour_exactly() {
         .collect();
 
     let h1 = HashFunction::new(BitMatrix::from_fn(16, 8, |r, c| r == c || r == c + 8)).unwrap();
-    let h2 = HashFunction::from_null_space(&h1.null_space(), FunctionClass::xor_unlimited())
-        .unwrap();
+    let h2 =
+        HashFunction::from_null_space(&h1.null_space(), FunctionClass::xor_unlimited()).unwrap();
 
     let mut c1 = Cache::new(cache, h1.to_index_function());
     let mut c2 = Cache::new(cache, h2.to_index_function());

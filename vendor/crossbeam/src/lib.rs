@@ -1,0 +1,165 @@
+//! Offline stub of the [`crossbeam`](https://crates.io/crates/crossbeam)
+//! crate, covering the subset this workspace uses: [`scope`] for structured
+//! fork/join parallelism and [`channel`] for unbounded MPMC-ish channels.
+//!
+//! `scope` is implemented over [`std::thread::scope`]. One behavioural
+//! difference: if a worker thread panics, the panic propagates out of
+//! [`scope`] directly instead of being returned as `Err` — callers that
+//! `.expect()` the result observe the same test failure either way.
+
+use std::thread::ScopedJoinHandle;
+
+/// A handle for spawning scoped worker threads, mirroring
+/// `crossbeam::thread::Scope`.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. The closure receives a `&Scope` so workers can
+    /// spawn further workers, matching the crossbeam signature.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let handle = Scope { inner: self.inner };
+        self.inner.spawn(move || f(&handle))
+    }
+}
+
+/// Creates a scope in which threads borrowing from the enclosing stack frame
+/// can be spawned; joins them all before returning.
+pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+/// Multi-producer channels, mirroring `crossbeam::channel`.
+pub mod channel {
+    use std::sync::mpsc;
+    use std::sync::{Arc, Mutex};
+
+    /// The sending half of an unbounded channel.
+    pub struct Sender<T>(mpsc::Sender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends a message; fails only if all receivers are gone.
+        pub fn send(&self, value: T) -> Result<(), mpsc::SendError<T>> {
+            self.0.send(value)
+        }
+    }
+
+    /// The receiving half of an unbounded channel. Cloneable like crossbeam's
+    /// receiver; clones share one underlying queue.
+    pub struct Receiver<T>(Arc<Mutex<mpsc::Receiver<T>>>);
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives or all senders are gone.
+        pub fn recv(&self) -> Result<T, mpsc::RecvError> {
+            self.0.lock().expect("channel lock poisoned").recv()
+        }
+
+        /// Iterates over messages until all senders are gone.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { receiver: self }
+        }
+
+        /// Returns a message if one is ready right now.
+        pub fn try_recv(&self) -> Result<T, mpsc::TryRecvError> {
+            self.0.lock().expect("channel lock poisoned").try_recv()
+        }
+    }
+
+    /// Blocking iterator over received messages.
+    pub struct Iter<'a, T> {
+        receiver: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+
+        fn next(&mut self) -> Option<T> {
+            self.receiver.recv().ok()
+        }
+    }
+
+    impl<T> IntoIterator for Receiver<T> {
+        type Item = T;
+        type IntoIter = IntoIter<T>;
+
+        fn into_iter(self) -> IntoIter<T> {
+            IntoIter { receiver: self }
+        }
+    }
+
+    /// Owning blocking iterator over received messages.
+    pub struct IntoIter<T> {
+        receiver: Receiver<T>,
+    }
+
+    impl<T> Iterator for IntoIter<T> {
+        type Item = T;
+
+        fn next(&mut self) -> Option<T> {
+            self.receiver.recv().ok()
+        }
+    }
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(tx), Receiver(Arc::new(Mutex::new(rx))))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+
+    #[test]
+    fn scoped_threads_join_and_return() {
+        let data = [1u64, 2, 3, 4];
+        let (tx, rx) = channel::unbounded();
+        super::scope(|scope| {
+            for (i, &x) in data.iter().enumerate() {
+                let tx = tx.clone();
+                scope.spawn(move |_| {
+                    tx.send((i, x * 10)).expect("receiver alive");
+                });
+            }
+            drop(tx);
+        })
+        .expect("no panics");
+        let mut got: Vec<(usize, u64)> = rx.iter().collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![(0, 10), (1, 20), (2, 30), (3, 40)]);
+    }
+
+    #[test]
+    fn nested_spawn_compiles_and_runs() {
+        let result = super::scope(|scope| {
+            let h = scope.spawn(|inner| {
+                let h2 = inner.spawn(|_| 21);
+                h2.join().expect("inner join") * 2
+            });
+            h.join().expect("outer join")
+        })
+        .expect("no panics");
+        assert_eq!(result, 42);
+    }
+}

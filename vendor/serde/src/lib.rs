@@ -1,0 +1,18 @@
+//! Offline stub of the [`serde`](https://serde.rs) crate.
+//!
+//! The workspace only uses `#[derive(Serialize, Deserialize)]` as a forward
+//! declaration of serializability — nothing actually serializes through serde
+//! yet (trace I/O has its own text/binary codecs). This stub therefore
+//! provides marker traits that every type implements, plus no-op derive
+//! macros, so the derives compile and the real serde can be dropped in later
+//! without touching the code that carries the derives.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

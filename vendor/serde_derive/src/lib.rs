@@ -1,0 +1,17 @@
+//! No-op `Serialize`/`Deserialize` derive macros for the offline serde stub.
+//!
+//! The companion `serde` stub gives every type a blanket impl of its marker
+//! traits, so these derives have nothing to emit. They still register the
+//! `#[serde(...)]` helper attribute so annotated fields keep compiling.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
