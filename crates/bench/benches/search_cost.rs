@@ -6,8 +6,10 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
-use xorindex::search::Searcher;
-use xorindex::{ConflictProfile, FunctionClass, HashFunction, MissEstimator, SearchAlgorithm};
+use xorindex::search::{neighborhood, NeighborPool, Searcher};
+use xorindex::{
+    ConflictProfile, EvalEngine, FunctionClass, HashFunction, MissEstimator, SearchAlgorithm,
+};
 use xorindex_bench::{prepare_data, HASHED_BITS};
 
 fn bench_search_cost(c: &mut Criterion) {
@@ -30,6 +32,31 @@ fn bench_search_cost(c: &mut Criterion) {
     group.bench_function("single_estimate_eq4", |b| {
         let estimator = MissEstimator::new(&prepared.profile);
         b.iter(|| black_box(estimator.estimate(&conventional).expect("same geometry")))
+    });
+
+    // The same single evaluation through the dense engine's kernel (packed
+    // basis + flat histogram), without memoization.
+    group.bench_function("dense_estimate_eq4", |b| {
+        let engine = EvalEngine::new(&prepared.profile);
+        let ns = conventional.null_space();
+        b.iter(|| black_box(engine.evaluate_fresh(&ns)))
+    });
+
+    // One full hill-climbing neighbourhood priced as a batch, exercising the
+    // hyperplane-delta path. The memo is cleared every iteration so the batch
+    // is recomputed rather than answered from cache.
+    group.bench_function("neighborhood_batch", |b| {
+        let pool = NeighborPool::UnitsAndPairs.vectors(HASHED_BITS, &prepared.profile);
+        let nbhd = neighborhood(
+            &conventional.null_space(),
+            FunctionClass::xor_unlimited(),
+            &pool,
+        );
+        let mut engine = EvalEngine::new(&prepared.profile);
+        b.iter(|| {
+            engine.reset();
+            black_box(engine.evaluate_neighborhood(&nbhd))
+        })
     });
 
     for (label, class) in [

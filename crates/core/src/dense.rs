@@ -1,0 +1,197 @@
+//! Dense, read-optimized view of a [`ConflictProfile`].
+//!
+//! The profiling pass builds its histogram in a `HashMap<BitVec, u64>`, which
+//! is the right structure for accumulation but a poor one for the evaluation
+//! hot path: Eq. 4 sums `misses(v)` over up to `2^(n−m)` null-space vectors
+//! per candidate, and each `HashMap` lookup hashes a `BitVec` key. A
+//! [`DenseProfile`] freezes the histogram into
+//!
+//! * a `Vec<(u64, u64)>` of `(vector, weight)` pairs sorted by vector — the
+//!   cache-friendly layout for scanning the whole histogram, with binary
+//!   search for point lookups; and
+//! * when `hashed_bits ≤ 20`, an additional flat array of `2^n` weights so a
+//!   point lookup is a single indexed load (2^20 × 8 B = 8 MB at the limit;
+//!   the paper's configuration uses n = 16, i.e. 512 KB).
+//!
+//! It mirrors the read-side API of [`ConflictProfile`], so evaluation code is
+//! oblivious to which representation it is handed.
+
+use crate::ConflictProfile;
+
+/// Widest `hashed_bits` for which the flat lookup array is materialized.
+pub const FLAT_LOOKUP_MAX_BITS: usize = 20;
+
+/// A read-optimized snapshot of a [`ConflictProfile`] histogram.
+///
+/// # Example
+///
+/// ```
+/// use cache_sim::BlockAddr;
+/// use xorindex::{ConflictProfile, DenseProfile};
+///
+/// let trace = (0..20u64).map(|i| BlockAddr((i % 2) * 0x100));
+/// let profile = ConflictProfile::from_blocks(trace, 16, 256);
+/// let dense = DenseProfile::from_profile(&profile);
+/// assert_eq!(dense.misses_of(0x100), profile.misses_of(0x100));
+/// assert_eq!(dense.total_weight(), profile.total_weight());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DenseProfile {
+    hashed_bits: usize,
+    capacity_blocks: usize,
+    /// `(vector, weight)` pairs sorted by vector; weights are non-zero and the
+    /// zero vector never appears (the profiler drops it).
+    entries: Vec<(u64, u64)>,
+    /// Flat `2^hashed_bits` weight array when the width permits.
+    flat: Option<Vec<u64>>,
+    total_weight: u64,
+}
+
+impl DenseProfile {
+    /// Freezes a profile's histogram into the dense layout.
+    #[must_use]
+    pub fn from_profile(profile: &ConflictProfile) -> Self {
+        let hashed_bits = profile.hashed_bits();
+        let mut entries: Vec<(u64, u64)> = profile
+            .iter()
+            .map(|(v, w)| (v.as_u64(), w))
+            .filter(|&(_, w)| w > 0)
+            .collect();
+        entries.sort_unstable_by_key(|&(v, _)| v);
+        let total_weight = entries.iter().map(|&(_, w)| w).sum();
+        let flat = (hashed_bits <= FLAT_LOOKUP_MAX_BITS).then(|| {
+            let mut table = vec![0u64; 1usize << hashed_bits];
+            for &(v, w) in &entries {
+                table[v as usize] = w;
+            }
+            table
+        });
+        DenseProfile {
+            hashed_bits,
+            capacity_blocks: profile.capacity_blocks(),
+            entries,
+            flat,
+            total_weight,
+        }
+    }
+
+    /// Number of hashed address bits `n`.
+    #[must_use]
+    pub fn hashed_bits(&self) -> usize {
+        self.hashed_bits
+    }
+
+    /// Cache capacity (in blocks) the source profile was gathered for.
+    #[must_use]
+    pub fn capacity_blocks(&self) -> usize {
+        self.capacity_blocks
+    }
+
+    /// Number of distinct conflict vectors recorded.
+    #[must_use]
+    pub fn distinct_vectors(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when a flat lookup array is materialized (point lookups are one
+    /// indexed load).
+    #[must_use]
+    pub fn has_flat_lookup(&self) -> bool {
+        self.flat.is_some()
+    }
+
+    /// The accumulated weight `misses(v)` of a conflict vector's raw bits.
+    #[must_use]
+    pub fn misses_of(&self, v: u64) -> u64 {
+        debug_assert!(self.hashed_bits == 64 || v < (1u64 << self.hashed_bits));
+        match &self.flat {
+            Some(table) => table[v as usize],
+            None => self
+                .entries
+                .binary_search_by_key(&v, |&(vec, _)| vec)
+                .map(|i| self.entries[i].1)
+                .unwrap_or(0),
+        }
+    }
+
+    /// The sorted `(vector, weight)` pairs, ascending by vector.
+    #[must_use]
+    pub fn entries(&self) -> &[(u64, u64)] {
+        &self.entries
+    }
+
+    /// Iterates over `(vector, weight)` pairs in ascending vector order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// Total weight over all vectors.
+    #[must_use]
+    pub fn total_weight(&self) -> u64 {
+        self.total_weight
+    }
+}
+
+impl From<&ConflictProfile> for DenseProfile {
+    fn from(profile: &ConflictProfile) -> Self {
+        DenseProfile::from_profile(profile)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cache_sim::BlockAddr;
+    use gf2::BitVec;
+
+    fn profile(seq: &[u64], hashed_bits: usize) -> ConflictProfile {
+        ConflictProfile::from_blocks(seq.iter().copied().map(BlockAddr), hashed_bits, 64)
+    }
+
+    #[test]
+    fn dense_lookups_match_the_hashmap_histogram() {
+        let seq: Vec<u64> = (0..300u64).map(|i| (i * 37) % 97).collect();
+        let p = profile(&seq, 10);
+        let d = DenseProfile::from_profile(&p);
+        assert!(d.has_flat_lookup());
+        for v in 0..(1u64 << 10) {
+            assert_eq!(d.misses_of(v), p.misses(BitVec::from_u64(v, 10)), "v={v}");
+        }
+        assert_eq!(d.total_weight(), p.total_weight());
+        assert_eq!(d.distinct_vectors(), p.distinct_vectors());
+        assert_eq!(d.hashed_bits(), 10);
+        assert_eq!(d.capacity_blocks(), 64);
+    }
+
+    #[test]
+    fn wide_profiles_fall_back_to_binary_search() {
+        let seq: Vec<u64> = (0..100u64).map(|i| (i % 5) << 40).collect();
+        let p = ConflictProfile::from_blocks(seq.iter().copied().map(BlockAddr), 48, 64);
+        let d = DenseProfile::from_profile(&p);
+        assert!(!d.has_flat_lookup());
+        for (v, w) in p.iter() {
+            assert_eq!(d.misses_of(v.as_u64()), w);
+        }
+        assert_eq!(d.misses_of(0x1234), 0);
+        assert_eq!(d.total_weight(), p.total_weight());
+    }
+
+    #[test]
+    fn entries_are_sorted_nonzero_and_complete() {
+        let seq: Vec<u64> = (0..200u64).map(|i| (i % 7) * 13).collect();
+        let p = profile(&seq, 12);
+        let d = DenseProfile::from_profile(&p);
+        assert!(d.entries().windows(2).all(|w| w[0].0 < w[1].0));
+        assert!(d.iter().all(|(v, w)| v != 0 && w > 0));
+        assert_eq!(d.iter().map(|(_, w)| w).sum::<u64>(), p.total_weight());
+    }
+
+    #[test]
+    fn empty_profile_gives_empty_dense_view() {
+        let p = ConflictProfile::from_blocks(std::iter::empty(), 16, 64);
+        let d = DenseProfile::from_profile(&p);
+        assert_eq!(d.distinct_vectors(), 0);
+        assert_eq!(d.total_weight(), 0);
+        assert_eq!(d.misses_of(0x10), 0);
+    }
+}

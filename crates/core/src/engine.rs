@@ -1,0 +1,522 @@
+//! Dense evaluation engine for Eq. 4 over whole candidate sets.
+//!
+//! [`MissEstimator`](crate::MissEstimator) evaluates one candidate at a time
+//! against the `HashMap` histogram; every search step re-pays key hashing,
+//! `Subspace` traversal and — across steps — re-evaluation of candidates the
+//! search has already seen. [`EvalEngine`] is the batch-oriented replacement
+//! the search algorithms run on:
+//!
+//! * **Dense storage** — the histogram is frozen into a [`DenseProfile`]
+//!   (sorted pairs + flat lookup array), so a point lookup is an indexed load
+//!   instead of a `BitVec` hash.
+//! * **Packed bases** — candidates are reduced with
+//!   [`gf2::PackedBasis`] word operations rather than `BitVec` arithmetic.
+//! * **Memoization** — canonical null spaces are cached, so no subspace is
+//!   ever evaluated twice within a search (hill-climb neighbourhoods overlap
+//!   heavily step-to-step, and random restarts revisit whole basins).
+//! * **Delta evaluation** — hill-climb neighbours share hyperplanes with
+//!   their parent: `misses(M ⊕ span(w)) = misses(M) + Σ_{u∈M} misses(u ⊕ w)`,
+//!   so the engine computes each hyperplane's partial sum once and each
+//!   neighbour costs only a `2^(d−1)`-term coset sum instead of a fresh
+//!   `2^d`-term null-space walk.
+//! * **Parallel batches** — large batches are split across OS threads with
+//!   `std::thread::scope`.
+//!
+//! All paths compute the exact Eq. 4 sum; estimates are bit-identical to
+//! [`MissEstimator`](crate::MissEstimator) under every
+//! [`EstimationStrategy`].
+
+use std::collections::HashMap;
+
+use gf2::{PackedBasis, Subspace};
+
+use crate::estimate::resolve_strategy;
+use crate::search::Neighborhood;
+use crate::{ConflictProfile, DenseProfile, EstimationStrategy};
+
+/// Minimum number of fresh candidates before a batch is split across threads
+/// (below this the spawn overhead dominates).
+const PARALLEL_THRESHOLD: usize = 8;
+
+/// Counters describing the work an [`EvalEngine`] has performed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Unique candidate Eq. 4 evaluations computed (full walks, scans or
+    /// coset deltas).
+    pub evaluations: u64,
+    /// Hyperplane partial sums computed to support delta evaluation; each is
+    /// half the work of a full candidate walk and is shared by every
+    /// neighbour retaining that hyperplane.
+    pub support_evaluations: u64,
+    /// Candidate costs answered from the memo table.
+    pub memo_hits: u64,
+    /// Batches that were split across threads.
+    pub parallel_batches: u64,
+}
+
+/// Batch evaluator of Eq. 4 (`misses(H) = Σ_{v ∈ N(H)} misses(v)`) over a
+/// frozen [`DenseProfile`].
+///
+/// # Example
+///
+/// ```
+/// use cache_sim::BlockAddr;
+/// use xorindex::{ConflictProfile, EvalEngine, HashFunction, MissEstimator};
+///
+/// let trace = (0..20u64).map(|i| BlockAddr((i % 2) * 0x100));
+/// let profile = ConflictProfile::from_blocks(trace, 16, 256);
+/// let conventional = HashFunction::conventional(16, 8)?;
+///
+/// let mut engine = EvalEngine::new(&profile);
+/// let ns = conventional.null_space();
+/// assert_eq!(
+///     engine.evaluate(&ns),
+///     MissEstimator::new(&profile).estimate(&conventional)?
+/// );
+/// // The second query is a memo hit.
+/// engine.evaluate(&ns);
+/// assert_eq!(engine.stats().evaluations, 1);
+/// assert_eq!(engine.stats().memo_hits, 1);
+/// # Ok::<(), xorindex::XorIndexError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct EvalEngine<'a> {
+    profile: &'a ConflictProfile,
+    dense: DenseProfile,
+    strategy: EstimationStrategy,
+    threads: usize,
+    memo: HashMap<Subspace, u64>,
+    stats: EngineStats,
+}
+
+impl<'a> EvalEngine<'a> {
+    /// Builds an engine over a profile, freezing its histogram into the dense
+    /// layout. Uses [`EstimationStrategy::Auto`] and as many threads as the
+    /// host exposes.
+    #[must_use]
+    pub fn new(profile: &'a ConflictProfile) -> Self {
+        EvalEngine {
+            profile,
+            dense: DenseProfile::from_profile(profile),
+            strategy: EstimationStrategy::Auto,
+            threads: std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+            memo: HashMap::new(),
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// Selects the evaluation strategy (default: automatic per candidate).
+    #[must_use]
+    pub fn with_strategy(mut self, strategy: EstimationStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Caps the number of worker threads batches may use (1 = sequential).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The profile this engine evaluates against.
+    #[must_use]
+    pub fn profile(&self) -> &ConflictProfile {
+        self.profile
+    }
+
+    /// The frozen dense view of the histogram.
+    #[must_use]
+    pub fn dense(&self) -> &DenseProfile {
+        &self.dense
+    }
+
+    /// Work counters accumulated since construction (or the last
+    /// [`EvalEngine::reset`]).
+    #[must_use]
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Clears the memo table and counters, keeping the dense profile.
+    pub fn reset(&mut self) {
+        self.memo.clear();
+        self.stats = EngineStats::default();
+    }
+
+    /// Estimated conflict misses of any function whose null space is `ns`,
+    /// memoized on the canonical null space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the null space's ambient width differs from the profile's
+    /// hashed width.
+    pub fn evaluate(&mut self, ns: &Subspace) -> u64 {
+        self.check_width(ns);
+        if let Some(&cost) = self.memo.get(ns) {
+            self.stats.memo_hits += 1;
+            return cost;
+        }
+        let cost = Self::cost_of(&self.dense, self.strategy, &PackedBasis::from_subspace(ns));
+        self.stats.evaluations += 1;
+        self.memo.insert(ns.clone(), cost);
+        cost
+    }
+
+    /// One-shot evaluation that bypasses the memo table (useful for
+    /// benchmarking the raw evaluation kernel).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the null space's ambient width differs from the profile's
+    /// hashed width.
+    #[must_use]
+    pub fn evaluate_fresh(&self, ns: &Subspace) -> u64 {
+        self.check_width(ns);
+        Self::cost_of(&self.dense, self.strategy, &PackedBasis::from_subspace(ns))
+    }
+
+    /// Evaluates a whole batch of candidates, answering memoized ones from
+    /// cache and computing the rest in parallel when the batch is large
+    /// enough.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any candidate's ambient width differs from the profile's
+    /// hashed width.
+    pub fn evaluate_all(&mut self, candidates: &[Subspace]) -> Vec<u64> {
+        let mut out = vec![0u64; candidates.len()];
+        let mut pending: Vec<(usize, PackedBasis)> = Vec::new();
+        for (i, ns) in candidates.iter().enumerate() {
+            self.check_width(ns);
+            if let Some(&cost) = self.memo.get(ns) {
+                self.stats.memo_hits += 1;
+                out[i] = cost;
+            } else {
+                pending.push((i, PackedBasis::from_subspace(ns)));
+            }
+        }
+        if pending.is_empty() {
+            return out;
+        }
+        let dense = &self.dense;
+        let strategy = self.strategy;
+        let costs =
+            Self::compute_parallel(&pending, self.threads, &mut self.stats, |(_, packed)| {
+                Self::cost_of(dense, strategy, packed)
+            });
+        self.stats.evaluations += pending.len() as u64;
+        for (&(i, _), cost) in pending.iter().zip(costs) {
+            out[i] = cost;
+            self.memo.insert(candidates[i].clone(), cost);
+        }
+        out
+    }
+
+    /// Evaluates a neighbourhood, exploiting the one-generator-delta
+    /// structure: each candidate `M ⊕ span(w)` costs its hyperplane's partial
+    /// sum (computed once per hyperplane, memoized) plus a `2^(d−1)`-term
+    /// coset sum, instead of a fresh `2^d`-term walk.
+    ///
+    /// When the null spaces are large enough that histogram scanning is
+    /// cheaper (the [`EstimationStrategy::Auto`] crossover), the batch falls
+    /// back to [`EvalEngine::evaluate_all`].
+    ///
+    /// Returns costs aligned with `neighborhood.candidates`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a candidate's ambient width differs from the profile's
+    /// hashed width.
+    pub fn evaluate_neighborhood(&mut self, neighborhood: &Neighborhood) -> Vec<u64> {
+        if neighborhood.candidates.is_empty() {
+            return Vec::new();
+        }
+        let dim = neighborhood.candidates[0].subspace.dim();
+        let delta_pays = matches!(
+            resolve_strategy(self.strategy, dim, self.dense.distinct_vectors()),
+            EstimationStrategy::EnumerateNullSpace
+        );
+        if !delta_pays {
+            return self.evaluate_all(&neighborhood.subspaces());
+        }
+
+        // Partial sums: one support evaluation per referenced hyperplane
+        // (memoized, so a hyperplane shared with an earlier step is free).
+        let mut hyper: Vec<Option<(u64, PackedBasis)>> = vec![None; neighborhood.hyperplanes.len()];
+        for candidate in &neighborhood.candidates {
+            let slot = candidate.hyperplane;
+            if hyper[slot].is_none() {
+                let hyperplane = &neighborhood.hyperplanes[slot];
+                let cost = self.evaluate_support(hyperplane);
+                hyper[slot] = Some((cost, PackedBasis::from_subspace(hyperplane)));
+            }
+        }
+
+        let mut out = vec![0u64; neighborhood.candidates.len()];
+        let mut pending: Vec<(usize, u64, &PackedBasis, u64)> = Vec::new();
+        for (i, candidate) in neighborhood.candidates.iter().enumerate() {
+            self.check_width(&candidate.subspace);
+            if let Some(&cost) = self.memo.get(&candidate.subspace) {
+                self.stats.memo_hits += 1;
+                out[i] = cost;
+            } else {
+                let entry = hyper[candidate.hyperplane]
+                    .as_ref()
+                    .expect("referenced hyperplanes are evaluated above");
+                pending.push((i, entry.0, &entry.1, candidate.direction.as_u64()));
+            }
+        }
+        if pending.is_empty() {
+            return out;
+        }
+        let dense = &self.dense;
+        let costs = Self::compute_parallel(
+            &pending,
+            self.threads,
+            &mut self.stats,
+            |&(_, hyper_cost, packed, direction)| {
+                // Every coset vector is non-zero (direction ∉ hyperplane), and
+                // the zero vector carries weight 0 anyway.
+                hyper_cost
+                    + packed
+                        .coset(direction)
+                        .map(|v| dense.misses_of(v))
+                        .sum::<u64>()
+            },
+        );
+        self.stats.evaluations += pending.len() as u64;
+        for (&(i, ..), cost) in pending.iter().zip(costs) {
+            out[i] = cost;
+            self.memo
+                .insert(neighborhood.candidates[i].subspace.clone(), cost);
+        }
+        out
+    }
+
+    /// Memoized evaluation counted as support work (hyperplane partial sums)
+    /// rather than as a candidate evaluation.
+    fn evaluate_support(&mut self, ns: &Subspace) -> u64 {
+        self.check_width(ns);
+        if let Some(&cost) = self.memo.get(ns) {
+            self.stats.memo_hits += 1;
+            return cost;
+        }
+        let cost = Self::cost_of(&self.dense, self.strategy, &PackedBasis::from_subspace(ns));
+        self.stats.support_evaluations += 1;
+        self.memo.insert(ns.clone(), cost);
+        cost
+    }
+
+    fn check_width(&self, ns: &Subspace) {
+        assert_eq!(
+            ns.ambient_width(),
+            self.dense.hashed_bits(),
+            "null space width must match the profile"
+        );
+    }
+
+    /// The exact Eq. 4 sum for one packed null space.
+    fn cost_of(dense: &DenseProfile, strategy: EstimationStrategy, packed: &PackedBasis) -> u64 {
+        match resolve_strategy(strategy, packed.dim(), dense.distinct_vectors()) {
+            // The zero vector carries weight 0, so it needs no special case.
+            EstimationStrategy::EnumerateNullSpace => {
+                packed.vectors().map(|v| dense.misses_of(v)).sum()
+            }
+            EstimationStrategy::ScanHistogram => dense
+                .iter()
+                .filter(|&(v, _)| packed.contains(v))
+                .map(|(_, w)| w)
+                .sum(),
+            EstimationStrategy::Auto => unreachable!("Auto resolved above"),
+        }
+    }
+
+    /// Maps `job_cost` over `jobs`, splitting across scoped threads when the
+    /// engine is configured for parallelism and the batch is large enough.
+    fn compute_parallel<J: Sync>(
+        jobs: &[J],
+        threads: usize,
+        stats: &mut EngineStats,
+        job_cost: impl Fn(&J) -> u64 + Sync,
+    ) -> Vec<u64> {
+        let workers = threads.min(jobs.len());
+        if workers <= 1 || jobs.len() < PARALLEL_THRESHOLD {
+            return jobs.iter().map(job_cost).collect();
+        }
+        stats.parallel_batches += 1;
+        let chunk = jobs.len().div_ceil(workers);
+        let mut out = vec![0u64; jobs.len()];
+        let job_cost = &job_cost;
+        std::thread::scope(|scope| {
+            for (slots, chunk_jobs) in out.chunks_mut(chunk).zip(jobs.chunks(chunk)) {
+                scope.spawn(move || {
+                    for (slot, job) in slots.iter_mut().zip(chunk_jobs) {
+                        *slot = job_cost(job);
+                    }
+                });
+            }
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::{neighborhood, NeighborPool};
+    use crate::{FunctionClass, HashFunction, MissEstimator};
+    use cache_sim::BlockAddr;
+    use gf2::BitMatrix;
+
+    fn profile_from(seq: &[u64], hashed_bits: usize, capacity: usize) -> ConflictProfile {
+        ConflictProfile::from_blocks(seq.iter().copied().map(BlockAddr), hashed_bits, capacity)
+    }
+
+    fn mixed_profile() -> ConflictProfile {
+        let seq: Vec<u64> = (0..400u64)
+            .map(|i| match i % 5 {
+                0 => 0,
+                1 => 0x40,
+                2 => 0x80,
+                3 => 0x23,
+                _ => 0xC0,
+            })
+            .collect();
+        profile_from(&seq, 12, 64)
+    }
+
+    #[test]
+    fn engine_matches_the_estimator_under_every_strategy() {
+        let profile = mixed_profile();
+        let functions = [
+            HashFunction::conventional(12, 6).unwrap(),
+            HashFunction::new(BitMatrix::from_fn(12, 6, |r, c| r == c || r == c + 6)).unwrap(),
+            HashFunction::bit_selecting(12, &[0, 1, 2, 3, 4, 11]).unwrap(),
+            HashFunction::conventional(12, 2).unwrap(), // large null space
+        ];
+        for strategy in [
+            EstimationStrategy::Auto,
+            EstimationStrategy::EnumerateNullSpace,
+            EstimationStrategy::ScanHistogram,
+        ] {
+            let mut engine = EvalEngine::new(&profile).with_strategy(strategy);
+            let estimator = MissEstimator::new(&profile).with_strategy(strategy);
+            for f in &functions {
+                let ns = f.null_space();
+                assert_eq!(
+                    engine.evaluate(&ns),
+                    estimator.estimate_null_space(&ns),
+                    "{strategy:?}"
+                );
+                assert_eq!(engine.evaluate_fresh(&ns), engine.evaluate(&ns));
+            }
+        }
+    }
+
+    #[test]
+    fn batch_evaluation_matches_singles_and_memoizes() {
+        let profile = mixed_profile();
+        let mut engine = EvalEngine::new(&profile);
+        let candidates: Vec<Subspace> = (2..=6)
+            .map(|m| HashFunction::conventional(12, m).unwrap().null_space())
+            .collect();
+        let batch = engine.evaluate_all(&candidates);
+        let estimator = MissEstimator::new(&profile);
+        for (ns, &cost) in candidates.iter().zip(&batch) {
+            assert_eq!(cost, estimator.estimate_null_space(ns));
+        }
+        assert_eq!(engine.stats().evaluations, candidates.len() as u64);
+        // Second pass is answered entirely from the memo.
+        let again = engine.evaluate_all(&candidates);
+        assert_eq!(again, batch);
+        assert_eq!(engine.stats().evaluations, candidates.len() as u64);
+        assert_eq!(engine.stats().memo_hits, candidates.len() as u64);
+    }
+
+    #[test]
+    fn neighborhood_delta_evaluation_is_exact() {
+        let profile = mixed_profile();
+        let estimator = MissEstimator::new(&profile);
+        let pool = NeighborPool::UnitsAndPairs.vectors(12, &profile);
+        for class in [
+            FunctionClass::xor_unlimited(),
+            FunctionClass::permutation_based_unlimited(),
+            FunctionClass::bit_selecting(),
+        ] {
+            let parent = HashFunction::conventional(12, 6).unwrap().null_space();
+            let nbhd = neighborhood(&parent, class, &pool);
+            assert!(!nbhd.is_empty(), "{class}");
+            let mut engine = EvalEngine::new(&profile);
+            let costs = engine.evaluate_neighborhood(&nbhd);
+            for (candidate, &cost) in nbhd.candidates.iter().zip(&costs) {
+                assert_eq!(
+                    cost,
+                    estimator.estimate_null_space(&candidate.subspace),
+                    "{class}: candidate {}",
+                    candidate.subspace
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn neighborhood_scan_fallback_is_exact() {
+        // A tiny cache (2 set bits) gives 10-dimensional null spaces: 1023
+        // non-zero vectors dwarf the handful of distinct conflict vectors, so
+        // Auto falls back to histogram scanning.
+        let profile = mixed_profile();
+        let estimator = MissEstimator::new(&profile);
+        let pool = NeighborPool::UnitsAndPairs.vectors(12, &profile);
+        let parent = HashFunction::conventional(12, 2).unwrap().null_space();
+        let nbhd = neighborhood(&parent, FunctionClass::xor_unlimited(), &pool);
+        assert!(!nbhd.is_empty());
+        let mut engine = EvalEngine::new(&profile);
+        let costs = engine.evaluate_neighborhood(&nbhd);
+        for (candidate, &cost) in nbhd.candidates.iter().zip(&costs) {
+            assert_eq!(cost, estimator.estimate_null_space(&candidate.subspace));
+        }
+    }
+
+    #[test]
+    fn parallel_and_sequential_batches_agree() {
+        let profile = mixed_profile();
+        let pool = NeighborPool::UnitsAndPairs.vectors(12, &profile);
+        let parent = HashFunction::conventional(12, 6).unwrap().null_space();
+        let nbhd = neighborhood(&parent, FunctionClass::xor_unlimited(), &pool);
+        let mut sequential = EvalEngine::new(&profile).with_threads(1);
+        let mut parallel = EvalEngine::new(&profile).with_threads(4);
+        assert_eq!(
+            sequential.evaluate_neighborhood(&nbhd),
+            parallel.evaluate_neighborhood(&nbhd)
+        );
+        assert_eq!(
+            sequential.evaluate_all(&nbhd.subspaces()),
+            parallel.evaluate_all(&nbhd.subspaces())
+        );
+    }
+
+    #[test]
+    fn reset_clears_memo_and_stats() {
+        let profile = mixed_profile();
+        let mut engine = EvalEngine::new(&profile);
+        let ns = HashFunction::conventional(12, 6).unwrap().null_space();
+        engine.evaluate(&ns);
+        assert_eq!(engine.stats().evaluations, 1);
+        engine.reset();
+        assert_eq!(engine.stats(), EngineStats::default());
+        engine.evaluate(&ns);
+        assert_eq!(engine.stats().evaluations, 1);
+        assert_eq!(engine.stats().memo_hits, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "width must match")]
+    fn width_mismatch_panics() {
+        let profile = mixed_profile();
+        let mut engine = EvalEngine::new(&profile);
+        let _ = engine.evaluate(&Subspace::full(8));
+    }
+}

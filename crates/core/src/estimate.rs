@@ -29,6 +29,34 @@ pub enum EstimationStrategy {
     ScanHistogram,
 }
 
+/// Resolves [`EstimationStrategy::Auto`] for a null space of dimension `dim`
+/// against a histogram of `distinct_vectors` recorded conflict vectors:
+/// enumerate the `2^dim − 1` *non-zero* null-space vectors (the zero vector
+/// is never recorded, so enumeration skips it) when there are no more of them
+/// than distinct vectors, otherwise scan the histogram.
+///
+/// The single source of truth for the crossover — both [`MissEstimator`] and
+/// [`EvalEngine`](crate::EvalEngine) call it, which is what keeps their
+/// strategy choices (and therefore their per-candidate work) aligned.
+#[must_use]
+pub(crate) fn resolve_strategy(
+    strategy: EstimationStrategy,
+    dim: usize,
+    distinct_vectors: usize,
+) -> EstimationStrategy {
+    match strategy {
+        EstimationStrategy::Auto => {
+            let nonzero_null_vectors = (1u128 << dim) - 1;
+            if nonzero_null_vectors <= distinct_vectors as u128 {
+                EstimationStrategy::EnumerateNullSpace
+            } else {
+                EstimationStrategy::ScanHistogram
+            }
+        }
+        other => other,
+    }
+}
+
 /// Estimates the conflict misses a hash function would incur, using a
 /// [`ConflictProfile`] instead of re-simulating the trace (paper Eq. 4).
 ///
@@ -103,6 +131,15 @@ impl<'a> MissEstimator<'a> {
         Ok(self.estimate_null_space(&function.null_space()))
     }
 
+    /// The concrete strategy [`MissEstimator::estimate_null_space`] would run
+    /// for a null space of this dimension: never
+    /// [`EstimationStrategy::Auto`]. See [`resolve_strategy`] for the
+    /// crossover rule.
+    #[must_use]
+    pub fn resolved_strategy(&self, ns: &Subspace) -> EstimationStrategy {
+        resolve_strategy(self.strategy, ns.dim(), self.profile.distinct_vectors())
+    }
+
     /// Estimated conflict misses of any function whose null space is `ns`.
     ///
     /// # Panics
@@ -116,18 +153,7 @@ impl<'a> MissEstimator<'a> {
             self.profile.hashed_bits(),
             "null space width must match the profile"
         );
-        let strategy = match self.strategy {
-            EstimationStrategy::Auto => {
-                let null_space_size = 1u128 << ns.dim();
-                if null_space_size <= self.profile.distinct_vectors() as u128 {
-                    EstimationStrategy::EnumerateNullSpace
-                } else {
-                    EstimationStrategy::ScanHistogram
-                }
-            }
-            other => other,
-        };
-        match strategy {
+        match self.resolved_strategy(ns) {
             EstimationStrategy::EnumerateNullSpace => ns
                 .vectors()
                 .filter(|v| !v.is_zero())
@@ -200,6 +226,53 @@ mod tests {
         let fixed =
             HashFunction::new(BitMatrix::from_fn(12, 6, |r, c| r == c || r == c + 6)).unwrap();
         assert_eq!(estimator.estimate(&fixed).unwrap(), 0);
+    }
+
+    #[test]
+    fn auto_crossover_counts_nonzero_null_vectors() {
+        // Exactly 3 distinct conflict vectors: revisiting 1 records 1^2=3 and
+        // 1^3=2, revisiting 2 records 2^3=1 (and 2^1=3 again).
+        let profile = profile_from(&[1, 2, 3, 1, 2], 8, 16);
+        assert_eq!(profile.distinct_vectors(), 3);
+        let estimator = MissEstimator::new(&profile);
+        // dim 2 → 3 non-zero null vectors == 3 distinct: enumeration is no
+        // more expensive, so Auto must pick it. (The old comparison counted
+        // the zero vector, saw 4 > 3, and scanned instead.)
+        let dim2 = Subspace::standard_span(8, [6usize, 7]);
+        assert_eq!(
+            estimator.resolved_strategy(&dim2),
+            EstimationStrategy::EnumerateNullSpace
+        );
+        // dim 3 → 7 non-zero null vectors > 3 distinct: scan the histogram.
+        let dim3 = Subspace::standard_span(8, [5usize, 6, 7]);
+        assert_eq!(
+            estimator.resolved_strategy(&dim3),
+            EstimationStrategy::ScanHistogram
+        );
+        // Explicit strategies resolve to themselves.
+        for s in [
+            EstimationStrategy::EnumerateNullSpace,
+            EstimationStrategy::ScanHistogram,
+        ] {
+            assert_eq!(
+                MissEstimator::new(&profile)
+                    .with_strategy(s)
+                    .resolved_strategy(&dim2),
+                s
+            );
+        }
+        // Either side computes the same value at the boundary.
+        let f = HashFunction::conventional(8, 6).unwrap();
+        assert_eq!(
+            MissEstimator::new(&profile)
+                .with_strategy(EstimationStrategy::EnumerateNullSpace)
+                .estimate(&f)
+                .unwrap(),
+            MissEstimator::new(&profile)
+                .with_strategy(EstimationStrategy::ScanHistogram)
+                .estimate(&f)
+                .unwrap()
+        );
     }
 
     #[test]

@@ -12,6 +12,10 @@
 //! 2. **Miss estimation** ([`MissEstimator`], paper Eq. 4): the conflict-miss
 //!    count of *any* candidate hash function `H` is estimated without
 //!    re-simulating the trace as `Σ_{v ∈ N(H)} misses(v)` over its null space.
+//!    The searches run this sum through the dense evaluation engine
+//!    ([`EvalEngine`] over a [`DenseProfile`]): packed `u64` bases, memoized
+//!    canonical null spaces, one-generator-delta neighbourhood batches and
+//!    scoped-thread parallelism, with bit-identical results.
 //! 3. **Design-space search** ([`search`]): steepest-descent hill climbing over
 //!    null spaces (neighbours differ in exactly one dimension), plus the
 //!    random-restart / simulated-annealing extensions and the exhaustive
@@ -50,6 +54,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod dense;
+mod engine;
 mod error;
 mod estimate;
 mod function_class;
@@ -61,6 +67,8 @@ mod report;
 pub mod hardware;
 pub mod search;
 
+pub use dense::{DenseProfile, FLAT_LOOKUP_MAX_BITS};
+pub use engine::{EngineStats, EvalEngine};
 pub use error::XorIndexError;
 pub use estimate::{EstimationStrategy, MissEstimator};
 pub use function_class::FunctionClass;

@@ -50,6 +50,7 @@ pub struct OptimizerBuilder {
     class: FunctionClass,
     algorithm: SearchAlgorithm,
     revert_if_worse: bool,
+    search_threads: Option<usize>,
 }
 
 impl Default for OptimizerBuilder {
@@ -60,6 +61,7 @@ impl Default for OptimizerBuilder {
             class: FunctionClass::permutation_based(2),
             algorithm: SearchAlgorithm::HillClimb,
             revert_if_worse: false,
+            search_threads: None,
         }
     }
 }
@@ -98,6 +100,14 @@ impl OptimizerBuilder {
         self
     }
 
+    /// Caps the worker threads the search's evaluation engine may use for
+    /// neighbourhood batches (default: one per host CPU; 1 = sequential —
+    /// useful when the caller already parallelizes across traces).
+    pub fn search_threads(&mut self, threads: usize) -> &mut Self {
+        self.search_threads = Some(threads.max(1));
+        self
+    }
+
     /// Builds the optimizer.
     #[must_use]
     pub fn build(&self) -> Optimizer {
@@ -107,12 +117,15 @@ impl OptimizerBuilder {
             class: self.class,
             algorithm: self.algorithm,
             revert_if_worse: self.revert_if_worse,
+            search_threads: self.search_threads,
         }
     }
 }
 
 /// Profiles a block-address trace, searches for an application-specific hash
-/// function, and verifies it by full cache simulation.
+/// function (all candidate pricing goes through the dense
+/// [`EvalEngine`](crate::EvalEngine)), and verifies it by full cache
+/// simulation.
 ///
 /// # Example
 ///
@@ -138,6 +151,7 @@ pub struct Optimizer {
     class: FunctionClass,
     algorithm: SearchAlgorithm,
     revert_if_worse: bool,
+    search_threads: Option<usize>,
 }
 
 impl Optimizer {
@@ -178,8 +192,12 @@ impl Optimizer {
         &self,
         profile: &ConflictProfile,
     ) -> Result<SearchOutcome, XorIndexError> {
-        crate::search::Searcher::new(profile, self.class, self.cache.set_bits())?
-            .run(self.algorithm)
+        let mut searcher =
+            crate::search::Searcher::new(profile, self.class, self.cache.set_bits())?;
+        if let Some(threads) = self.search_threads {
+            searcher = searcher.with_threads(threads);
+        }
+        searcher.run(self.algorithm)
     }
 
     /// Runs the full pipeline on a block-address trace: profile, search, then

@@ -31,18 +31,17 @@ impl Searcher<'_> {
         initial_temperature: f64,
         seed: u64,
     ) -> Result<SearchOutcome, XorIndexError> {
-        let estimator = self.estimator();
+        let mut engine = self.engine();
         let pool = self.pool_vectors();
         let class = self.class();
         let mut rng = StdRng::seed_from_u64(seed);
 
         let start = self.conventional_null_space();
         let mut current = start.clone();
-        let mut current_cost = estimator.estimate_null_space(&current);
+        let mut current_cost = engine.evaluate(&current);
         let baseline_estimate = current_cost;
         let mut best_function = HashFunction::from_null_space(&start, class)?;
         let mut best_cost = current_cost;
-        let mut evaluations: u64 = 1;
         let mut steps: u64 = 0;
 
         let temperature_floor = (initial_temperature * 0.01).max(1e-9);
@@ -61,10 +60,11 @@ impl Searcher<'_> {
             }
             let pick = rng.gen_range(0..candidates.len());
             let candidate = &candidates[pick];
-            let cost = estimator.estimate_null_space(candidate);
-            evaluations += 1;
+            // Memoized: revisiting a proposal from an earlier iteration (or
+            // the reverse of an accepted move) costs a table lookup.
+            let cost = engine.evaluate(candidate);
             let delta = cost as f64 - current_cost as f64;
-            let accept = delta <= 0.0 || rng.gen::<f64>() < (-delta / temperature).exp();
+            let accept = delta <= 0.0 || rng.random::<f64>() < (-delta / temperature).exp();
             if accept {
                 current = candidate.clone();
                 current_cost = cost;
@@ -83,7 +83,7 @@ impl Searcher<'_> {
             function: best_function,
             estimated_misses: best_cost,
             baseline_estimate,
-            evaluations,
+            evaluations: engine.stats().evaluations,
             steps,
         })
     }

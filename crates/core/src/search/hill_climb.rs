@@ -2,17 +2,17 @@
 
 use gf2::Subspace;
 
-use crate::search::neighbors::neighbors;
+use crate::search::neighbors::neighborhood;
 use crate::search::{SearchOutcome, Searcher};
-use crate::{HashFunction, XorIndexError};
+use crate::{EvalEngine, HashFunction, XorIndexError};
 
 impl Searcher<'_> {
     /// Runs the paper's steepest-descent search from the conventional
     /// function's null space.
     ///
-    /// Every neighbour of the current null space is evaluated with the
-    /// profile-based estimator; if the best admissible neighbour improves on
-    /// the best function found so far, the search moves there, otherwise a
+    /// Every neighbour of the current null space is evaluated in one batch by
+    /// the dense evaluation engine; if the best admissible neighbour improves
+    /// on the best function found so far, the search moves there, otherwise a
     /// local optimum has been reached and the search stops.
     ///
     /// # Errors
@@ -30,43 +30,61 @@ impl Searcher<'_> {
     /// Returns [`XorIndexError::NoRepresentative`] if the starting point is
     /// not admissible for the searcher's function class.
     pub fn hill_climb_from(&self, start: Subspace) -> Result<SearchOutcome, XorIndexError> {
-        let estimator = self.estimator();
+        let mut engine = self.engine();
+        self.hill_climb_with(&mut engine, start)
+    }
+
+    /// Hill climbing on a caller-supplied engine, so several climbs (random
+    /// restarts) share one memo table and dense profile.
+    ///
+    /// Reported `evaluations` are the *unique* Eq. 4 evaluations this climb
+    /// added to the engine; overlapping neighbourhoods answered from the memo
+    /// are free.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XorIndexError::NoRepresentative`] if the starting point is
+    /// not admissible for the searcher's function class.
+    pub(crate) fn hill_climb_with(
+        &self,
+        engine: &mut EvalEngine<'_>,
+        start: Subspace,
+    ) -> Result<SearchOutcome, XorIndexError> {
         let pool = self.pool_vectors();
         let class = self.class();
 
-        // Validate the start and prime the bookkeeping.
+        // Validate the start and prime the bookkeeping. The baseline is
+        // priced before the evaluation snapshot so it is never charged to
+        // this climb (matching the pre-engine accounting, where the baseline
+        // went through a separate estimator call).
         let start_function = HashFunction::from_null_space(&start, class)?;
-        let mut current = start.clone();
-        let mut current_cost = estimator.estimate_null_space(&current);
-        let baseline_estimate = self.baseline_estimate();
+        let baseline_estimate = engine.evaluate(&self.conventional_null_space());
+        let evaluations_before = engine.stats().evaluations;
+        let mut current = start;
+        let mut best_cost = engine.evaluate(&current);
         let mut best_function = start_function;
-        let mut best_cost = current_cost;
-        let mut evaluations: u64 = 1;
         let mut steps: u64 = 0;
 
         loop {
-            // Evaluate the whole neighbourhood, cheapest check first: the
-            // estimator runs on every candidate, the (more expensive) fan-in
-            // admissibility check only on candidates that would be taken.
-            let mut candidates: Vec<(u64, Subspace)> = neighbors(&current, class, &pool)
-                .into_iter()
-                .map(|ns| {
-                    evaluations += 1;
-                    (estimator.estimate_null_space(&ns), ns)
-                })
-                .collect();
-            candidates.sort_by_key(|(cost, _)| *cost);
+            // Evaluate the whole neighbourhood in one engine batch, cheapest
+            // check first: the engine prices every candidate, the (more
+            // expensive) fan-in admissibility check runs only on candidates
+            // that would be taken.
+            let nbhd = neighborhood(&current, class, &pool);
+            let costs = engine.evaluate_neighborhood(&nbhd);
+            let mut order: Vec<usize> = (0..nbhd.candidates.len()).collect();
+            order.sort_by_key(|&i| costs[i]);
 
             let mut moved = false;
-            for (cost, ns) in candidates {
-                if cost >= best_cost {
+            for i in order {
+                if costs[i] >= best_cost {
                     break; // sorted: nothing better remains
                 }
-                match HashFunction::from_null_space(&ns, class) {
+                let ns = &nbhd.candidates[i].subspace;
+                match HashFunction::from_null_space(ns, class) {
                     Ok(function) => {
-                        current = ns;
-                        current_cost = cost;
-                        best_cost = cost;
+                        current = ns.clone();
+                        best_cost = costs[i];
                         best_function = function;
                         steps += 1;
                         moved = true;
@@ -84,7 +102,7 @@ impl Searcher<'_> {
             }
         }
 
-        let _ = current_cost;
+        let evaluations = engine.stats().evaluations - evaluations_before;
         Ok(SearchOutcome {
             function: best_function,
             estimated_misses: best_cost,

@@ -4,7 +4,11 @@
 //! equal null spaces give identical conflict behaviour, and canonical
 //! [`Subspace`](gf2::Subspace) bases make equality checks cheap, so no function
 //! is evaluated twice. Candidate quality is judged with the profile-based
-//! estimator (paper Eq. 4), never by re-simulating the trace.
+//! estimator (paper Eq. 4), never by re-simulating the trace; every algorithm
+//! routes its evaluations through the dense [`EvalEngine`], which memoizes
+//! canonical null spaces, evaluates neighbourhoods in one (optionally
+//! parallel) batch, and reuses hyperplane partial sums across the
+//! one-generator-delta neighbours of a hill-climbing step.
 //!
 //! Available algorithms:
 //!
@@ -28,10 +32,11 @@ use gf2::{BitVec, Subspace};
 use serde::{Deserialize, Serialize};
 
 use crate::{
-    ConflictProfile, EstimationStrategy, FunctionClass, HashFunction, MissEstimator, XorIndexError,
+    ConflictProfile, EstimationStrategy, EvalEngine, FunctionClass, HashFunction, MissEstimator,
+    XorIndexError,
 };
 
-pub use neighbors::NeighborPool;
+pub use neighbors::{neighborhood, neighbors, NeighborCandidate, NeighborPool, Neighborhood};
 
 /// Which search algorithm to run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
@@ -116,6 +121,7 @@ pub struct Searcher<'a> {
     set_bits: usize,
     pool: NeighborPool,
     strategy: EstimationStrategy,
+    threads: Option<usize>,
 }
 
 impl<'a> Searcher<'a> {
@@ -144,6 +150,7 @@ impl<'a> Searcher<'a> {
             set_bits,
             pool: NeighborPool::UnitsAndPairs,
             strategy: EstimationStrategy::Auto,
+            threads: None,
         })
     }
 
@@ -159,6 +166,14 @@ impl<'a> Searcher<'a> {
     #[must_use]
     pub fn with_estimation_strategy(mut self, strategy: EstimationStrategy) -> Self {
         self.strategy = strategy;
+        self
+    }
+
+    /// Caps the number of worker threads the evaluation engine may use for
+    /// neighbourhood batches (default: one per host CPU; 1 = sequential).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
         self
     }
 
@@ -189,6 +204,21 @@ impl<'a> Searcher<'a> {
 
     fn estimator(&self) -> MissEstimator<'a> {
         MissEstimator::new(self.profile).with_strategy(self.strategy)
+    }
+
+    /// Builds the dense evaluation engine every search algorithm runs on,
+    /// configured with this searcher's strategy and thread cap.
+    ///
+    /// The engine freezes the profile's histogram, so build it once per
+    /// search (or share it across several, as
+    /// [`Searcher::random_restart`] does) rather than per candidate.
+    #[must_use]
+    pub fn engine(&self) -> EvalEngine<'a> {
+        let mut engine = EvalEngine::new(self.profile).with_strategy(self.strategy);
+        if let Some(threads) = self.threads {
+            engine = engine.with_threads(threads);
+        }
+        engine
     }
 
     /// Estimated misses of the conventional function under this profile.

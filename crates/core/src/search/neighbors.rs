@@ -76,6 +76,52 @@ impl NeighborPool {
     }
 }
 
+/// A candidate null space of a neighbourhood, together with its decomposition
+/// `candidate = hyperplane ⊕ span(direction)`.
+///
+/// The decomposition is what lets the evaluation engine reuse partial sums:
+/// `misses(candidate) = misses(hyperplane) + Σ_{u ∈ hyperplane} misses(u ⊕
+/// direction)`, and the hyperplane term is shared by every candidate built
+/// from the same hyperplane.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NeighborCandidate {
+    /// Index into [`Neighborhood::hyperplanes`] of the retained hyperplane.
+    pub hyperplane: usize,
+    /// The replacement direction `v ∉ parent`.
+    pub direction: BitVec,
+    /// The candidate null space `hyperplane ⊕ span(direction)`, canonical.
+    pub subspace: Subspace,
+}
+
+/// The full neighbourhood of a null space, grouped by retained hyperplane.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Neighborhood {
+    /// The distinct hyperplanes of the parent that candidates retain.
+    pub hyperplanes: Vec<Subspace>,
+    /// The admissible candidates, in deterministic generation order.
+    pub candidates: Vec<NeighborCandidate>,
+}
+
+impl Neighborhood {
+    /// Number of candidates.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.candidates.len()
+    }
+
+    /// `true` when there are no candidates.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.candidates.is_empty()
+    }
+
+    /// The candidate subspaces alone, in generation order.
+    #[must_use]
+    pub fn subspaces(&self) -> Vec<Subspace> {
+        self.candidates.iter().map(|c| c.subspace.clone()).collect()
+    }
+}
+
 /// Generates the neighbours of `null_space` admissible for `class`, using the
 /// given replacement-direction pool.
 ///
@@ -84,14 +130,27 @@ impl NeighborPool {
 /// and far smaller.
 #[must_use]
 pub fn neighbors(null_space: &Subspace, class: FunctionClass, pool: &[BitVec]) -> Vec<Subspace> {
+    neighborhood(null_space, class, pool).subspaces()
+}
+
+/// Generates the neighbourhood of `null_space` with its hyperplane/direction
+/// structure preserved, for delta evaluation by the engine.
+///
+/// Candidates appear in the same deterministic order as [`neighbors`]
+/// produces.
+#[must_use]
+pub fn neighborhood(null_space: &Subspace, class: FunctionClass, pool: &[BitVec]) -> Neighborhood {
     let n = null_space.ambient_width();
     let m = n - null_space.dim();
     if class == FunctionClass::BitSelecting {
-        return bit_select_neighbors(null_space);
+        return bit_select_neighborhood(null_space);
     }
     let mut seen: HashSet<Subspace> = HashSet::new();
-    let mut out = Vec::new();
+    let mut hyperplanes = Vec::new();
+    let mut candidates = Vec::new();
     for hyperplane in null_space.hyperplanes() {
+        let hyperplane_index = hyperplanes.len();
+        let mut used = false;
         for &v in pool {
             if null_space.contains(v) {
                 continue;
@@ -103,11 +162,22 @@ pub fn neighbors(null_space: &Subspace, class: FunctionClass, pool: &[BitVec]) -
             }
             if admissible(&candidate, class, m) {
                 seen.insert(candidate.clone());
-                out.push(candidate);
+                candidates.push(NeighborCandidate {
+                    hyperplane: hyperplane_index,
+                    direction: v,
+                    subspace: candidate,
+                });
+                used = true;
             }
         }
+        if used {
+            hyperplanes.push(hyperplane);
+        }
     }
-    out
+    Neighborhood {
+        hyperplanes,
+        candidates,
+    }
 }
 
 /// Cheap admissibility pre-filter. The permutation-based structural condition
@@ -124,8 +194,10 @@ fn admissible(candidate: &Subspace, class: FunctionClass, m: usize) -> bool {
 
 /// Structural neighbourhood for bit-selecting functions: the null space is a
 /// coordinate subspace `span{e_i : i ∉ S}`; a neighbour swaps one excluded bit
-/// for one selected bit.
-fn bit_select_neighbors(null_space: &Subspace) -> Vec<Subspace> {
+/// for one selected bit. The retained hyperplane is the span of the excluded
+/// bits minus the dropped one, and the direction is the newly excluded unit
+/// vector.
+fn bit_select_neighborhood(null_space: &Subspace) -> Neighborhood {
     let n = null_space.ambient_width();
     let excluded: Vec<usize> = null_space
         .basis()
@@ -140,19 +212,32 @@ fn bit_select_neighbors(null_space: &Subspace) -> Vec<Subspace> {
         .collect();
     if excluded.len() != null_space.dim() {
         // Not a coordinate subspace: no structural neighbours.
-        return Vec::new();
+        return Neighborhood {
+            hyperplanes: Vec::new(),
+            candidates: Vec::new(),
+        };
     }
     let selected: Vec<usize> = (0..n).filter(|i| !excluded.contains(i)).collect();
-    let mut out = Vec::new();
+    let mut hyperplanes = Vec::new();
+    let mut candidates = Vec::new();
     for &drop in &excluded {
+        let retained: Vec<usize> = excluded.iter().copied().filter(|&b| b != drop).collect();
+        let hyperplane_index = hyperplanes.len();
+        hyperplanes.push(Subspace::standard_span(n, retained.iter().copied()));
         for &add in &selected {
-            let mut new_excluded: Vec<usize> =
-                excluded.iter().copied().filter(|&b| b != drop).collect();
+            let mut new_excluded = retained.clone();
             new_excluded.push(add);
-            out.push(Subspace::standard_span(n, new_excluded));
+            candidates.push(NeighborCandidate {
+                hyperplane: hyperplane_index,
+                direction: BitVec::unit(add, n),
+                subspace: Subspace::standard_span(n, new_excluded),
+            });
         }
     }
-    out
+    Neighborhood {
+        hyperplanes,
+        candidates,
+    }
 }
 
 #[cfg(test)]
@@ -223,6 +308,42 @@ mod tests {
             assert_eq!(nb.dim(), 5);
             assert!(nb.basis().iter().all(|b| b.weight() == 1));
             assert_eq!(ns.intersection_dim(nb), 4);
+        }
+    }
+
+    #[test]
+    fn neighborhood_decomposition_is_consistent() {
+        // Every candidate must equal its hyperplane extended by its direction,
+        // with the direction outside the hyperplane — the invariant the
+        // engine's delta evaluation relies on.
+        let p = dummy_profile(8);
+        let pool = NeighborPool::UnitsAndPairs.vectors(8, &p);
+        for (ns, class) in [
+            (
+                Subspace::standard_span(8, 3..8),
+                FunctionClass::xor_unlimited(),
+            ),
+            (
+                Subspace::standard_span(8, 3..8),
+                FunctionClass::permutation_based_unlimited(),
+            ),
+            (
+                Subspace::standard_span(8, [3usize, 4, 5, 6, 7]),
+                FunctionClass::bit_selecting(),
+            ),
+        ] {
+            let nbhd = neighborhood(&ns, class, &pool);
+            assert!(!nbhd.is_empty(), "{class}");
+            assert_eq!(nbhd.len(), nbhd.candidates.len());
+            for c in &nbhd.candidates {
+                let hyperplane = &nbhd.hyperplanes[c.hyperplane];
+                assert_eq!(hyperplane.dim(), ns.dim() - 1);
+                assert!(ns.contains_subspace(hyperplane));
+                assert!(!hyperplane.contains(c.direction), "{class}");
+                assert_eq!(hyperplane.extended(c.direction), c.subspace, "{class}");
+            }
+            // The flat view matches the structured view, in order.
+            assert_eq!(nbhd.subspaces(), neighbors(&ns, class, &pool));
         }
     }
 

@@ -14,6 +14,10 @@ impl Searcher<'_> {
     /// Evaluates every `C(n, m)` bit-selecting function against the profile
     /// and returns the best one.
     ///
+    /// The whole design space is priced as one engine batch (split across
+    /// threads when large), and ties keep the lexicographically first
+    /// selection, as the sequential enumeration did.
+    ///
     /// The result is optimal *with respect to the profile* (the same caveat as
     /// the rest of the framework: the profile itself is a heuristic
     /// abstraction of the trace).
@@ -23,37 +27,46 @@ impl Searcher<'_> {
     /// Propagates construction failures, which cannot normally occur for
     /// bit-selecting functions.
     pub fn optimal_bit_select(&self) -> Result<SearchOutcome, XorIndexError> {
+        // Stream the lexicographic enumeration through the engine in bounded
+        // chunks: each chunk is priced as one (optionally parallel) batch,
+        // but memory stays O(chunk) however large C(n, m) grows.
+        const CHUNK: usize = 4096;
         let n = self.hashed_bits();
         let m = self.set_bits();
-        let estimator = self.estimator();
-        let baseline_estimate = self.baseline_estimate();
+        let mut engine = self.engine();
+        let baseline_estimate = engine.evaluate(&self.conventional_null_space());
 
         let mut best: Option<(u64, Vec<usize>)> = None;
         let mut evaluations = 0u64;
         let mut selection: Vec<usize> = (0..m).collect();
-        loop {
-            // Evaluate the current selection: its null space is spanned by the
-            // complementary unit vectors.
-            let excluded = (0..n).filter(|i| !selection.contains(i));
-            let ns = gf2::Subspace::standard_span(n, excluded);
-            let cost = estimator.estimate_null_space(&ns);
-            evaluations += 1;
-            let better = match &best {
-                None => true,
-                Some((best_cost, _)) => cost < *best_cost,
-            };
-            if better {
-                best = Some((cost, selection.clone()));
+        let mut exhausted = false;
+        while !exhausted {
+            let mut selections: Vec<Vec<usize>> = Vec::with_capacity(CHUNK);
+            let mut candidates: Vec<gf2::Subspace> = Vec::with_capacity(CHUNK);
+            while selections.len() < CHUNK {
+                // The selection's null space is spanned by the complementary
+                // unit vectors.
+                let excluded = (0..n).filter(|i| !selection.contains(i));
+                candidates.push(gf2::Subspace::standard_span(n, excluded));
+                selections.push(selection.clone());
+                if !next_combination(&mut selection, n) {
+                    exhausted = true;
+                    break;
+                }
             }
-
-            // Advance to the next combination in lexicographic order.
-            if !next_combination(&mut selection, n) {
-                break;
+            let costs = engine.evaluate_all(&candidates);
+            evaluations += candidates.len() as u64;
+            for (sel, cost) in selections.into_iter().zip(costs) {
+                // Strictly-less keeps the lexicographically first tie, as the
+                // pre-engine sequential enumeration did.
+                if best.as_ref().is_none_or(|(best_cost, _)| cost < *best_cost) {
+                    best = Some((cost, sel));
+                }
             }
         }
 
-        let (cost, selection) = best.expect("at least one combination exists");
-        let function = HashFunction::bit_selecting(n, &selection)?;
+        let (cost, sel) = best.expect("at least one combination exists");
+        let function = HashFunction::bit_selecting(n, &sel)?;
         Ok(SearchOutcome {
             function,
             estimated_misses: cost,

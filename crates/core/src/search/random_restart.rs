@@ -18,6 +18,10 @@ impl Searcher<'_> {
     /// Hill climbing from the conventional starting point plus `restarts`
     /// random admissible starting points.
     ///
+    /// All climbs share one evaluation engine, so a restart that wanders into
+    /// a basin an earlier climb already priced answers those candidates from
+    /// the memo instead of re-evaluating them.
+    ///
     /// # Errors
     ///
     /// Propagates hill-climbing failures.
@@ -27,12 +31,13 @@ impl Searcher<'_> {
         seed: u64,
     ) -> Result<SearchOutcome, XorIndexError> {
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut best = self.hill_climb()?;
+        let mut engine = self.engine();
+        let mut best = self.hill_climb_with(&mut engine, self.conventional_null_space())?;
         let mut total_evaluations = best.evaluations;
         let mut total_steps = best.steps;
         for _ in 0..restarts {
             let start = self.random_admissible_start(&mut rng);
-            let outcome = self.hill_climb_from(start)?;
+            let outcome = self.hill_climb_with(&mut engine, start)?;
             total_evaluations += outcome.evaluations;
             total_steps += outcome.steps;
             if outcome.estimated_misses < best.estimated_misses {

@@ -4,8 +4,11 @@ use cache_sim::{BlockAddr, Cache, CacheConfig, ModuloIndex};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use xorindex::search::{SearchAlgorithm, Searcher};
-use xorindex::{ConflictProfile, EstimationStrategy, FunctionClass, HashFunction, MissEstimator};
+use xorindex::search::{neighbors, SearchAlgorithm, Searcher};
+use xorindex::{
+    ConflictProfile, DenseProfile, EstimationStrategy, EvalEngine, FunctionClass, HashFunction,
+    MissEstimator,
+};
 
 const HASHED_BITS: usize = 10;
 
@@ -133,6 +136,84 @@ proptest! {
     }
 
     #[test]
+    fn dense_profile_agrees_with_the_hashmap_histogram(
+        blocks in trace_strategy(),
+        cache in cache_strategy(),
+    ) {
+        let profile = profile_of(&blocks, &cache);
+        let dense = DenseProfile::from_profile(&profile);
+        prop_assert_eq!(dense.hashed_bits(), profile.hashed_bits());
+        prop_assert_eq!(dense.distinct_vectors(), profile.distinct_vectors());
+        prop_assert_eq!(dense.total_weight(), profile.total_weight());
+        // Exhaustive point-lookup agreement over the whole hashed domain.
+        for v in 0..(1u64 << HASHED_BITS) {
+            prop_assert_eq!(
+                dense.misses_of(v),
+                profile.misses(gf2::BitVec::from_u64(v, HASHED_BITS)),
+                "vector {}", v
+            );
+        }
+    }
+
+    #[test]
+    fn engine_estimates_are_bit_identical_to_the_estimator(
+        blocks in trace_strategy(),
+        cache in cache_strategy(),
+        seed in any::<u64>(),
+    ) {
+        let profile = profile_of(&blocks, &cache);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for strategy in [
+            EstimationStrategy::Auto,
+            EstimationStrategy::EnumerateNullSpace,
+            EstimationStrategy::ScanHistogram,
+        ] {
+            let mut engine = EvalEngine::new(&profile).with_strategy(strategy);
+            let estimator = MissEstimator::new(&profile).with_strategy(strategy);
+            for _ in 0..3 {
+                let matrix =
+                    gf2::random::random_full_rank_matrix(&mut rng, HASHED_BITS, cache.set_bits());
+                let ns = matrix.null_space();
+                prop_assert_eq!(
+                    engine.evaluate(&ns),
+                    estimator.estimate_null_space(&ns),
+                    "strategy {:?}", strategy
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn engine_neighborhood_batches_match_per_candidate_estimates(
+        blocks in trace_strategy(),
+        cache in cache_strategy(),
+    ) {
+        let profile = profile_of(&blocks, &cache);
+        let estimator = MissEstimator::new(&profile);
+        for class in [
+            FunctionClass::bit_selecting(),
+            FunctionClass::permutation_based_unlimited(),
+            FunctionClass::xor_unlimited(),
+        ] {
+            let searcher = Searcher::new(&profile, class, cache.set_bits()).unwrap();
+            let parent = searcher.conventional_null_space();
+            let pool = xorindex::search::NeighborPool::UnitsAndPairs
+                .vectors(HASHED_BITS, &profile);
+            let nbhd = xorindex::search::neighborhood(&parent, class, &pool);
+            let mut engine = searcher.engine();
+            let costs = engine.evaluate_neighborhood(&nbhd);
+            prop_assert_eq!(costs.len(), nbhd.len());
+            for (candidate, &cost) in nbhd.candidates.iter().zip(&costs) {
+                prop_assert_eq!(
+                    cost,
+                    estimator.estimate_null_space(&candidate.subspace),
+                    "class {}", class
+                );
+            }
+        }
+    }
+
+    #[test]
     fn profile_merge_is_equivalent_to_concatenated_profiling_for_disjoint_footprints(
         blocks in trace_strategy(),
         cache in cache_strategy(),
@@ -156,5 +237,127 @@ proptest! {
             merged.summary().references,
             a.summary().references + b.summary().references
         );
+    }
+}
+
+/// The pre-engine hill climb, verbatim: per-candidate [`MissEstimator`] calls,
+/// no memoization, no delta evaluation. The engine-backed search must reach
+/// the same outcome with no more evaluations.
+fn reference_hill_climb(
+    profile: &ConflictProfile,
+    class: FunctionClass,
+    set_bits: usize,
+) -> (u64, u64, HashFunction) {
+    let estimator = MissEstimator::new(profile);
+    let n = profile.hashed_bits();
+    let pool = xorindex::search::NeighborPool::UnitsAndPairs.vectors(n, profile);
+    let start = gf2::Subspace::standard_span(n, set_bits..n);
+    let mut current = start.clone();
+    let mut best_cost = estimator.estimate_null_space(&current);
+    let mut best_function = HashFunction::from_null_space(&start, class).unwrap();
+    let mut evaluations: u64 = 1;
+    loop {
+        let mut candidates: Vec<(u64, gf2::Subspace)> = neighbors(&current, class, &pool)
+            .into_iter()
+            .map(|ns| {
+                evaluations += 1;
+                (estimator.estimate_null_space(&ns), ns)
+            })
+            .collect();
+        candidates.sort_by_key(|(cost, _)| *cost);
+        let mut moved = false;
+        for (cost, ns) in candidates {
+            if cost >= best_cost {
+                break;
+            }
+            if let Ok(function) = HashFunction::from_null_space(&ns, class) {
+                current = ns;
+                best_cost = cost;
+                best_function = function;
+                moved = true;
+                break;
+            }
+        }
+        if !moved {
+            break;
+        }
+    }
+    (best_cost, evaluations, best_function)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn engine_hill_climb_matches_the_reference_implementation(
+        blocks in trace_strategy(),
+        cache in cache_strategy(),
+    ) {
+        let profile = profile_of(&blocks, &cache);
+        for class in [
+            FunctionClass::bit_selecting(),
+            FunctionClass::permutation_based(2),
+            FunctionClass::xor_unlimited(),
+        ] {
+            let (ref_cost, ref_evals, ref_function) =
+                reference_hill_climb(&profile, class, cache.set_bits());
+            let searcher = Searcher::new(&profile, class, cache.set_bits()).unwrap();
+            let outcome = searcher.run(SearchAlgorithm::HillClimb).unwrap();
+            prop_assert_eq!(outcome.estimated_misses, ref_cost, "class {}", class);
+            prop_assert_eq!(&outcome.function, &ref_function, "class {}", class);
+            prop_assert!(
+                outcome.evaluations <= ref_evals,
+                "class {}: engine used {} evaluations, reference {}",
+                class, outcome.evaluations, ref_evals
+            );
+        }
+    }
+
+    #[test]
+    fn search_outcomes_are_estimation_strategy_independent(
+        blocks in trace_strategy(),
+        cache in cache_strategy(),
+        seed in any::<u64>(),
+    ) {
+        // Costs are bit-identical under every strategy, so each algorithm's
+        // trajectory — and therefore its outcome — must not depend on which
+        // side of Eq. 4 the engine enumerates.
+        let profile = profile_of(&blocks, &cache);
+        let algorithms = [
+            SearchAlgorithm::HillClimb,
+            SearchAlgorithm::RandomRestart { restarts: 2, seed },
+            SearchAlgorithm::Annealing {
+                iterations: 25,
+                initial_temperature: 10.0,
+                seed,
+            },
+            SearchAlgorithm::OptimalBitSelect,
+        ];
+        for algorithm in algorithms {
+            let class = match algorithm {
+                SearchAlgorithm::OptimalBitSelect => FunctionClass::bit_selecting(),
+                _ => FunctionClass::xor_unlimited(),
+            };
+            let run = |strategy| {
+                Searcher::new(&profile, class, cache.set_bits())
+                    .unwrap()
+                    .with_estimation_strategy(strategy)
+                    .run(algorithm)
+                    .unwrap()
+            };
+            let enumerate = run(EstimationStrategy::EnumerateNullSpace);
+            let scan = run(EstimationStrategy::ScanHistogram);
+            let auto = run(EstimationStrategy::Auto);
+            prop_assert_eq!(enumerate.estimated_misses, scan.estimated_misses);
+            prop_assert_eq!(enumerate.estimated_misses, auto.estimated_misses);
+            prop_assert_eq!(&enumerate.function, &scan.function);
+            prop_assert_eq!(&enumerate.function, &auto.function);
+            prop_assert_eq!(enumerate.steps, scan.steps);
+            // The reported cost always matches an independent re-estimate.
+            prop_assert_eq!(
+                MissEstimator::new(&profile).estimate(&auto.function).unwrap(),
+                auto.estimated_misses
+            );
+        }
     }
 }

@@ -48,6 +48,12 @@ pub struct ExperimentConfig {
     pub algorithm: SearchAlgorithm,
     /// Neighbour pool used by the hill climber.
     pub pool: NeighborPool,
+    /// Worker-thread cap for the evaluation engine's neighbourhood batches.
+    ///
+    /// The experiments already fan out across workloads with scoped threads
+    /// (see `table2::compute_for`), so per-search parallelism defaults to 1
+    /// to avoid oversubscribing; single-trace callers can raise it.
+    pub search_threads: usize,
 }
 
 impl ExperimentConfig {
@@ -61,6 +67,7 @@ impl ExperimentConfig {
             cache_sizes_kb: vec![1, 4, 16],
             algorithm: SearchAlgorithm::HillClimb,
             pool: NeighborPool::UnitsAndPairs,
+            search_threads: 1,
         }
     }
 
@@ -88,6 +95,7 @@ impl ExperimentConfig {
             cache_sizes_kb: vec![1],
             algorithm: SearchAlgorithm::HillClimb,
             pool: NeighborPool::UnitsAndPairs,
+            search_threads: 1,
         }
     }
 
@@ -152,7 +160,8 @@ pub fn evaluate_trace(
         .map(|&class| {
             let searcher = xorindex::search::Searcher::new(&profile, class, cache.set_bits())
                 .expect("experiment geometry is valid")
-                .with_pool(config.pool.clone());
+                .with_pool(config.pool.clone())
+                .with_threads(config.search_threads);
             let outcome = searcher
                 .run(config.algorithm)
                 .expect("search on a valid geometry succeeds");

@@ -14,6 +14,9 @@
 //! * [`Subspace`] — a linear subspace of GF(2)^n in canonical (reduced
 //!   row-echelon) basis form, with membership tests, intersection, sum,
 //!   orthogonal complements and vector enumeration;
+//! * [`PackedBasis`] — the same canonical basis packed into bare `u64` words
+//!   for hot-path evaluation: fast reduce/membership, incremental
+//!   extend/replace of one generator, and Gray-code coset enumeration;
 //! * [`count`] — Gaussian binomials and the matrix/subspace counting formulas
 //!   quoted in Section 2 of the paper (Eq. 3);
 //! * [`random`] — seeded random generation of vectors, full-rank matrices and
@@ -41,6 +44,7 @@
 
 mod bitvec;
 mod matrix;
+mod packed;
 mod subspace;
 
 pub mod count;
@@ -48,6 +52,7 @@ pub mod random;
 
 pub use bitvec::{BitVec, SetBits};
 pub use matrix::BitMatrix;
+pub use packed::{PackedBasis, PackedVectors};
 pub use subspace::{Subspace, SubspaceVectors};
 
 /// Errors reported by GF(2) operations.

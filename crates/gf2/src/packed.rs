@@ -1,0 +1,424 @@
+//! Packed word-level subspace bases for hot-path evaluation.
+//!
+//! [`Subspace`] stores a canonical basis of [`BitVec`]s, which is convenient
+//! for correctness-oriented code but pays for width bookkeeping on every
+//! operation. The miss-estimation hot path (paper Eq. 4) reduces millions of
+//! raw `u64` conflict vectors against the same basis, so this module provides
+//! [`PackedBasis`]: the same reduced-row-echelon basis packed into bare `u64`
+//! words, with
+//!
+//! * a branch-light [`PackedBasis::reduce`] / [`PackedBasis::contains`]
+//!   membership test,
+//! * *incremental* basis updates — [`PackedBasis::insert`] extends the span by
+//!   one generator and [`PackedBasis::replaced`] swaps one basis row for a new
+//!   direction, both restoring canonical form without re-running a full
+//!   Gaussian elimination, and
+//! * Gray-code enumeration of the subspace ([`PackedBasis::vectors`]) and of
+//!   any coset ([`PackedBasis::coset`]), so consecutive enumerated vectors
+//!   differ by a single row XOR.
+//!
+//! A `PackedBasis` in canonical form is a unique representative of its
+//! subspace, so derived equality is subspace equality, exactly as for
+//! [`Subspace`].
+
+use crate::{BitVec, Subspace};
+
+/// A subspace of GF(2)^width (width ≤ 64) as a packed reduced-row-echelon
+/// basis of `u64` words.
+///
+/// Rows are kept sorted by strictly decreasing leading (pivot) bit, and every
+/// pivot bit occurs in exactly one row — the same canonical form as
+/// [`Subspace`], so conversions in either direction preserve identity.
+///
+/// # Example
+///
+/// ```
+/// use gf2::PackedBasis;
+///
+/// let mut b = PackedBasis::trivial(4);
+/// assert!(b.insert(0b0011));
+/// assert!(b.insert(0b0110));
+/// assert!(!b.insert(0b0101)); // dependent on the first two
+/// assert_eq!(b.dim(), 2);
+/// assert!(b.contains(0b0101));
+/// assert!(!b.contains(0b1000));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PackedBasis {
+    /// RREF rows, sorted by strictly decreasing leading bit.
+    rows: Vec<u64>,
+    width: usize,
+}
+
+impl PackedBasis {
+    /// The trivial subspace `{0}` of GF(2)^width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or larger than [`BitVec::MAX_WIDTH`].
+    #[must_use]
+    pub fn trivial(width: usize) -> Self {
+        let _ = BitVec::zero(width); // validates the width
+        PackedBasis {
+            rows: Vec::new(),
+            width,
+        }
+    }
+
+    /// Packs the canonical basis of a [`Subspace`].
+    #[must_use]
+    pub fn from_subspace(space: &Subspace) -> Self {
+        PackedBasis {
+            rows: space.basis().iter().map(|b| b.as_u64()).collect(),
+            width: space.ambient_width(),
+        }
+    }
+
+    /// Converts back to a [`Subspace`] without re-canonicalizing (the packed
+    /// basis already is canonical).
+    #[must_use]
+    pub fn to_subspace(&self) -> Subspace {
+        let gens: Vec<BitVec> = self
+            .rows
+            .iter()
+            .map(|&r| BitVec::from_u64(r, self.width))
+            .collect();
+        Subspace::from_generators(self.width, &gens)
+    }
+
+    /// Width of the ambient space GF(2)^n.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Dimension of the subspace.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// The packed canonical rows, sorted by strictly decreasing leading bit.
+    #[must_use]
+    pub fn rows(&self) -> &[u64] {
+        &self.rows
+    }
+
+    /// Reduces `v` modulo the subspace: zero exactly when `v` is a member.
+    #[must_use]
+    pub fn reduce(&self, mut v: u64) -> u64 {
+        // Each row's pivot occurs in no other row, so one pass fully reduces.
+        for &row in &self.rows {
+            let pivot = 1u64 << (63 - row.leading_zeros());
+            if v & pivot != 0 {
+                v ^= row;
+            }
+        }
+        v
+    }
+
+    /// Membership test.
+    #[must_use]
+    pub fn contains(&self, v: u64) -> bool {
+        // Bits outside the ambient width are never members.
+        if v & !self.low_mask() != 0 {
+            return false;
+        }
+        self.reduce(v) == 0
+    }
+
+    fn low_mask(&self) -> u64 {
+        if self.width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.width) - 1
+        }
+    }
+
+    /// Extends the span by one generator, restoring canonical form
+    /// incrementally (no full re-elimination).
+    ///
+    /// Returns `true` when the dimension grew, `false` when `v` was already in
+    /// the span.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` has bits outside the ambient width.
+    pub fn insert(&mut self, v: u64) -> bool {
+        assert_eq!(
+            v & !self.low_mask(),
+            0,
+            "generator has bits outside GF(2)^{}",
+            self.width
+        );
+        let remainder = self.reduce(v);
+        if remainder == 0 {
+            return false;
+        }
+        // The remainder has zeros at every existing pivot, so it becomes a new
+        // row as-is; back-substitute its pivot out of the other rows, then
+        // insert at the position that keeps rows sorted by decreasing pivot.
+        let pivot_bit = 63 - remainder.leading_zeros();
+        let pivot = 1u64 << pivot_bit;
+        for row in &mut self.rows {
+            if *row & pivot != 0 {
+                *row ^= remainder;
+            }
+        }
+        let pos = self
+            .rows
+            .iter()
+            .position(|&row| row < remainder)
+            .unwrap_or(self.rows.len());
+        self.rows.insert(pos, remainder);
+        true
+    }
+
+    /// The basis with row `index` removed — a canonical basis of a hyperplane
+    /// of this subspace.
+    ///
+    /// Removing a row of an RREF basis leaves the remaining rows in RREF
+    /// (every pivot column is zero in all other rows), so no re-elimination is
+    /// needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.dim()`.
+    #[must_use]
+    pub fn without_row(&self, index: usize) -> Self {
+        assert!(index < self.rows.len(), "row index {index} out of range");
+        let mut rows = self.rows.clone();
+        rows.remove(index);
+        PackedBasis {
+            rows,
+            width: self.width,
+        }
+    }
+
+    /// Replaces the generator at `index` with direction `v`, preserving the
+    /// dimension: returns the span of the remaining rows plus `v`, or `None`
+    /// when `v` already lies in that remaining span (which would drop the
+    /// dimension).
+    ///
+    /// This is the one-generator-delta move of the null-space search: a
+    /// neighbour of `N` is `(hyperplane of N) ⊕ span(v)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.dim()` or `v` has bits outside the width.
+    #[must_use]
+    pub fn replaced(&self, index: usize, v: u64) -> Option<Self> {
+        let mut out = self.without_row(index);
+        if out.insert(v) {
+            Some(out)
+        } else {
+            None
+        }
+    }
+
+    /// Gray-code enumeration of all `2^dim` vectors, starting with zero.
+    #[must_use]
+    pub fn vectors(&self) -> PackedVectors<'_> {
+        self.coset(0)
+    }
+
+    /// Gray-code enumeration of the coset `offset ⊕ span(self)`, starting with
+    /// `offset`.
+    ///
+    /// Consecutive vectors differ by a single basis row, so each step is one
+    /// XOR.
+    #[must_use]
+    pub fn coset(&self, offset: u64) -> PackedVectors<'_> {
+        PackedVectors {
+            rows: &self.rows,
+            index: 0,
+            count: 1u128 << self.rows.len(),
+            current: offset,
+        }
+    }
+}
+
+impl From<&Subspace> for PackedBasis {
+    fn from(space: &Subspace) -> Self {
+        PackedBasis::from_subspace(space)
+    }
+}
+
+/// Iterator over the vectors of a [`PackedBasis`] coset, produced by
+/// [`PackedBasis::vectors`] / [`PackedBasis::coset`].
+#[derive(Debug, Clone)]
+pub struct PackedVectors<'a> {
+    rows: &'a [u64],
+    index: u128,
+    count: u128,
+    current: u64,
+}
+
+impl Iterator for PackedVectors<'_> {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        if self.index >= self.count {
+            return None;
+        }
+        if self.index > 0 {
+            // Gray code: between index-1 and index exactly one coordinate flips.
+            let prev_gray = (self.index - 1) ^ ((self.index - 1) >> 1);
+            let gray = self.index ^ (self.index >> 1);
+            let changed = (prev_gray ^ gray).trailing_zeros() as usize;
+            self.current ^= self.rows[changed];
+        }
+        self.index += 1;
+        Some(self.current)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = (self.count - self.index) as usize;
+        (remaining, Some(remaining))
+    }
+}
+
+impl ExactSizeIterator for PackedVectors<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn subspace(width: usize, gens: &[u64]) -> Subspace {
+        let gens: Vec<BitVec> = gens.iter().map(|&g| BitVec::from_u64(g, width)).collect();
+        Subspace::from_generators(width, &gens)
+    }
+
+    #[test]
+    fn roundtrip_preserves_identity() {
+        let s = subspace(6, &[0b000111, 0b011100, 0b110000]);
+        let packed = PackedBasis::from_subspace(&s);
+        assert_eq!(packed.dim(), s.dim());
+        assert_eq!(packed.width(), 6);
+        assert_eq!(packed.to_subspace(), s);
+    }
+
+    #[test]
+    fn membership_matches_subspace() {
+        let s = subspace(8, &[0b0011_0011, 0b0101_0101, 0b1000_0001]);
+        let packed = PackedBasis::from_subspace(&s);
+        for bits in 0..256u64 {
+            assert_eq!(
+                packed.contains(bits),
+                s.contains(BitVec::from_u64(bits, 8)),
+                "vector {bits:08b}"
+            );
+            assert_eq!(
+                packed.reduce(bits),
+                s.reduce(BitVec::from_u64(bits, 8)).as_u64()
+            );
+        }
+    }
+
+    #[test]
+    fn contains_rejects_out_of_width_bits() {
+        let packed = PackedBasis::from_subspace(&Subspace::full(4));
+        assert!(packed.contains(0b1111));
+        assert!(!packed.contains(0b1_0000));
+    }
+
+    #[test]
+    fn incremental_insert_matches_batch_construction() {
+        let gens = [0b1100u64, 0b0110, 0b1010, 0b0001, 0b1111];
+        let mut packed = PackedBasis::trivial(4);
+        for &g in &gens {
+            packed.insert(g);
+        }
+        let batch = PackedBasis::from_subspace(&subspace(4, &gens));
+        assert_eq!(packed, batch);
+        // Canonical: rows strictly decreasing, unique pivots.
+        assert!(packed.rows().windows(2).all(|w| w[0] > w[1]));
+    }
+
+    #[test]
+    fn insert_reports_dimension_growth() {
+        let mut packed = PackedBasis::trivial(5);
+        assert!(packed.insert(0b00011));
+        assert!(packed.insert(0b00110));
+        assert!(!packed.insert(0b00101)); // dependent
+        assert!(!packed.insert(0));
+        assert_eq!(packed.dim(), 2);
+    }
+
+    #[test]
+    fn without_row_is_a_hyperplane_in_canonical_form() {
+        let s = subspace(8, &[0b0000_1111, 0b1111_0000, 0b1010_1010]);
+        let packed = PackedBasis::from_subspace(&s);
+        for i in 0..packed.dim() {
+            let hyper = packed.without_row(i);
+            assert_eq!(hyper.dim(), packed.dim() - 1);
+            // Canonical form survives the removal untouched.
+            assert_eq!(
+                hyper,
+                PackedBasis::from_subspace(&hyper.to_subspace()),
+                "row {i}"
+            );
+            for v in hyper.vectors() {
+                assert!(packed.contains(v));
+            }
+        }
+    }
+
+    #[test]
+    fn replaced_swaps_one_dimension() {
+        let s = subspace(6, &[0b000011, 0b001100, 0b110000]);
+        let packed = PackedBasis::from_subspace(&s);
+        let swapped = packed.replaced(1, 0b000100).expect("independent direction");
+        assert_eq!(swapped.dim(), 3);
+        assert!(swapped.contains(0b000100));
+        // Replacing with a vector of the remaining span would drop the
+        // dimension — rejected. (0b001111 = 0b001100 ^ 0b000011.)
+        assert!(packed.replaced(0, 0b001111).is_none());
+        // The swap equals the from-scratch construction.
+        let reference = subspace(6, &[0b000011, 0b110000, 0b000100]);
+        assert_eq!(swapped.to_subspace(), reference);
+    }
+
+    #[test]
+    fn vectors_enumerate_exactly_the_span() {
+        let s = subspace(6, &[0b000111, 0b011100, 0b110000]);
+        let packed = PackedBasis::from_subspace(&s);
+        let got: HashSet<u64> = packed.vectors().collect();
+        let expected: HashSet<u64> = s.vectors().map(|v| v.as_u64()).collect();
+        assert_eq!(got, expected);
+        assert_eq!(packed.vectors().len(), 1 << packed.dim());
+    }
+
+    #[test]
+    fn coset_enumerates_offset_plus_span() {
+        let s = subspace(6, &[0b000011, 0b001100]);
+        let packed = PackedBasis::from_subspace(&s);
+        let offset = 0b110000u64;
+        let got: HashSet<u64> = packed.coset(offset).collect();
+        let expected: HashSet<u64> = s.vectors().map(|v| v.as_u64() ^ offset).collect();
+        assert_eq!(got, expected);
+        assert_eq!(got.len(), 1 << packed.dim());
+        // The coset never touches the subspace itself (offset ∉ span).
+        assert!(got.iter().all(|&v| !packed.contains(v)));
+    }
+
+    #[test]
+    fn trivial_basis_behaviour() {
+        let t = PackedBasis::trivial(8);
+        assert_eq!(t.dim(), 0);
+        assert!(t.contains(0));
+        assert!(!t.contains(1));
+        assert_eq!(t.vectors().collect::<Vec<_>>(), vec![0]);
+        assert_eq!(t.coset(42).collect::<Vec<_>>(), vec![42]);
+    }
+
+    #[test]
+    fn full_width_64_round_trips() {
+        let s = Subspace::full(64);
+        let packed = PackedBasis::from_subspace(&s);
+        assert_eq!(packed.dim(), 64);
+        assert!(packed.contains(u64::MAX));
+        assert_eq!(packed.to_subspace(), s);
+    }
+}

@@ -15,7 +15,7 @@ use crate::{BitMatrix, BitVec, Subspace};
 ///
 /// Panics if `width` is 0 or larger than [`BitVec::MAX_WIDTH`].
 pub fn random_vector<R: Rng + ?Sized>(rng: &mut R, width: usize) -> BitVec {
-    BitVec::from_u64(rng.gen::<u64>(), width)
+    BitVec::from_u64(rng.random::<u64>(), width)
 }
 
 /// Generates a uniformly random non-zero vector of the given width.
@@ -38,7 +38,7 @@ pub fn random_nonzero_vector<R: Rng + ?Sized>(rng: &mut R, width: usize) -> BitV
 ///
 /// Panics if either dimension is unsupported.
 pub fn random_matrix<R: Rng + ?Sized>(rng: &mut R, n_rows: usize, n_cols: usize) -> BitMatrix {
-    BitMatrix::from_fn(n_rows, n_cols, |_, _| rng.gen::<bool>())
+    BitMatrix::from_fn(n_rows, n_cols, |_, _| rng.random::<bool>())
 }
 
 /// Generates a random `n × m` matrix with full column rank, i.e. a valid hash
@@ -175,7 +175,7 @@ mod tests {
         let expected: Vec<u64> = (0..4)
             .map(|_| {
                 use rand::Rng;
-                reference.gen::<u64>() & 0xFFFF
+                reference.random::<u64>() & 0xFFFF
             })
             .collect();
         assert_eq!(got, expected);

@@ -323,10 +323,24 @@ impl Subspace {
     /// `true` when this subspace intersects `span(e_0, …, e_{m-1})` only in
     /// the zero vector — the defining property (Eq. 5) of the null space of a
     /// permutation-based hash function.
+    ///
+    /// Evaluated without materializing the intersection: the intersection
+    /// with the low span is trivial exactly when projecting the basis onto
+    /// the high bits `m..n` keeps it linearly independent (a dependency among
+    /// the projections is a non-zero member supported on the low bits, and
+    /// vice versa). The projected rank is computed with an incremental
+    /// [`crate::PackedBasis`], making this pre-filter cheap enough for the
+    /// search's neighbourhood generation hot path.
     #[must_use]
     pub fn admits_permutation_based_function(&self, m: usize) -> bool {
-        let low = Subspace::standard_span(self.ambient_width, 0..m);
-        self.intersection(&low).is_trivial()
+        if self.basis.is_empty() {
+            return true;
+        }
+        let high_mask = if m >= 64 { 0 } else { u64::MAX << m };
+        let mut projected = crate::PackedBasis::trivial(self.ambient_width);
+        self.basis
+            .iter()
+            .all(|b| projected.insert(b.as_u64() & high_mask))
     }
 }
 

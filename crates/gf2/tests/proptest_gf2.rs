@@ -204,3 +204,69 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #[test]
+    fn packed_basis_agrees_with_subspace(seed in any::<u64>(), n in 2usize..=14) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dim = (seed as usize) % (n + 1);
+        let space = random::random_subspace(&mut rng, n, dim);
+        let packed = gf2::PackedBasis::from_subspace(&space);
+        prop_assert_eq!(packed.dim(), space.dim());
+        prop_assert_eq!(packed.to_subspace(), space.clone());
+        // Membership and reduction agree on random probes.
+        for _ in 0..32 {
+            let v = random::random_vector(&mut rng, n);
+            prop_assert_eq!(packed.contains(v.as_u64()), space.contains(v));
+            prop_assert_eq!(packed.reduce(v.as_u64()), space.reduce(v).as_u64());
+        }
+        // Incremental insertion from scratch reproduces the canonical form.
+        let mut incremental = gf2::PackedBasis::trivial(n);
+        for b in space.basis() {
+            prop_assert!(incremental.insert(b.as_u64()));
+        }
+        prop_assert_eq!(incremental, packed);
+    }
+
+    #[test]
+    fn packed_replace_matches_subspace_rebuild(seed in any::<u64>(), n in 3usize..=12) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dim = 1 + (seed as usize) % (n - 1);
+        let space = random::random_subspace(&mut rng, n, dim);
+        let packed = gf2::PackedBasis::from_subspace(&space);
+        let index = (seed as usize) % dim;
+        let direction = random::random_nonzero_vector(&mut rng, n);
+        // Reference: rebuild from the surviving generators plus the direction.
+        let mut gens: Vec<BitVec> = space.basis().to_vec();
+        gens.remove(index);
+        let remaining = Subspace::from_generators(n, &gens);
+        gens.push(direction);
+        let rebuilt = Subspace::from_generators(n, &gens);
+        match packed.replaced(index, direction.as_u64()) {
+            Some(swapped) => {
+                prop_assert_eq!(swapped.dim(), dim);
+                prop_assert_eq!(swapped.to_subspace(), rebuilt);
+                prop_assert!(!remaining.contains(direction));
+            }
+            None => prop_assert!(remaining.contains(direction)),
+        }
+    }
+
+    #[test]
+    fn permutation_admission_matches_explicit_intersection(
+        seed in any::<u64>(),
+        n in 2usize..=12,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dim = (seed as usize) % (n + 1);
+        let space = random::random_subspace(&mut rng, n, dim);
+        for m in 0..=n {
+            let low = Subspace::standard_span(n, 0..m);
+            prop_assert_eq!(
+                space.admits_permutation_based_function(m),
+                space.intersection(&low).is_trivial(),
+                "n={} m={} space={}", n, m, &space
+            );
+        }
+    }
+}

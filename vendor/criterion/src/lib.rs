@@ -6,8 +6,17 @@
 //! Instead of criterion's statistical machinery it runs a short warm-up, then
 //! measures wall-clock time over a bounded number of iterations and prints
 //! one `bench: <group>/<id> ... <mean time>` line per benchmark.
+//!
+//! Two environment variables mirror upstream criterion conveniences for CI:
+//!
+//! * `CRITERION_QUICK=1` — caps warm-up at 20 ms and measurement at 100 ms
+//!   per benchmark (upstream's `--quick`), for smoke runs;
+//! * `CRITERION_JSON=<path>` — appends one JSON object per benchmark
+//!   (`{"id", "mean_ns", "iterations"}`, newline-delimited) to `<path>`, so
+//!   CI can archive machine-readable timings.
 
 use std::fmt::Display;
+use std::io::Write as _;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
@@ -188,7 +197,53 @@ impl Bencher {
     }
 }
 
+/// Escapes a benchmark id for embedding in a JSON string literal.
+fn escape_json(label: &str) -> String {
+    label
+        .chars()
+        .flat_map(|c| match c {
+            '"' | '\\' => vec!['\\', c],
+            _ => vec![c],
+        })
+        .collect()
+}
+
+/// `true` when `CRITERION_QUICK` requests capped smoke-run budgets.
+fn quick_mode() -> bool {
+    std::env::var("CRITERION_QUICK").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// Appends one newline-delimited JSON record to the `CRITERION_JSON` file, if
+/// configured. Failures to write are reported but never fail the benchmark.
+fn append_json_record(label: &str, mean: Duration, iterations: u64) {
+    let Ok(path) = std::env::var("CRITERION_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let record = format!(
+        "{{\"id\":\"{}\",\"mean_ns\":{},\"iterations\":{iterations}}}\n",
+        escape_json(label),
+        mean.as_nanos()
+    );
+    let written = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut file| file.write_all(record.as_bytes()));
+    if let Err(e) = written {
+        eprintln!("criterion stub: cannot append to {path}: {e}");
+    }
+}
+
 fn run_benchmark<F: FnMut(&mut Bencher)>(config: &Criterion, label: &str, mut f: F) {
+    let mut config = config.clone();
+    if quick_mode() {
+        config.warm_up_time = config.warm_up_time.min(Duration::from_millis(20));
+        config.measurement_time = config.measurement_time.min(Duration::from_millis(100));
+    }
+    let config = &config;
     // Warm-up: single iterations until the warm-up budget is spent; this also
     // calibrates how many iterations fit into the measurement budget.
     let warm_start = Instant::now();
@@ -219,6 +274,7 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(config: &Criterion, label: &str, mut f:
     f(&mut b);
     let mean = b.elapsed / iterations.max(1) as u32;
     println!("bench: {label:<60} {mean:>12.3?}/iter ({iterations} iters)");
+    append_json_record(label, mean, iterations);
 }
 
 /// Declares a group of benchmark functions, mirroring criterion's macro.
@@ -281,5 +337,13 @@ mod tests {
     #[test]
     fn group_macro_produces_runner() {
         benches();
+    }
+
+    #[test]
+    fn json_escaping_handles_quotes_and_backslashes() {
+        assert_eq!(escape_json("group/id"), "group/id");
+        assert_eq!(escape_json("a\"b\\c"), "a\\\"b\\\\c");
+        // Without CRITERION_JSON in the environment the writer is a no-op.
+        append_json_record("group/id", Duration::from_nanos(1234), 7);
     }
 }

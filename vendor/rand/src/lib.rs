@@ -110,7 +110,19 @@ impl SampleRange<f64> for core::ops::Range<f64> {
 /// User-facing convenience methods, blanket-implemented for every [`RngCore`].
 pub trait Rng: RngCore {
     /// Samples a value of type `T` from the uniform/standard distribution.
+    ///
+    /// Identical to [`Rng::random`]; kept for rand-0.8 API compatibility. The
+    /// name `gen` becomes a reserved keyword in edition 2024, so workspace
+    /// code calls `random` instead.
     fn gen<T: StandardSample>(&mut self) -> T {
+        T::standard_sample(self)
+    }
+
+    /// Samples a value of type `T` from the uniform/standard distribution.
+    ///
+    /// The edition-2024-safe spelling of [`Rng::gen`] (matching the rand 0.9
+    /// rename); both draw from the same stream.
+    fn random<T: StandardSample>(&mut self) -> T {
         T::standard_sample(self)
     }
 
@@ -241,7 +253,16 @@ mod tests {
         let mut a = StdRng::seed_from_u64(7);
         let mut b = StdRng::seed_from_u64(7);
         for _ in 0..100 {
-            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+    }
+
+    #[test]
+    fn random_is_an_alias_for_gen() {
+        let mut a = StdRng::seed_from_u64(99);
+        let mut b = StdRng::seed_from_u64(99);
+        for _ in 0..20 {
+            assert_eq!(a.random::<u64>(), b.gen::<u64>());
         }
     }
 
@@ -249,8 +270,8 @@ mod tests {
     fn different_seeds_differ() {
         let mut a = StdRng::seed_from_u64(1);
         let mut b = StdRng::seed_from_u64(2);
-        let va: Vec<u64> = (0..8).map(|_| a.gen()).collect();
-        let vb: Vec<u64> = (0..8).map(|_| b.gen()).collect();
+        let va: Vec<u64> = (0..8).map(|_| a.random()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.random()).collect();
         assert_ne!(va, vb);
     }
 
@@ -281,7 +302,7 @@ mod tests {
     fn f64_samples_are_unit_interval() {
         let mut rng = StdRng::seed_from_u64(5);
         for _ in 0..1000 {
-            let f: f64 = rng.gen();
+            let f: f64 = rng.random();
             assert!((0.0..1.0).contains(&f));
         }
     }
