@@ -5,8 +5,9 @@
 //! search can be compared against that figure.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gf2::PackedBasis;
 use std::hint::black_box;
-use xorindex::search::{neighborhood, NeighborPool, Searcher};
+use xorindex::search::{neighborhood, NeighborPool, PackedNeighborhood, Searcher};
 use xorindex::{
     ConflictProfile, EvalEngine, FunctionClass, HashFunction, MissEstimator, SearchAlgorithm,
 };
@@ -56,6 +57,21 @@ fn bench_search_cost(c: &mut Criterion) {
         b.iter(|| {
             engine.reset();
             black_box(engine.evaluate_neighborhood(&nbhd))
+        })
+    });
+
+    // The same batch through the packed-native entry point the search
+    // algorithms actually use: pricing never touches a Subspace. Generation
+    // cost is measured separately by the neighborhood_cost target.
+    group.bench_function("packed_neighborhood_batch", |b| {
+        let pool = NeighborPool::UnitsAndPairs.packed_vectors(HASHED_BITS, &prepared.profile);
+        let parent =
+            PackedBasis::standard_span(HASHED_BITS, prepared.cache.set_bits()..HASHED_BITS);
+        let nbhd = PackedNeighborhood::generate(&parent, FunctionClass::xor_unlimited(), &pool);
+        let mut engine = EvalEngine::new(&prepared.profile);
+        b.iter(|| {
+            engine.reset();
+            black_box(engine.estimate_neighborhood(&nbhd))
         })
     });
 

@@ -9,11 +9,16 @@
 //! * **Dense storage** — the histogram is frozen into a [`DenseProfile`]
 //!   (sorted pairs + flat lookup array), so a point lookup is an indexed load
 //!   instead of a `BitVec` hash.
-//! * **Packed bases** — candidates are reduced with
-//!   [`gf2::PackedBasis`] word operations rather than `BitVec` arithmetic.
-//! * **Memoization** — canonical null spaces are cached, so no subspace is
-//!   ever evaluated twice within a search (hill-climb neighbourhoods overlap
-//!   heavily step-to-step, and random restarts revisit whole basins).
+//! * **Packed candidates** — the native candidate currency is
+//!   [`gf2::PackedBasis`]: [`EvalEngine::estimate_packed`],
+//!   [`EvalEngine::estimate_batch`] and [`EvalEngine::estimate_neighborhood`]
+//!   price packed bases directly, and the [`Subspace`] entry points are thin
+//!   boundary wrappers that pack once and delegate.
+//! * **Memoization** — canonical null spaces are cached under their compact
+//!   [`CanonicalKey`], so no subspace is ever evaluated twice within a search
+//!   (hill-climb neighbourhoods overlap heavily step-to-step, and random
+//!   restarts revisit whole basins), and a memo probe hashes a few bare words
+//!   instead of a `Subspace` clone.
 //! * **Delta evaluation** — hill-climb neighbours share hyperplanes with
 //!   their parent: `misses(M ⊕ span(w)) = misses(M) + Σ_{u∈M} misses(u ⊕ w)`,
 //!   so the engine computes each hyperplane's partial sum once and each
@@ -28,10 +33,10 @@
 
 use std::collections::HashMap;
 
-use gf2::{PackedBasis, Subspace};
+use gf2::{CanonicalKey, PackedBasis, Subspace};
 
 use crate::estimate::resolve_strategy;
-use crate::search::Neighborhood;
+use crate::search::{Neighborhood, PackedNeighborhood};
 use crate::{ConflictProfile, DenseProfile, EstimationStrategy};
 
 /// Minimum number of fresh candidates before a batch is split across threads
@@ -85,7 +90,7 @@ pub struct EvalEngine<'a> {
     dense: DenseProfile,
     strategy: EstimationStrategy,
     threads: usize,
-    memo: HashMap<Subspace, u64>,
+    memo: HashMap<CanonicalKey, u64>,
     stats: EngineStats,
 }
 
@@ -146,27 +151,56 @@ impl<'a> EvalEngine<'a> {
         self.stats = EngineStats::default();
     }
 
+    /// Estimated conflict misses of any function whose null space is `basis`,
+    /// memoized on the canonical key — the packed-native single-candidate
+    /// entry point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the basis's ambient width differs from the profile's hashed
+    /// width.
+    pub fn estimate_packed(&mut self, basis: &PackedBasis) -> u64 {
+        self.check_packed_width(basis);
+        // Probe with the stack-buffered key words; the boxed key is only
+        // allocated when a new entry is actually inserted.
+        let mut buf = [0u64; 65];
+        if let Some(&cost) = self.memo.get(basis.key_words(&mut buf)) {
+            self.stats.memo_hits += 1;
+            return cost;
+        }
+        let cost = Self::cost_of(&self.dense, self.strategy, basis);
+        self.stats.evaluations += 1;
+        self.memo.insert(basis.canonical_key(), cost);
+        cost
+    }
+
     /// Estimated conflict misses of any function whose null space is `ns`,
-    /// memoized on the canonical null space.
+    /// memoized on the canonical null space. Boundary wrapper over
+    /// [`EvalEngine::estimate_packed`].
     ///
     /// # Panics
     ///
     /// Panics if the null space's ambient width differs from the profile's
     /// hashed width.
     pub fn evaluate(&mut self, ns: &Subspace) -> u64 {
-        self.check_width(ns);
-        if let Some(&cost) = self.memo.get(ns) {
-            self.stats.memo_hits += 1;
-            return cost;
-        }
-        let cost = Self::cost_of(&self.dense, self.strategy, &PackedBasis::from_subspace(ns));
-        self.stats.evaluations += 1;
-        self.memo.insert(ns.clone(), cost);
-        cost
+        self.estimate_packed(&ns.to_packed())
     }
 
-    /// One-shot evaluation that bypasses the memo table (useful for
+    /// One-shot packed evaluation that bypasses the memo table (useful for
     /// benchmarking the raw evaluation kernel).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the basis's ambient width differs from the profile's hashed
+    /// width.
+    #[must_use]
+    pub fn estimate_packed_fresh(&self, basis: &PackedBasis) -> u64 {
+        self.check_packed_width(basis);
+        Self::cost_of(&self.dense, self.strategy, basis)
+    }
+
+    /// One-shot evaluation that bypasses the memo table. Boundary wrapper
+    /// over [`EvalEngine::estimate_packed_fresh`].
     ///
     /// # Panics
     ///
@@ -174,28 +208,46 @@ impl<'a> EvalEngine<'a> {
     /// hashed width.
     #[must_use]
     pub fn evaluate_fresh(&self, ns: &Subspace) -> u64 {
-        self.check_width(ns);
-        Self::cost_of(&self.dense, self.strategy, &PackedBasis::from_subspace(ns))
+        self.estimate_packed_fresh(&ns.to_packed())
     }
 
-    /// Evaluates a whole batch of candidates, answering memoized ones from
-    /// cache and computing the rest in parallel when the batch is large
-    /// enough.
+    /// Prices a whole batch of packed candidates, answering memoized ones
+    /// from cache and computing the rest in parallel when the batch is large
+    /// enough — the packed-native batch entry point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any candidate's ambient width differs from the profile's
+    /// hashed width.
+    pub fn estimate_batch(&mut self, candidates: &[PackedBasis]) -> Vec<u64> {
+        let refs: Vec<&PackedBasis> = candidates.iter().collect();
+        self.estimate_batch_refs(&refs)
+    }
+
+    /// Evaluates a whole batch of candidates. Boundary wrapper over
+    /// [`EvalEngine::estimate_batch`].
     ///
     /// # Panics
     ///
     /// Panics if any candidate's ambient width differs from the profile's
     /// hashed width.
     pub fn evaluate_all(&mut self, candidates: &[Subspace]) -> Vec<u64> {
+        let packed: Vec<PackedBasis> = candidates.iter().map(Subspace::to_packed).collect();
+        self.estimate_batch(&packed)
+    }
+
+    /// Shared batch core over borrowed packed bases.
+    fn estimate_batch_refs(&mut self, candidates: &[&PackedBasis]) -> Vec<u64> {
         let mut out = vec![0u64; candidates.len()];
-        let mut pending: Vec<(usize, PackedBasis)> = Vec::new();
-        for (i, ns) in candidates.iter().enumerate() {
-            self.check_width(ns);
-            if let Some(&cost) = self.memo.get(ns) {
+        let mut pending: Vec<usize> = Vec::new();
+        let mut buf = [0u64; 65];
+        for (i, basis) in candidates.iter().enumerate() {
+            self.check_packed_width(basis);
+            if let Some(&cost) = self.memo.get(basis.key_words(&mut buf)) {
                 self.stats.memo_hits += 1;
                 out[i] = cost;
             } else {
-                pending.push((i, PackedBasis::from_subspace(ns)));
+                pending.push(i);
             }
         }
         if pending.is_empty() {
@@ -203,26 +255,26 @@ impl<'a> EvalEngine<'a> {
         }
         let dense = &self.dense;
         let strategy = self.strategy;
-        let costs =
-            Self::compute_parallel(&pending, self.threads, &mut self.stats, |(_, packed)| {
-                Self::cost_of(dense, strategy, packed)
-            });
+        let costs = Self::compute_parallel(&pending, self.threads, &mut self.stats, |&i| {
+            Self::cost_of(dense, strategy, candidates[i])
+        });
         self.stats.evaluations += pending.len() as u64;
-        for (&(i, _), cost) in pending.iter().zip(costs) {
+        for (i, cost) in pending.into_iter().zip(costs) {
             out[i] = cost;
-            self.memo.insert(candidates[i].clone(), cost);
+            self.memo.insert(candidates[i].canonical_key(), cost);
         }
         out
     }
 
-    /// Evaluates a neighbourhood, exploiting the one-generator-delta
+    /// Prices a packed neighbourhood, exploiting the one-generator-delta
     /// structure: each candidate `M ⊕ span(w)` costs its hyperplane's partial
     /// sum (computed once per hyperplane, memoized) plus a `2^(d−1)`-term
-    /// coset sum, instead of a fresh `2^d`-term walk.
+    /// coset sum, instead of a fresh `2^d`-term walk. This is the
+    /// packed-native path every search step runs on.
     ///
     /// When the null spaces are large enough that histogram scanning is
     /// cheaper (the [`EstimationStrategy::Auto`] crossover), the batch falls
-    /// back to [`EvalEngine::evaluate_all`].
+    /// back to plain batch pricing.
     ///
     /// Returns costs aligned with `neighborhood.candidates`.
     ///
@@ -230,43 +282,47 @@ impl<'a> EvalEngine<'a> {
     ///
     /// Panics if a candidate's ambient width differs from the profile's
     /// hashed width.
-    pub fn evaluate_neighborhood(&mut self, neighborhood: &Neighborhood) -> Vec<u64> {
+    pub fn estimate_neighborhood(&mut self, neighborhood: &PackedNeighborhood) -> Vec<u64> {
         if neighborhood.candidates.is_empty() {
             return Vec::new();
         }
-        let dim = neighborhood.candidates[0].subspace.dim();
+        let dim = neighborhood.candidates[0].basis.dim();
         let delta_pays = matches!(
             resolve_strategy(self.strategy, dim, self.dense.distinct_vectors()),
             EstimationStrategy::EnumerateNullSpace
         );
         if !delta_pays {
-            return self.evaluate_all(&neighborhood.subspaces());
+            let refs: Vec<&PackedBasis> = neighborhood.bases().collect();
+            return self.estimate_batch_refs(&refs);
         }
 
         // Partial sums: one support evaluation per referenced hyperplane
         // (memoized, so a hyperplane shared with an earlier step is free).
-        let mut hyper: Vec<Option<(u64, PackedBasis)>> = vec![None; neighborhood.hyperplanes.len()];
+        let mut hyper: Vec<Option<u64>> = vec![None; neighborhood.hyperplanes.len()];
         for candidate in &neighborhood.candidates {
             let slot = candidate.hyperplane;
             if hyper[slot].is_none() {
-                let hyperplane = &neighborhood.hyperplanes[slot];
-                let cost = self.evaluate_support(hyperplane);
-                hyper[slot] = Some((cost, PackedBasis::from_subspace(hyperplane)));
+                hyper[slot] = Some(self.estimate_support(&neighborhood.hyperplanes[slot]));
             }
         }
 
         let mut out = vec![0u64; neighborhood.candidates.len()];
         let mut pending: Vec<(usize, u64, &PackedBasis, u64)> = Vec::new();
+        let mut buf = [0u64; 65];
         for (i, candidate) in neighborhood.candidates.iter().enumerate() {
-            self.check_width(&candidate.subspace);
-            if let Some(&cost) = self.memo.get(&candidate.subspace) {
+            self.check_packed_width(&candidate.basis);
+            if let Some(&cost) = self.memo.get(candidate.basis.key_words(&mut buf)) {
                 self.stats.memo_hits += 1;
                 out[i] = cost;
             } else {
-                let entry = hyper[candidate.hyperplane]
-                    .as_ref()
+                let hyper_cost = hyper[candidate.hyperplane]
                     .expect("referenced hyperplanes are evaluated above");
-                pending.push((i, entry.0, &entry.1, candidate.direction.as_u64()));
+                pending.push((
+                    i,
+                    hyper_cost,
+                    &neighborhood.hyperplanes[candidate.hyperplane],
+                    candidate.direction,
+                ));
             }
         }
         if pending.is_empty() {
@@ -277,42 +333,76 @@ impl<'a> EvalEngine<'a> {
             &pending,
             self.threads,
             &mut self.stats,
-            |&(_, hyper_cost, packed, direction)| {
+            |&(_, hyper_cost, hyperplane, direction)| {
                 // Every coset vector is non-zero (direction ∉ hyperplane), and
                 // the zero vector carries weight 0 anyway.
                 hyper_cost
-                    + packed
+                    + hyperplane
                         .coset(direction)
                         .map(|v| dense.misses_of(v))
                         .sum::<u64>()
             },
         );
         self.stats.evaluations += pending.len() as u64;
-        for (&(i, ..), cost) in pending.iter().zip(costs) {
+        for ((i, ..), cost) in pending.into_iter().zip(costs) {
             out[i] = cost;
             self.memo
-                .insert(neighborhood.candidates[i].subspace.clone(), cost);
+                .insert(neighborhood.candidates[i].basis.canonical_key(), cost);
         }
         out
     }
 
+    /// Evaluates a boundary-view neighbourhood. Wrapper that re-packs the
+    /// candidates and delegates to [`EvalEngine::estimate_neighborhood`];
+    /// packed-native callers should pass the [`PackedNeighborhood`] directly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a candidate's ambient width differs from the profile's
+    /// hashed width.
+    pub fn evaluate_neighborhood(&mut self, neighborhood: &Neighborhood) -> Vec<u64> {
+        if neighborhood.candidates.is_empty() {
+            return Vec::new();
+        }
+        let width = neighborhood.candidates[0].subspace.ambient_width();
+        let packed = PackedNeighborhood {
+            width,
+            hyperplanes: neighborhood
+                .hyperplanes
+                .iter()
+                .map(Subspace::to_packed)
+                .collect(),
+            candidates: neighborhood
+                .candidates
+                .iter()
+                .map(|c| crate::search::PackedCandidate {
+                    hyperplane: c.hyperplane,
+                    direction: c.direction.as_u64(),
+                    basis: c.subspace.to_packed(),
+                })
+                .collect(),
+        };
+        self.estimate_neighborhood(&packed)
+    }
+
     /// Memoized evaluation counted as support work (hyperplane partial sums)
     /// rather than as a candidate evaluation.
-    fn evaluate_support(&mut self, ns: &Subspace) -> u64 {
-        self.check_width(ns);
-        if let Some(&cost) = self.memo.get(ns) {
+    fn estimate_support(&mut self, basis: &PackedBasis) -> u64 {
+        self.check_packed_width(basis);
+        let mut buf = [0u64; 65];
+        if let Some(&cost) = self.memo.get(basis.key_words(&mut buf)) {
             self.stats.memo_hits += 1;
             return cost;
         }
-        let cost = Self::cost_of(&self.dense, self.strategy, &PackedBasis::from_subspace(ns));
+        let cost = Self::cost_of(&self.dense, self.strategy, basis);
         self.stats.support_evaluations += 1;
-        self.memo.insert(ns.clone(), cost);
+        self.memo.insert(basis.canonical_key(), cost);
         cost
     }
 
-    fn check_width(&self, ns: &Subspace) {
+    fn check_packed_width(&self, basis: &PackedBasis) {
         assert_eq!(
-            ns.ambient_width(),
+            basis.width(),
             self.dense.hashed_bits(),
             "null space width must match the profile"
         );

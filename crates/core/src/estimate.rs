@@ -1,6 +1,6 @@
 //! Conflict-miss estimation from a profile (paper Eq. 4).
 
-use gf2::Subspace;
+use gf2::{BitVec, PackedBasis, Subspace};
 use serde::{Deserialize, Serialize};
 
 use crate::{ConflictProfile, HashFunction, XorIndexError};
@@ -168,6 +168,35 @@ impl<'a> MissEstimator<'a> {
             EstimationStrategy::Auto => unreachable!("Auto resolved above"),
         }
     }
+
+    /// Estimated conflict misses of any function whose null space is the
+    /// packed `basis` — the packed counterpart of
+    /// [`MissEstimator::estimate_null_space`], for callers that already hold
+    /// the search's native representation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the basis's ambient width differs from the profile's hashed
+    /// width.
+    #[must_use]
+    pub fn estimate_packed(&self, basis: &PackedBasis) -> u64 {
+        let n = self.profile.hashed_bits();
+        assert_eq!(basis.width(), n, "null space width must match the profile");
+        match resolve_strategy(self.strategy, basis.dim(), self.profile.distinct_vectors()) {
+            // The zero vector carries weight 0, so it needs no special case.
+            EstimationStrategy::EnumerateNullSpace => basis
+                .vectors()
+                .map(|v| self.profile.misses(BitVec::from_u64(v, n)))
+                .sum(),
+            EstimationStrategy::ScanHistogram => self
+                .profile
+                .iter()
+                .filter(|(v, _)| basis.contains(v.as_u64()))
+                .map(|(_, w)| w)
+                .sum(),
+            EstimationStrategy::Auto => unreachable!("Auto resolved above"),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -325,5 +354,28 @@ mod tests {
             estimator.estimate(&f).unwrap(),
             estimator.estimate_null_space(&f.null_space())
         );
+    }
+
+    #[test]
+    fn packed_estimate_matches_subspace_estimate_under_every_strategy() {
+        let seq: Vec<u64> = (0..300u64)
+            .map(|i| (i % 3) * 0x40 + (i % 5) * 0x200)
+            .collect();
+        let profile = profile_from(&seq, 12, 64);
+        for strategy in [
+            EstimationStrategy::Auto,
+            EstimationStrategy::EnumerateNullSpace,
+            EstimationStrategy::ScanHistogram,
+        ] {
+            let estimator = MissEstimator::new(&profile).with_strategy(strategy);
+            for m in 2..=8 {
+                let ns = HashFunction::conventional(12, m).unwrap().null_space();
+                assert_eq!(
+                    estimator.estimate_packed(&ns.to_packed()),
+                    estimator.estimate_null_space(&ns),
+                    "{strategy:?}, m={m}"
+                );
+            }
+        }
     }
 }

@@ -20,7 +20,11 @@
 //!    null spaces (neighbours differ in exactly one dimension), plus the
 //!    random-restart / simulated-annealing extensions and the exhaustive
 //!    optimal bit-selecting baseline of Patel et al. used in the paper's
-//!    Table 3.
+//!    Table 3. The whole layer is packed-native: candidate generation
+//!    ([`search::PackedNeighborhood`]), dedup/memoization
+//!    ([`gf2::CanonicalKey`]) and algorithm state all run on
+//!    [`gf2::PackedBasis`], with `Subspace` conversions only at API
+//!    boundaries.
 //! 4. **Function classes** ([`FunctionClass`]): unrestricted XOR functions,
 //!    XOR functions with bounded gate fan-in, permutation-based functions
 //!    (paper Section 4) and plain bit-selecting functions.

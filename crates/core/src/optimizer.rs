@@ -123,9 +123,14 @@ impl OptimizerBuilder {
 }
 
 /// Profiles a block-address trace, searches for an application-specific hash
-/// function (all candidate pricing goes through the dense
-/// [`EvalEngine`](crate::EvalEngine)), and verifies it by full cache
-/// simulation.
+/// function, and verifies it by full cache simulation.
+///
+/// The search runs on the packed-native core: candidate generation,
+/// deduplication and memoization all operate on
+/// [`gf2::PackedBasis`]/[`gf2::CanonicalKey`], and every candidate is priced
+/// through the dense [`EvalEngine`](crate::EvalEngine)'s packed entry points
+/// — the Table 2/3 reproductions built on this type inherit that path
+/// end-to-end.
 ///
 /// # Example
 ///

@@ -8,7 +8,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::search::neighbors::neighbors;
+use crate::search::neighbors::PackedNeighborhood;
 use crate::search::{SearchOutcome, Searcher};
 use crate::{HashFunction, XorIndexError};
 
@@ -32,15 +32,17 @@ impl Searcher<'_> {
         seed: u64,
     ) -> Result<SearchOutcome, XorIndexError> {
         let mut engine = self.engine();
-        let pool = self.pool_vectors();
+        let pool = self.packed_pool();
         let class = self.class();
         let mut rng = StdRng::seed_from_u64(seed);
 
-        let start = self.conventional_null_space();
-        let mut current = start.clone();
-        let mut current_cost = engine.evaluate(&current);
+        // The walk carries packed state; the only `Subspace` materializations
+        // are the start validation and the best-so-far function construction.
+        let mut current = self.conventional_packed();
+        let mut current_cost = engine.estimate_packed(&current);
         let baseline_estimate = current_cost;
-        let mut best_function = HashFunction::from_null_space(&start, class)?;
+        let mut best_function =
+            HashFunction::from_null_space(&self.conventional_null_space(), class)?;
         let mut best_cost = current_cost;
         let mut steps: u64 = 0;
 
@@ -54,15 +56,15 @@ impl Searcher<'_> {
         let mut temperature = initial_temperature.max(1e-9);
 
         for _ in 0..iterations {
-            let candidates = neighbors(&current, class, &pool);
-            if candidates.is_empty() {
+            let nbhd = PackedNeighborhood::generate(&current, class, &pool);
+            if nbhd.is_empty() {
                 break;
             }
-            let pick = rng.gen_range(0..candidates.len());
-            let candidate = &candidates[pick];
+            let pick = rng.gen_range(0..nbhd.len());
+            let candidate = &nbhd.candidates[pick].basis;
             // Memoized: revisiting a proposal from an earlier iteration (or
             // the reverse of an accepted move) costs a table lookup.
-            let cost = engine.evaluate(candidate);
+            let cost = engine.estimate_packed(candidate);
             let delta = cost as f64 - current_cost as f64;
             let accept = delta <= 0.0 || rng.random::<f64>() < (-delta / temperature).exp();
             if accept {
@@ -70,7 +72,9 @@ impl Searcher<'_> {
                 current_cost = cost;
                 steps += 1;
                 if cost < best_cost {
-                    if let Ok(function) = HashFunction::from_null_space(&current, class) {
+                    if let Ok(function) =
+                        HashFunction::from_null_space(&current.to_subspace(), class)
+                    {
                         best_cost = cost;
                         best_function = function;
                     }

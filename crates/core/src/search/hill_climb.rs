@@ -2,7 +2,7 @@
 
 use gf2::Subspace;
 
-use crate::search::neighbors::neighborhood;
+use crate::search::neighbors::PackedNeighborhood;
 use crate::search::{SearchOutcome, Searcher};
 use crate::{EvalEngine, HashFunction, XorIndexError};
 
@@ -50,18 +50,20 @@ impl Searcher<'_> {
         engine: &mut EvalEngine<'_>,
         start: Subspace,
     ) -> Result<SearchOutcome, XorIndexError> {
-        let pool = self.pool_vectors();
+        let pool = self.packed_pool();
         let class = self.class();
 
         // Validate the start and prime the bookkeeping. The baseline is
         // priced before the evaluation snapshot so it is never charged to
         // this climb (matching the pre-engine accounting, where the baseline
-        // went through a separate estimator call).
+        // went through a separate estimator call). The start arrives as a
+        // `Subspace` (the public boundary) and is packed once; from here the
+        // climb carries `PackedBasis` state end-to-end.
         let start_function = HashFunction::from_null_space(&start, class)?;
-        let baseline_estimate = engine.evaluate(&self.conventional_null_space());
+        let baseline_estimate = engine.estimate_packed(&self.conventional_packed());
         let evaluations_before = engine.stats().evaluations;
-        let mut current = start;
-        let mut best_cost = engine.evaluate(&current);
+        let mut current = start.to_packed();
+        let mut best_cost = engine.estimate_packed(&current);
         let mut best_function = start_function;
         let mut steps: u64 = 0;
 
@@ -70,8 +72,8 @@ impl Searcher<'_> {
             // check first: the engine prices every candidate, the (more
             // expensive) fan-in admissibility check runs only on candidates
             // that would be taken.
-            let nbhd = neighborhood(&current, class, &pool);
-            let costs = engine.evaluate_neighborhood(&nbhd);
+            let nbhd = PackedNeighborhood::generate(&current, class, &pool);
+            let costs = engine.estimate_neighborhood(&nbhd);
             let mut order: Vec<usize> = (0..nbhd.candidates.len()).collect();
             order.sort_by_key(|&i| costs[i]);
 
@@ -80,10 +82,10 @@ impl Searcher<'_> {
                 if costs[i] >= best_cost {
                     break; // sorted: nothing better remains
                 }
-                let ns = &nbhd.candidates[i].subspace;
-                match HashFunction::from_null_space(ns, class) {
+                let basis = &nbhd.candidates[i].basis;
+                match HashFunction::from_null_space(&basis.to_subspace(), class) {
                     Ok(function) => {
-                        current = ns.clone();
+                        current = basis.clone();
                         best_cost = costs[i];
                         best_function = function;
                         steps += 1;

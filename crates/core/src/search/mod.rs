@@ -1,13 +1,18 @@
 //! Design-space search for application-specific hash functions.
 //!
 //! The search operates on *null spaces* rather than matrices (paper Section 3.2):
-//! equal null spaces give identical conflict behaviour, and canonical
-//! [`Subspace`](gf2::Subspace) bases make equality checks cheap, so no function
-//! is evaluated twice. Candidate quality is judged with the profile-based
-//! estimator (paper Eq. 4), never by re-simulating the trace; every algorithm
-//! routes its evaluations through the dense [`EvalEngine`], which memoizes
-//! canonical null spaces, evaluates neighbourhoods in one (optionally
-//! parallel) batch, and reuses hyperplane partial sums across the
+//! equal null spaces give identical conflict behaviour, and canonical bases
+//! make equality checks cheap, so no function is evaluated twice. The native
+//! null-space currency of the whole layer is [`gf2::PackedBasis`]: candidate
+//! generation ([`PackedNeighborhood`]), deduplication and memoization
+//! ([`gf2::CanonicalKey`]), and each algorithm's current/best state are all
+//! packed `u64` words, with [`Subspace`](gf2::Subspace) conversions only at
+//! public API boundaries (start points and the final
+//! [`HashFunction`] construction). Candidate quality is judged with the
+//! profile-based estimator (paper Eq. 4), never by re-simulating the trace;
+//! every algorithm routes its evaluations through the dense [`EvalEngine`],
+//! which memoizes canonical null spaces, evaluates neighbourhoods in one
+//! (optionally parallel) batch, and reuses hyperplane partial sums across the
 //! one-generator-delta neighbours of a hill-climbing step.
 //!
 //! Available algorithms:
@@ -28,7 +33,7 @@ mod neighbors;
 mod optimal_bitselect;
 mod random_restart;
 
-use gf2::{BitVec, Subspace};
+use gf2::{PackedBasis, Subspace};
 use serde::{Deserialize, Serialize};
 
 use crate::{
@@ -36,7 +41,10 @@ use crate::{
     XorIndexError,
 };
 
-pub use neighbors::{neighborhood, neighbors, NeighborCandidate, NeighborPool, Neighborhood};
+pub use neighbors::{
+    neighborhood, neighbors, NeighborCandidate, NeighborPool, Neighborhood, PackedCandidate,
+    PackedNeighborhood,
+};
 
 /// Which search algorithm to run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
@@ -202,6 +210,13 @@ impl<'a> Searcher<'a> {
         Subspace::standard_span(self.hashed_bits(), self.set_bits..self.hashed_bits())
     }
 
+    /// The conventional null space in the packed form the search algorithms
+    /// carry end-to-end.
+    #[must_use]
+    pub fn conventional_packed(&self) -> PackedBasis {
+        PackedBasis::standard_span(self.hashed_bits(), self.set_bits..self.hashed_bits())
+    }
+
     fn estimator(&self) -> MissEstimator<'a> {
         MissEstimator::new(self.profile).with_strategy(self.strategy)
     }
@@ -250,9 +265,10 @@ impl<'a> Searcher<'a> {
         }
     }
 
-    /// Pool of replacement directions for this searcher.
-    fn pool_vectors(&self) -> Vec<BitVec> {
-        self.pool.vectors(self.hashed_bits(), self.profile)
+    /// Pool of replacement directions for this searcher, in the packed form
+    /// neighbourhood generation consumes.
+    fn packed_pool(&self) -> Vec<u64> {
+        self.pool.packed_vectors(self.hashed_bits(), self.profile)
     }
 }
 

@@ -11,10 +11,18 @@
 //! their pairwise XORs) already reaches the functions the hardware can afford
 //! (small fan-in) while keeping each hill-climbing step fast. The pool is
 //! configurable through [`NeighborPool`].
+//!
+//! Generation is *packed-native*: [`PackedNeighborhood::generate`] works
+//! entirely on [`PackedBasis`] word arithmetic — incremental hyperplane
+//! enumeration, one-`insert` extensions and [`CanonicalKey`]-keyed
+//! deduplication — so no heap-allocated [`Subspace`] and no full Gaussian
+//! elimination appears anywhere on the search hot path. The
+//! [`Subspace`]-based [`Neighborhood`] view remains as the public boundary
+//! representation, converted from the packed form on demand.
 
 use std::collections::HashSet;
 
-use gf2::{BitVec, Subspace};
+use gf2::{BitVec, CanonicalKey, PackedBasis, Subspace};
 use serde::{Deserialize, Serialize};
 
 use crate::{ConflictProfile, FunctionClass};
@@ -37,11 +45,15 @@ pub enum NeighborPool {
 
 impl NeighborPool {
     /// Materializes the pool for `n` hashed address bits.
+    ///
+    /// Directions are deduplicated (first occurrence wins) and the zero
+    /// vector is dropped.
     #[must_use]
     pub fn vectors(&self, n: usize, profile: &ConflictProfile) -> Vec<BitVec> {
         let mut out: Vec<BitVec> = Vec::new();
-        let push_unique = |v: BitVec, out: &mut Vec<BitVec>| {
-            if !v.is_zero() && !out.contains(&v) {
+        let mut seen: HashSet<BitVec> = HashSet::new();
+        let mut push_unique = |v: BitVec, out: &mut Vec<BitVec>| {
+            if !v.is_zero() && seen.insert(v) {
                 out.push(v);
             }
         };
@@ -58,11 +70,11 @@ impl NeighborPool {
             }
             NeighborPool::UnitsAndPairs | NeighborPool::UnitsPairsAndProfile(_) => {
                 for i in 0..n {
-                    out.push(BitVec::unit(i, n));
+                    push_unique(BitVec::unit(i, n), &mut out);
                 }
                 for i in 0..n {
                     for j in (i + 1)..n {
-                        out.push(BitVec::unit(i, n) ^ BitVec::unit(j, n));
+                        push_unique(BitVec::unit(i, n) ^ BitVec::unit(j, n), &mut out);
                     }
                 }
                 if let NeighborPool::UnitsPairsAndProfile(k) = self {
@@ -74,15 +86,212 @@ impl NeighborPool {
         }
         out
     }
+
+    /// Materializes the pool as packed `u64` directions, the form the
+    /// packed-native search algorithms consume. Same contents and order as
+    /// [`NeighborPool::vectors`].
+    #[must_use]
+    pub fn packed_vectors(&self, n: usize, profile: &ConflictProfile) -> Vec<u64> {
+        self.vectors(n, profile)
+            .iter()
+            .map(|v| v.as_u64())
+            .collect()
+    }
 }
 
-/// A candidate null space of a neighbourhood, together with its decomposition
-/// `candidate = hyperplane ⊕ span(direction)`.
+/// A candidate null space of a packed neighbourhood, together with its
+/// decomposition `candidate = hyperplane ⊕ span(direction)`.
 ///
 /// The decomposition is what lets the evaluation engine reuse partial sums:
 /// `misses(candidate) = misses(hyperplane) + Σ_{u ∈ hyperplane} misses(u ⊕
 /// direction)`, and the hyperplane term is shared by every candidate built
 /// from the same hyperplane.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackedCandidate {
+    /// Index into [`PackedNeighborhood::hyperplanes`] of the retained
+    /// hyperplane.
+    pub hyperplane: usize,
+    /// The packed replacement direction `v ∉ parent`.
+    pub direction: u64,
+    /// The candidate null space `hyperplane ⊕ span(direction)`, canonical.
+    pub basis: PackedBasis,
+}
+
+/// The full neighbourhood of a null space in packed form, grouped by retained
+/// hyperplane — the representation that flows through candidate generation,
+/// memoization and all four search algorithms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackedNeighborhood {
+    /// Ambient width of the hashed address space.
+    pub width: usize,
+    /// The distinct hyperplanes of the parent that candidates retain.
+    pub hyperplanes: Vec<PackedBasis>,
+    /// The admissible candidates, in deterministic generation order.
+    pub candidates: Vec<PackedCandidate>,
+}
+
+impl PackedNeighborhood {
+    /// Generates the neighbours of `parent` admissible for `class`, using the
+    /// given packed replacement-direction pool.
+    ///
+    /// For the bit-selecting class the neighbourhood is generated structurally
+    /// (swap one selected address bit for an unselected one), which is both
+    /// exact and far smaller.
+    #[must_use]
+    pub fn generate(parent: &PackedBasis, class: FunctionClass, pool: &[u64]) -> Self {
+        let n = parent.width();
+        let m = n - parent.dim();
+        if class == FunctionClass::BitSelecting {
+            return Self::bit_select(parent);
+        }
+        // Directions inside the parent span never produce a neighbour, and
+        // the test does not depend on the hyperplane — filter the pool once
+        // instead of once per hyperplane.
+        let pool: Vec<u64> = pool
+            .iter()
+            .copied()
+            .filter(|&v| !parent.contains(v))
+            .collect();
+        let mut seen: HashSet<CanonicalKey> = HashSet::new();
+        let mut hyperplanes = Vec::new();
+        let mut candidates = Vec::new();
+        let mut buf = [0u64; 65];
+        for hyperplane in parent.hyperplanes() {
+            let hyperplane_index = hyperplanes.len();
+            let mut used = false;
+            for &v in &pool {
+                let candidate = hyperplane.extended(v);
+                debug_assert_eq!(candidate.dim(), parent.dim());
+                // candidate contains v and parent does not (the pool is
+                // pre-filtered), so candidate can never equal parent.
+                debug_assert_ne!(&candidate, parent);
+                // Probe with the stack-buffered key words; the boxed key is
+                // only allocated for candidates that are actually admitted.
+                if seen.contains(candidate.key_words(&mut buf)) {
+                    continue;
+                }
+                if Self::admissible(&candidate, class, m) {
+                    seen.insert(candidate.canonical_key());
+                    candidates.push(PackedCandidate {
+                        hyperplane: hyperplane_index,
+                        direction: v,
+                        basis: candidate,
+                    });
+                    used = true;
+                }
+            }
+            if used {
+                hyperplanes.push(hyperplane);
+            }
+        }
+        PackedNeighborhood {
+            width: n,
+            hyperplanes,
+            candidates,
+        }
+    }
+
+    /// Cheap admissibility pre-filter. The permutation-based structural
+    /// condition (Eq. 5) is checked here; fan-in bounds are cheaper to check
+    /// on the chosen candidate only, so they are left to the caller via
+    /// [`FunctionClass::admits`].
+    fn admissible(candidate: &PackedBasis, class: FunctionClass, m: usize) -> bool {
+        match class {
+            FunctionClass::BitSelecting => candidate.is_coordinate_subspace(),
+            FunctionClass::Xor { .. } => true,
+            FunctionClass::PermutationBased { .. } => candidate.admits_permutation_based(m),
+        }
+    }
+
+    /// Structural neighbourhood for bit-selecting functions: the null space is
+    /// a coordinate subspace `span{e_i : i ∉ S}`; a neighbour swaps one
+    /// excluded bit for one selected bit. The retained hyperplane is the span
+    /// of the excluded bits minus the dropped one, and the direction is the
+    /// newly excluded unit vector.
+    fn bit_select(parent: &PackedBasis) -> Self {
+        let n = parent.width();
+        if !parent.is_coordinate_subspace() {
+            // Not a coordinate subspace: no structural neighbours.
+            return PackedNeighborhood {
+                width: n,
+                hyperplanes: Vec::new(),
+                candidates: Vec::new(),
+            };
+        }
+        // Canonical rows are sorted by decreasing pivot, so the excluded bits
+        // come out in decreasing order (the order the Subspace path produced).
+        let excluded: Vec<usize> = parent
+            .rows()
+            .iter()
+            .map(|r| r.trailing_zeros() as usize)
+            .collect();
+        let selected: Vec<usize> = (0..n).filter(|i| !excluded.contains(i)).collect();
+        let mut hyperplanes = Vec::new();
+        let mut candidates = Vec::new();
+        for &drop in &excluded {
+            let retained: Vec<usize> = excluded.iter().copied().filter(|&b| b != drop).collect();
+            let hyperplane_index = hyperplanes.len();
+            hyperplanes.push(PackedBasis::standard_span(n, retained.iter().copied()));
+            for &add in &selected {
+                let mut new_excluded = retained.clone();
+                new_excluded.push(add);
+                candidates.push(PackedCandidate {
+                    hyperplane: hyperplane_index,
+                    direction: 1u64 << add,
+                    basis: PackedBasis::standard_span(n, new_excluded),
+                });
+            }
+        }
+        PackedNeighborhood {
+            width: n,
+            hyperplanes,
+            candidates,
+        }
+    }
+
+    /// Number of candidates.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.candidates.len()
+    }
+
+    /// `true` when there are no candidates.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.candidates.is_empty()
+    }
+
+    /// Borrowing iterator over the candidate bases, in generation order.
+    pub fn bases(&self) -> impl Iterator<Item = &PackedBasis> {
+        self.candidates.iter().map(|c| &c.basis)
+    }
+
+    /// Converts to the [`Subspace`]-based boundary view, preserving order and
+    /// decomposition. The packed bases are already canonical, so this is pure
+    /// unpacking.
+    #[must_use]
+    pub fn to_neighborhood(&self) -> Neighborhood {
+        Neighborhood {
+            hyperplanes: self
+                .hyperplanes
+                .iter()
+                .map(PackedBasis::to_subspace)
+                .collect(),
+            candidates: self
+                .candidates
+                .iter()
+                .map(|c| NeighborCandidate {
+                    hyperplane: c.hyperplane,
+                    direction: BitVec::from_u64(c.direction, self.width),
+                    subspace: c.basis.to_subspace(),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// A candidate null space of a neighbourhood at the [`Subspace`] boundary,
+/// together with its decomposition `candidate = hyperplane ⊕ span(direction)`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NeighborCandidate {
     /// Index into [`Neighborhood::hyperplanes`] of the retained hyperplane.
@@ -93,7 +302,8 @@ pub struct NeighborCandidate {
     pub subspace: Subspace,
 }
 
-/// The full neighbourhood of a null space, grouped by retained hyperplane.
+/// The full neighbourhood of a null space, grouped by retained hyperplane —
+/// the [`Subspace`]-based boundary view of a [`PackedNeighborhood`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Neighborhood {
     /// The distinct hyperplanes of the parent that candidates retain.
@@ -115,129 +325,55 @@ impl Neighborhood {
         self.candidates.is_empty()
     }
 
-    /// The candidate subspaces alone, in generation order.
+    /// Borrowing iterator over the candidate subspaces, in generation order.
+    /// Prefer this over [`Neighborhood::subspaces`] when a reference is
+    /// enough.
+    pub fn iter_subspaces(&self) -> impl Iterator<Item = &Subspace> {
+        self.candidates.iter().map(|c| &c.subspace)
+    }
+
+    /// The candidate subspaces alone, cloned, in generation order.
     #[must_use]
     pub fn subspaces(&self) -> Vec<Subspace> {
-        self.candidates.iter().map(|c| c.subspace.clone()).collect()
+        self.iter_subspaces().cloned().collect()
+    }
+
+    /// The candidates re-packed into [`PackedBasis`] form, in generation
+    /// order — the entry point for feeding a boundary neighbourhood back to
+    /// the packed evaluation kernel (e.g. a serving layer that received the
+    /// `Subspace` view).
+    pub fn packed_candidates(&self) -> impl Iterator<Item = PackedBasis> + '_ {
+        self.candidates
+            .iter()
+            .map(|c| PackedBasis::from_subspace(&c.subspace))
     }
 }
 
 /// Generates the neighbours of `null_space` admissible for `class`, using the
 /// given replacement-direction pool.
 ///
-/// For the bit-selecting class the neighbourhood is generated structurally
-/// (swap one selected address bit for an unselected one), which is both exact
-/// and far smaller.
+/// Boundary convenience over [`PackedNeighborhood::generate`].
 #[must_use]
 pub fn neighbors(null_space: &Subspace, class: FunctionClass, pool: &[BitVec]) -> Vec<Subspace> {
-    neighborhood(null_space, class, pool).subspaces()
+    let packed_pool: Vec<u64> = pool.iter().map(|v| v.as_u64()).collect();
+    PackedNeighborhood::generate(&null_space.to_packed(), class, &packed_pool)
+        .candidates
+        .iter()
+        .map(|c| c.basis.to_subspace())
+        .collect()
 }
 
 /// Generates the neighbourhood of `null_space` with its hyperplane/direction
 /// structure preserved, for delta evaluation by the engine.
 ///
 /// Candidates appear in the same deterministic order as [`neighbors`]
-/// produces.
+/// produces. Boundary convenience over [`PackedNeighborhood::generate`];
+/// packed-native callers should use that directly and skip the `Subspace`
+/// round-trip.
 #[must_use]
 pub fn neighborhood(null_space: &Subspace, class: FunctionClass, pool: &[BitVec]) -> Neighborhood {
-    let n = null_space.ambient_width();
-    let m = n - null_space.dim();
-    if class == FunctionClass::BitSelecting {
-        return bit_select_neighborhood(null_space);
-    }
-    let mut seen: HashSet<Subspace> = HashSet::new();
-    let mut hyperplanes = Vec::new();
-    let mut candidates = Vec::new();
-    for hyperplane in null_space.hyperplanes() {
-        let hyperplane_index = hyperplanes.len();
-        let mut used = false;
-        for &v in pool {
-            if null_space.contains(v) {
-                continue;
-            }
-            let candidate = hyperplane.extended(v);
-            debug_assert_eq!(candidate.dim(), null_space.dim());
-            if candidate == *null_space || seen.contains(&candidate) {
-                continue;
-            }
-            if admissible(&candidate, class, m) {
-                seen.insert(candidate.clone());
-                candidates.push(NeighborCandidate {
-                    hyperplane: hyperplane_index,
-                    direction: v,
-                    subspace: candidate,
-                });
-                used = true;
-            }
-        }
-        if used {
-            hyperplanes.push(hyperplane);
-        }
-    }
-    Neighborhood {
-        hyperplanes,
-        candidates,
-    }
-}
-
-/// Cheap admissibility pre-filter. The permutation-based structural condition
-/// (Eq. 5) is checked here; fan-in bounds are cheaper to check on the chosen
-/// candidate only, so they are left to the caller via
-/// [`FunctionClass::admits`].
-fn admissible(candidate: &Subspace, class: FunctionClass, m: usize) -> bool {
-    match class {
-        FunctionClass::BitSelecting => candidate.basis().iter().all(|b| b.weight() == 1),
-        FunctionClass::Xor { .. } => true,
-        FunctionClass::PermutationBased { .. } => candidate.admits_permutation_based_function(m),
-    }
-}
-
-/// Structural neighbourhood for bit-selecting functions: the null space is a
-/// coordinate subspace `span{e_i : i ∉ S}`; a neighbour swaps one excluded bit
-/// for one selected bit. The retained hyperplane is the span of the excluded
-/// bits minus the dropped one, and the direction is the newly excluded unit
-/// vector.
-fn bit_select_neighborhood(null_space: &Subspace) -> Neighborhood {
-    let n = null_space.ambient_width();
-    let excluded: Vec<usize> = null_space
-        .basis()
-        .iter()
-        .filter_map(|b| {
-            if b.weight() == 1 {
-                b.trailing_bit()
-            } else {
-                None
-            }
-        })
-        .collect();
-    if excluded.len() != null_space.dim() {
-        // Not a coordinate subspace: no structural neighbours.
-        return Neighborhood {
-            hyperplanes: Vec::new(),
-            candidates: Vec::new(),
-        };
-    }
-    let selected: Vec<usize> = (0..n).filter(|i| !excluded.contains(i)).collect();
-    let mut hyperplanes = Vec::new();
-    let mut candidates = Vec::new();
-    for &drop in &excluded {
-        let retained: Vec<usize> = excluded.iter().copied().filter(|&b| b != drop).collect();
-        let hyperplane_index = hyperplanes.len();
-        hyperplanes.push(Subspace::standard_span(n, retained.iter().copied()));
-        for &add in &selected {
-            let mut new_excluded = retained.clone();
-            new_excluded.push(add);
-            candidates.push(NeighborCandidate {
-                hyperplane: hyperplane_index,
-                direction: BitVec::unit(add, n),
-                subspace: Subspace::standard_span(n, new_excluded),
-            });
-        }
-    }
-    Neighborhood {
-        hyperplanes,
-        candidates,
-    }
+    let packed_pool: Vec<u64> = pool.iter().map(|v| v.as_u64()).collect();
+    PackedNeighborhood::generate(&null_space.to_packed(), class, &packed_pool).to_neighborhood()
 }
 
 #[cfg(test)]
@@ -263,6 +399,40 @@ mod tests {
         ]);
         assert_eq!(custom.vectors(8, &p).len(), 1);
         assert_eq!(NeighborPool::default(), NeighborPool::UnitsAndPairs);
+    }
+
+    #[test]
+    fn pool_deduplication_preserves_first_occurrence_order() {
+        let p = dummy_profile(8);
+        let custom = NeighborPool::Custom(vec![
+            BitVec::from_u64(0b1000, 8),
+            BitVec::from_u64(0b0001, 8),
+            BitVec::from_u64(0b1000, 8),
+            BitVec::from_u64(0b0110, 8),
+            BitVec::from_u64(0b0001, 8),
+        ]);
+        let got = custom.vectors(8, &p);
+        assert_eq!(
+            got,
+            vec![
+                BitVec::from_u64(0b1000, 8),
+                BitVec::from_u64(0b0001, 8),
+                BitVec::from_u64(0b0110, 8),
+            ]
+        );
+    }
+
+    #[test]
+    fn packed_pool_matches_bitvec_pool() {
+        let p = dummy_profile(8);
+        for pool in [
+            NeighborPool::Units,
+            NeighborPool::UnitsAndPairs,
+            NeighborPool::UnitsPairsAndProfile(4),
+        ] {
+            let bitvecs: Vec<u64> = pool.vectors(8, &p).iter().map(|v| v.as_u64()).collect();
+            assert_eq!(pool.packed_vectors(8, &p), bitvecs);
+        }
     }
 
     #[test]
@@ -312,6 +482,15 @@ mod tests {
     }
 
     #[test]
+    fn bit_select_of_a_non_coordinate_subspace_is_empty() {
+        let parent =
+            PackedBasis::from_subspace(&Subspace::from_generators(8, &[BitVec::from_u64(0b11, 8)]));
+        let nbhd = PackedNeighborhood::generate(&parent, FunctionClass::bit_selecting(), &[]);
+        assert!(nbhd.is_empty());
+        assert!(nbhd.hyperplanes.is_empty());
+    }
+
+    #[test]
     fn neighborhood_decomposition_is_consistent() {
         // Every candidate must equal its hyperplane extended by its direction,
         // with the direction outside the hyperplane — the invariant the
@@ -342,8 +521,38 @@ mod tests {
                 assert!(!hyperplane.contains(c.direction), "{class}");
                 assert_eq!(hyperplane.extended(c.direction), c.subspace, "{class}");
             }
-            // The flat view matches the structured view, in order.
+            // The flat views match the structured view, in order.
             assert_eq!(nbhd.subspaces(), neighbors(&ns, class, &pool));
+            let borrowed: Vec<&Subspace> = nbhd.iter_subspaces().collect();
+            assert_eq!(borrowed.len(), nbhd.len());
+            let repacked: Vec<Subspace> =
+                nbhd.packed_candidates().map(|b| b.to_subspace()).collect();
+            assert_eq!(repacked, nbhd.subspaces());
+        }
+    }
+
+    #[test]
+    fn packed_and_boundary_views_agree() {
+        let p = dummy_profile(8);
+        let pool = NeighborPool::UnitsAndPairs.packed_vectors(8, &p);
+        let parent = PackedBasis::standard_span(8, 3..8);
+        for class in [
+            FunctionClass::xor_unlimited(),
+            FunctionClass::permutation_based_unlimited(),
+        ] {
+            let packed = PackedNeighborhood::generate(&parent, class, &pool);
+            assert_eq!(packed.width, 8);
+            let view = packed.to_neighborhood();
+            assert_eq!(view.len(), packed.len());
+            assert_eq!(view.hyperplanes.len(), packed.hyperplanes.len());
+            for (pc, vc) in packed.candidates.iter().zip(&view.candidates) {
+                assert_eq!(pc.hyperplane, vc.hyperplane);
+                assert_eq!(pc.direction, vc.direction.as_u64());
+                assert_eq!(pc.basis.to_subspace(), vc.subspace);
+            }
+            for (b, _) in packed.bases().zip(packed.candidates.iter()) {
+                assert_eq!(b.width(), 8);
+            }
         }
     }
 

@@ -34,7 +34,7 @@ impl Searcher<'_> {
         let n = self.hashed_bits();
         let m = self.set_bits();
         let mut engine = self.engine();
-        let baseline_estimate = engine.evaluate(&self.conventional_null_space());
+        let baseline_estimate = engine.estimate_packed(&self.conventional_packed());
 
         let mut best: Option<(u64, Vec<usize>)> = None;
         let mut evaluations = 0u64;
@@ -42,19 +42,20 @@ impl Searcher<'_> {
         let mut exhausted = false;
         while !exhausted {
             let mut selections: Vec<Vec<usize>> = Vec::with_capacity(CHUNK);
-            let mut candidates: Vec<gf2::Subspace> = Vec::with_capacity(CHUNK);
+            let mut candidates: Vec<gf2::PackedBasis> = Vec::with_capacity(CHUNK);
             while selections.len() < CHUNK {
                 // The selection's null space is spanned by the complementary
-                // unit vectors.
+                // unit vectors, built directly in packed form (unit rows need
+                // no elimination work).
                 let excluded = (0..n).filter(|i| !selection.contains(i));
-                candidates.push(gf2::Subspace::standard_span(n, excluded));
+                candidates.push(gf2::PackedBasis::standard_span(n, excluded));
                 selections.push(selection.clone());
                 if !next_combination(&mut selection, n) {
                     exhausted = true;
                     break;
                 }
             }
-            let costs = engine.evaluate_all(&candidates);
+            let costs = engine.estimate_batch(&candidates);
             evaluations += candidates.len() as u64;
             for (sel, cost) in selections.into_iter().zip(costs) {
                 // Strictly-less keeps the lexicographically first tie, as the

@@ -20,7 +20,9 @@ impl Searcher<'_> {
     ///
     /// All climbs share one evaluation engine, so a restart that wanders into
     /// a basin an earlier climb already priced answers those candidates from
-    /// the memo instead of re-evaluating them.
+    /// the memo instead of re-evaluating them. Random starts are drawn as
+    /// [`Subspace`]s (the random-generation boundary) and packed once on
+    /// entry to the climb, which then carries packed state end-to-end.
     ///
     /// # Errors
     ///

@@ -1,10 +1,14 @@
 //! Property-based tests for the profiling / estimation / search pipeline.
 
 use cache_sim::{BlockAddr, Cache, CacheConfig, ModuloIndex};
+use gf2::{BitVec, Subspace};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use xorindex::search::{neighbors, SearchAlgorithm, Searcher};
+use xorindex::search::{
+    neighbors, NeighborCandidate, NeighborPool, Neighborhood, PackedNeighborhood, SearchAlgorithm,
+    SearchOutcome, Searcher,
+};
 use xorindex::{
     ConflictProfile, DenseProfile, EstimationStrategy, EvalEngine, FunctionClass, HashFunction,
     MissEstimator,
@@ -240,6 +244,103 @@ proptest! {
     }
 }
 
+/// The pre-refactor (PR 2) neighbourhood generation, verbatim: heap-allocated
+/// `Subspace` candidates, full Gaussian re-canonicalization per extension, and
+/// a `HashSet<Subspace>` dedup. The packed generation must reproduce its
+/// output exactly — same candidate set, same deterministic order, same
+/// hyperplane/direction decomposition.
+fn reference_neighborhood(
+    null_space: &Subspace,
+    class: FunctionClass,
+    pool: &[BitVec],
+) -> Neighborhood {
+    let n = null_space.ambient_width();
+    let m = n - null_space.dim();
+    if class == FunctionClass::BitSelecting {
+        return reference_bit_select_neighborhood(null_space);
+    }
+    let admissible = |candidate: &Subspace| match class {
+        FunctionClass::BitSelecting => candidate.basis().iter().all(|b| b.weight() == 1),
+        FunctionClass::Xor { .. } => true,
+        FunctionClass::PermutationBased { .. } => candidate.admits_permutation_based_function(m),
+    };
+    let mut seen: std::collections::HashSet<Subspace> = std::collections::HashSet::new();
+    let mut hyperplanes = Vec::new();
+    let mut candidates = Vec::new();
+    for hyperplane in null_space.hyperplanes() {
+        let hyperplane_index = hyperplanes.len();
+        let mut used = false;
+        for &v in pool {
+            if null_space.contains(v) {
+                continue;
+            }
+            let candidate = hyperplane.extended(v);
+            if candidate == *null_space || seen.contains(&candidate) {
+                continue;
+            }
+            if admissible(&candidate) {
+                seen.insert(candidate.clone());
+                candidates.push(NeighborCandidate {
+                    hyperplane: hyperplane_index,
+                    direction: v,
+                    subspace: candidate,
+                });
+                used = true;
+            }
+        }
+        if used {
+            hyperplanes.push(hyperplane);
+        }
+    }
+    Neighborhood {
+        hyperplanes,
+        candidates,
+    }
+}
+
+/// The pre-refactor structural bit-select neighbourhood, verbatim.
+fn reference_bit_select_neighborhood(null_space: &Subspace) -> Neighborhood {
+    let n = null_space.ambient_width();
+    let excluded: Vec<usize> = null_space
+        .basis()
+        .iter()
+        .filter_map(|b| {
+            if b.weight() == 1 {
+                b.trailing_bit()
+            } else {
+                None
+            }
+        })
+        .collect();
+    if excluded.len() != null_space.dim() {
+        return Neighborhood {
+            hyperplanes: Vec::new(),
+            candidates: Vec::new(),
+        };
+    }
+    let selected: Vec<usize> = (0..n).filter(|i| !excluded.contains(i)).collect();
+    let mut hyperplanes = Vec::new();
+    let mut candidates = Vec::new();
+    for &drop in &excluded {
+        let retained: Vec<usize> = excluded.iter().copied().filter(|&b| b != drop).collect();
+        let hyperplane_index = hyperplanes.len();
+        hyperplanes.push(Subspace::standard_span(n, retained.iter().copied()));
+        for &add in &selected {
+            let mut new_excluded = retained.clone();
+            new_excluded.push(add);
+            candidates.push(NeighborCandidate {
+                hyperplane: hyperplane_index,
+                direction: BitVec::unit(add, n),
+                subspace: Subspace::standard_span(n, new_excluded),
+            });
+        }
+    }
+    Neighborhood {
+        hyperplanes,
+        candidates,
+    }
+}
+
 /// The pre-engine hill climb, verbatim: per-candidate [`MissEstimator`] calls,
 /// no memoization, no delta evaluation. The engine-backed search must reach
 /// the same outcome with no more evaluations.
@@ -359,5 +460,371 @@ proptest! {
                 auto.estimated_misses
             );
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pre-refactor (PR 2, Subspace-native) search algorithms, verbatim. They run
+// on the engine's `Subspace` boundary API and the verbatim reference
+// neighbourhood generation above, so they reproduce the pre-packed search
+// exactly — including its engine work counters. The packed-native algorithms
+// must produce bit-identical `SearchOutcome`s (function, estimated_misses,
+// baseline_estimate, evaluations, steps).
+// ---------------------------------------------------------------------------
+
+fn reference_conventional(n: usize, set_bits: usize) -> Subspace {
+    Subspace::standard_span(n, set_bits..n)
+}
+
+/// PR 2's `hill_climb_with`, verbatim on the Subspace path.
+fn reference_engine_hill_climb(
+    engine: &mut EvalEngine<'_>,
+    profile: &ConflictProfile,
+    class: FunctionClass,
+    set_bits: usize,
+    start: Subspace,
+) -> SearchOutcome {
+    let n = profile.hashed_bits();
+    let pool = NeighborPool::UnitsAndPairs.vectors(n, profile);
+    let start_function = HashFunction::from_null_space(&start, class).unwrap();
+    let baseline_estimate = engine.evaluate(&reference_conventional(n, set_bits));
+    let evaluations_before = engine.stats().evaluations;
+    let mut current = start;
+    let mut best_cost = engine.evaluate(&current);
+    let mut best_function = start_function;
+    let mut steps: u64 = 0;
+    loop {
+        let nbhd = reference_neighborhood(&current, class, &pool);
+        let costs = engine.evaluate_neighborhood(&nbhd);
+        let mut order: Vec<usize> = (0..nbhd.candidates.len()).collect();
+        order.sort_by_key(|&i| costs[i]);
+        let mut moved = false;
+        for i in order {
+            if costs[i] >= best_cost {
+                break;
+            }
+            let ns = &nbhd.candidates[i].subspace;
+            if let Ok(function) = HashFunction::from_null_space(ns, class) {
+                current = ns.clone();
+                best_cost = costs[i];
+                best_function = function;
+                steps += 1;
+                moved = true;
+                break;
+            }
+        }
+        if !moved {
+            break;
+        }
+    }
+    SearchOutcome {
+        function: best_function,
+        estimated_misses: best_cost,
+        baseline_estimate,
+        evaluations: engine.stats().evaluations - evaluations_before,
+        steps,
+    }
+}
+
+/// PR 2's `random_admissible_start`, verbatim.
+fn reference_random_start(rng: &mut StdRng, n: usize, m: usize, class: FunctionClass) -> Subspace {
+    match class {
+        FunctionClass::BitSelecting => {
+            use rand::seq::SliceRandom;
+            let mut bits: Vec<usize> = (0..n).collect();
+            bits.shuffle(rng);
+            let excluded = bits[m..].to_vec();
+            Subspace::standard_span(n, excluded)
+        }
+        FunctionClass::PermutationBased {
+            max_inputs: Some(k),
+        }
+        | FunctionClass::Xor {
+            max_inputs: Some(k),
+        } => {
+            use rand::seq::SliceRandom;
+            use rand::Rng;
+            let extra_per_column = k.saturating_sub(1);
+            let mut matrix = gf2::BitMatrix::zero(n, m);
+            for c in 0..m {
+                matrix.set(c, c, true);
+                if n > m && extra_per_column > 0 {
+                    let mut high_rows: Vec<usize> = (m..n).collect();
+                    high_rows.shuffle(rng);
+                    let extras = rng.gen_range(0..=extra_per_column.min(high_rows.len()));
+                    for &r in high_rows.iter().take(extras) {
+                        matrix.set(r, c, true);
+                    }
+                }
+            }
+            matrix.null_space()
+        }
+        FunctionClass::PermutationBased { max_inputs: None } => {
+            gf2::random::random_permutation_null_space(rng, n, m)
+        }
+        FunctionClass::Xor { max_inputs: None } => gf2::random::random_subspace(rng, n, n - m),
+    }
+}
+
+/// PR 2's `random_restart`, verbatim on the Subspace path.
+fn reference_engine_random_restart(
+    profile: &ConflictProfile,
+    class: FunctionClass,
+    set_bits: usize,
+    restarts: usize,
+    seed: u64,
+) -> SearchOutcome {
+    let n = profile.hashed_bits();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut engine = EvalEngine::new(profile);
+    let mut best = reference_engine_hill_climb(
+        &mut engine,
+        profile,
+        class,
+        set_bits,
+        reference_conventional(n, set_bits),
+    );
+    let mut total_evaluations = best.evaluations;
+    let mut total_steps = best.steps;
+    for _ in 0..restarts {
+        let start = reference_random_start(&mut rng, n, set_bits, class);
+        let outcome = reference_engine_hill_climb(&mut engine, profile, class, set_bits, start);
+        total_evaluations += outcome.evaluations;
+        total_steps += outcome.steps;
+        if outcome.estimated_misses < best.estimated_misses {
+            best = outcome;
+        }
+    }
+    best.evaluations = total_evaluations;
+    best.steps = total_steps;
+    best
+}
+
+/// PR 2's `annealing`, verbatim on the Subspace path.
+fn reference_engine_annealing(
+    profile: &ConflictProfile,
+    class: FunctionClass,
+    set_bits: usize,
+    iterations: usize,
+    initial_temperature: f64,
+    seed: u64,
+) -> SearchOutcome {
+    use rand::Rng;
+    let n = profile.hashed_bits();
+    let mut engine = EvalEngine::new(profile);
+    let pool = NeighborPool::UnitsAndPairs.vectors(n, profile);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let start = reference_conventional(n, set_bits);
+    let mut current = start.clone();
+    let mut current_cost = engine.evaluate(&current);
+    let baseline_estimate = current_cost;
+    let mut best_function = HashFunction::from_null_space(&start, class).unwrap();
+    let mut best_cost = current_cost;
+    let mut steps: u64 = 0;
+    let temperature_floor = (initial_temperature * 0.01).max(1e-9);
+    let decay = if iterations > 1 {
+        (temperature_floor / initial_temperature.max(1e-9)).powf(1.0 / (iterations as f64 - 1.0))
+    } else {
+        1.0
+    };
+    let mut temperature = initial_temperature.max(1e-9);
+    for _ in 0..iterations {
+        let candidates = reference_neighborhood(&current, class, &pool).subspaces();
+        if candidates.is_empty() {
+            break;
+        }
+        let pick = rng.gen_range(0..candidates.len());
+        let candidate = &candidates[pick];
+        let cost = engine.evaluate(candidate);
+        let delta = cost as f64 - current_cost as f64;
+        let accept = delta <= 0.0 || rng.random::<f64>() < (-delta / temperature).exp();
+        if accept {
+            current = candidate.clone();
+            current_cost = cost;
+            steps += 1;
+            if cost < best_cost {
+                if let Ok(function) = HashFunction::from_null_space(&current, class) {
+                    best_cost = cost;
+                    best_function = function;
+                }
+            }
+        }
+        temperature = (temperature * decay).max(temperature_floor);
+    }
+    SearchOutcome {
+        function: best_function,
+        estimated_misses: best_cost,
+        baseline_estimate,
+        evaluations: engine.stats().evaluations,
+        steps,
+    }
+}
+
+/// PR 2's `optimal_bit_select`, verbatim on the Subspace path.
+fn reference_engine_optimal_bit_select(
+    profile: &ConflictProfile,
+    set_bits: usize,
+) -> SearchOutcome {
+    fn next_combination(combo: &mut [usize], n: usize) -> bool {
+        let k = combo.len();
+        let mut i = k;
+        while i > 0 {
+            i -= 1;
+            if combo[i] < n - (k - i) {
+                combo[i] += 1;
+                for j in (i + 1)..k {
+                    combo[j] = combo[j - 1] + 1;
+                }
+                return true;
+            }
+        }
+        false
+    }
+    const CHUNK: usize = 4096;
+    let n = profile.hashed_bits();
+    let m = set_bits;
+    let mut engine = EvalEngine::new(profile);
+    let baseline_estimate = engine.evaluate(&reference_conventional(n, m));
+    let mut best: Option<(u64, Vec<usize>)> = None;
+    let mut evaluations = 0u64;
+    let mut selection: Vec<usize> = (0..m).collect();
+    let mut exhausted = false;
+    while !exhausted {
+        let mut selections: Vec<Vec<usize>> = Vec::with_capacity(CHUNK);
+        let mut candidates: Vec<Subspace> = Vec::with_capacity(CHUNK);
+        while selections.len() < CHUNK {
+            let excluded = (0..n).filter(|i| !selection.contains(i));
+            candidates.push(Subspace::standard_span(n, excluded));
+            selections.push(selection.clone());
+            if !next_combination(&mut selection, n) {
+                exhausted = true;
+                break;
+            }
+        }
+        let costs = engine.evaluate_all(&candidates);
+        evaluations += candidates.len() as u64;
+        for (sel, cost) in selections.into_iter().zip(costs) {
+            if best.as_ref().is_none_or(|(best_cost, _)| cost < *best_cost) {
+                best = Some((cost, sel));
+            }
+        }
+    }
+    let (cost, sel) = best.expect("at least one combination exists");
+    SearchOutcome {
+        function: HashFunction::bit_selecting(n, &sel).unwrap(),
+        estimated_misses: cost,
+        baseline_estimate,
+        evaluations,
+        steps: 0,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn packed_neighborhood_matches_the_subspace_reference(
+        blocks in trace_strategy(),
+        cache in cache_strategy(),
+        seed in any::<u64>(),
+    ) {
+        let profile = profile_of(&blocks, &cache);
+        let pool = NeighborPool::UnitsAndPairs.vectors(HASHED_BITS, &profile);
+        let packed_pool = NeighborPool::UnitsAndPairs.packed_vectors(HASHED_BITS, &profile);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dim = HASHED_BITS - cache.set_bits();
+        for class in [
+            FunctionClass::bit_selecting(),
+            FunctionClass::permutation_based_unlimited(),
+            FunctionClass::permutation_based(2),
+            FunctionClass::xor_unlimited(),
+        ] {
+            // The conventional start, a random subspace (possibly not even
+            // admissible for the class) and a random coordinate subspace all
+            // must decompose identically.
+            let random_coordinate =
+                reference_random_start(&mut rng, HASHED_BITS, cache.set_bits(),
+                                       FunctionClass::bit_selecting());
+            let parents = [
+                reference_conventional(HASHED_BITS, cache.set_bits()),
+                gf2::random::random_subspace(&mut rng, HASHED_BITS, dim),
+                random_coordinate,
+            ];
+            for parent in parents {
+                let reference = reference_neighborhood(&parent, class, &pool);
+                let packed =
+                    PackedNeighborhood::generate(&parent.to_packed(), class, &packed_pool);
+                // Same candidate set, same deterministic order, same
+                // hyperplane/direction decomposition.
+                prop_assert_eq!(
+                    packed.to_neighborhood(), reference,
+                    "class {}, parent {}", class, &parent
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn all_four_algorithms_match_the_pre_refactor_path_bit_for_bit(
+        blocks in trace_strategy(),
+        cache in cache_strategy(),
+        seed in any::<u64>(),
+    ) {
+        let profile = profile_of(&blocks, &cache);
+        let set_bits = cache.set_bits();
+        let n = profile.hashed_bits();
+
+        // Hill climbing, every class.
+        for class in [
+            FunctionClass::bit_selecting(),
+            FunctionClass::permutation_based(2),
+            FunctionClass::xor_unlimited(),
+        ] {
+            let mut engine = EvalEngine::new(&profile);
+            let reference = reference_engine_hill_climb(
+                &mut engine, &profile, class, set_bits,
+                reference_conventional(n, set_bits),
+            );
+            let searcher = Searcher::new(&profile, class, set_bits).unwrap();
+            let outcome = searcher.run(SearchAlgorithm::HillClimb).unwrap();
+            prop_assert_eq!(&outcome, &reference, "hill climb, class {}", class);
+        }
+
+        // Random restarts (shared engine, shared RNG stream).
+        for class in [FunctionClass::permutation_based(2), FunctionClass::xor_unlimited()] {
+            let reference =
+                reference_engine_random_restart(&profile, class, set_bits, 2, seed);
+            let searcher = Searcher::new(&profile, class, set_bits).unwrap();
+            let outcome = searcher
+                .run(SearchAlgorithm::RandomRestart { restarts: 2, seed })
+                .unwrap();
+            prop_assert_eq!(&outcome, &reference, "random restart, class {}", class);
+        }
+
+        // Simulated annealing (identical proposal and acceptance stream).
+        for class in [FunctionClass::permutation_based(2), FunctionClass::xor_unlimited()] {
+            let reference =
+                reference_engine_annealing(&profile, class, set_bits, 30, 10.0, seed);
+            let searcher = Searcher::new(&profile, class, set_bits).unwrap();
+            let outcome = searcher
+                .run(SearchAlgorithm::Annealing {
+                    iterations: 30,
+                    initial_temperature: 10.0,
+                    seed,
+                })
+                .unwrap();
+            prop_assert_eq!(&outcome, &reference, "annealing, class {}", class);
+        }
+
+        // Exhaustive bit selection.
+        let reference = reference_engine_optimal_bit_select(&profile, set_bits);
+        let searcher =
+            Searcher::new(&profile, FunctionClass::bit_selecting(), set_bits).unwrap();
+        let outcome = searcher.run(SearchAlgorithm::OptimalBitSelect).unwrap();
+        prop_assert_eq!(&outcome, &reference, "optimal bit select");
     }
 }

@@ -137,6 +137,10 @@ impl CellResult {
 /// Profiles `blocks` once and evaluates every function class on it, sharing
 /// the profile and the baseline simulation across classes.
 ///
+/// Each class's search runs on the packed-native core (packed neighbourhood
+/// generation, `CanonicalKey`-keyed memoization, packed engine pricing), so
+/// the table reproductions measure the same hot path the library ships.
+///
 /// Returns one [`CellResult`] per class, in the order given.
 #[must_use]
 pub fn evaluate_trace(

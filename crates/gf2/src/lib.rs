@@ -16,7 +16,8 @@
 //!   orthogonal complements and vector enumeration;
 //! * [`PackedBasis`] — the same canonical basis packed into bare `u64` words
 //!   for hot-path evaluation: fast reduce/membership, incremental
-//!   extend/replace of one generator, and Gray-code coset enumeration;
+//!   extend/replace of one generator, incremental hyperplane enumeration,
+//!   Gray-code coset enumeration, and compact [`CanonicalKey`] map keys;
 //! * [`count`] — Gaussian binomials and the matrix/subspace counting formulas
 //!   quoted in Section 2 of the paper (Eq. 3);
 //! * [`random`] — seeded random generation of vectors, full-rank matrices and
@@ -52,7 +53,7 @@ pub mod random;
 
 pub use bitvec::{BitVec, SetBits};
 pub use matrix::BitMatrix;
-pub use packed::{PackedBasis, PackedVectors};
+pub use packed::{CanonicalKey, PackedBasis, PackedHyperplanes, PackedVectors};
 pub use subspace::{Subspace, SubspaceVectors};
 
 /// Errors reported by GF(2) operations.

@@ -9,17 +9,22 @@
 //!
 //! * a branch-light [`PackedBasis::reduce`] / [`PackedBasis::contains`]
 //!   membership test,
-//! * *incremental* basis updates — [`PackedBasis::insert`] extends the span by
-//!   one generator and [`PackedBasis::replaced`] swaps one basis row for a new
-//!   direction, both restoring canonical form without re-running a full
-//!   Gaussian elimination, and
+//! * *incremental* basis updates — [`PackedBasis::insert`] /
+//!   [`PackedBasis::extended`] extend the span by one generator and
+//!   [`PackedBasis::replaced`] swaps one basis row for a new direction, both
+//!   restoring canonical form without re-running a full Gaussian elimination,
+//! * *incremental* hyperplane enumeration — [`PackedBasis::hyperplanes`]
+//!   produces every codimension-1 subspace by removing one (combined)
+//!   generator, again without re-elimination, which is what the search's
+//!   neighbourhood generation iterates over, and
 //! * Gray-code enumeration of the subspace ([`PackedBasis::vectors`]) and of
 //!   any coset ([`PackedBasis::coset`]), so consecutive enumerated vectors
 //!   differ by a single row XOR.
 //!
 //! A `PackedBasis` in canonical form is a unique representative of its
 //! subspace, so derived equality is subspace equality, exactly as for
-//! [`Subspace`].
+//! [`Subspace`], and [`PackedBasis::canonical_key`] yields a compact boxed
+//! word slice suitable as a hash-map key for memoization.
 
 use crate::{BitVec, Subspace};
 
@@ -43,11 +48,57 @@ use crate::{BitVec, Subspace};
 /// assert!(b.contains(0b0101));
 /// assert!(!b.contains(0b1000));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+/// The derived ordering compares the packed rows lexicographically (then the
+/// width); it is an arbitrary but total and deterministic order, suitable for
+/// sorted containers and reproducible tie-breaking.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct PackedBasis {
     /// RREF rows, sorted by strictly decreasing leading bit.
     rows: Vec<u64>,
     width: usize,
+}
+
+/// A compact, owned map key identifying a [`PackedBasis`] (and therefore a
+/// subspace): the ambient width followed by the canonical packed rows, boxed
+/// into a single `[u64]` allocation.
+///
+/// Because the packed rows are a unique canonical representative of the
+/// subspace, two keys compare (and hash) equal exactly when the subspaces are
+/// equal. Keys are cheaper to hash and store than a `Subspace` clone, which is
+/// what makes them the memoization currency of the evaluation engine.
+///
+/// # Example
+///
+/// ```
+/// use gf2::PackedBasis;
+///
+/// let a = PackedBasis::standard_span(8, [3usize, 5]);
+/// let b = PackedBasis::standard_span(8, [5usize, 3]);
+/// assert_eq!(a.canonical_key(), b.canonical_key());
+/// assert_ne!(
+///     a.canonical_key(),
+///     PackedBasis::standard_span(8, [3usize, 6]).canonical_key()
+/// );
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CanonicalKey(Box<[u64]>);
+
+impl CanonicalKey {
+    /// The raw key words: the ambient width followed by the canonical rows.
+    #[must_use]
+    pub fn as_words(&self) -> &[u64] {
+        &self.0
+    }
+}
+
+/// Keyed collections can be probed with a borrowed `[u64]` produced by
+/// [`PackedBasis::key_words`], so a lookup hit never allocates; the owned
+/// boxed key is only built ([`PackedBasis::canonical_key`]) when an entry is
+/// actually inserted.
+impl std::borrow::Borrow<[u64]> for CanonicalKey {
+    fn borrow(&self) -> &[u64] {
+        &self.0
+    }
 }
 
 impl PackedBasis {
@@ -63,6 +114,25 @@ impl PackedBasis {
             rows: Vec::new(),
             width,
         }
+    }
+
+    /// The span of the standard basis vectors `e_k` for the given bit indices
+    /// — the packed counterpart of [`Subspace::standard_span`].
+    ///
+    /// Unit vectors are their own canonical rows, so construction is a handful
+    /// of incremental inserts with no elimination work.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is `>= width` or the width is unsupported.
+    #[must_use]
+    pub fn standard_span(width: usize, bits: impl IntoIterator<Item = usize>) -> Self {
+        let mut out = Self::trivial(width);
+        for bit in bits {
+            assert!(bit < width, "bit index {bit} outside GF(2)^{width}");
+            out.insert(1u64 << bit);
+        }
+        out
     }
 
     /// Packs the canonical basis of a [`Subspace`].
@@ -127,6 +197,64 @@ impl PackedBasis {
         self.reduce(v) == 0
     }
 
+    /// `true` when every vector of `other` lies in `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ambient widths differ.
+    #[must_use]
+    pub fn contains_subspace(&self, other: &PackedBasis) -> bool {
+        assert_eq!(self.width, other.width, "ambient width mismatch");
+        other.rows.iter().all(|&r| self.reduce(r) == 0)
+    }
+
+    /// The compact memoization key of this basis: width plus canonical rows in
+    /// one boxed `[u64]`. See [`CanonicalKey`].
+    #[must_use]
+    pub fn canonical_key(&self) -> CanonicalKey {
+        let mut words = Vec::with_capacity(self.rows.len() + 1);
+        words.push(self.width as u64);
+        words.extend_from_slice(&self.rows);
+        CanonicalKey(words.into_boxed_slice())
+    }
+
+    /// Writes this basis's key words (the ambient width, then the canonical
+    /// rows) into `buf` and returns the filled prefix — the borrowed form of
+    /// [`PackedBasis::canonical_key`], equal (and hashing equal) to the owned
+    /// key's words via `Borrow<[u64]>`. A `[u64; 65]` buffer always suffices
+    /// (width ≤ 64 ⇒ dim ≤ 64), so map probes on the search hot path never
+    /// allocate.
+    pub fn key_words<'a>(&self, buf: &'a mut [u64; 65]) -> &'a [u64] {
+        buf[0] = self.width as u64;
+        buf[1..=self.rows.len()].copy_from_slice(&self.rows);
+        &buf[..self.rows.len() + 1]
+    }
+
+    /// `true` when this subspace intersects `span(e_0, …, e_{m-1})` only in
+    /// the zero vector — the defining property (Eq. 5 of the paper) of the
+    /// null space of a permutation-based hash function.
+    ///
+    /// Evaluated as a projected-rank test: the intersection with the low span
+    /// is trivial exactly when projecting the rows onto the high bits `m..n`
+    /// keeps them linearly independent (a dependency among the projections is
+    /// a non-zero member supported on the low bits, and vice versa).
+    #[must_use]
+    pub fn admits_permutation_based(&self, m: usize) -> bool {
+        if self.rows.is_empty() {
+            return true;
+        }
+        let high_mask = if m >= 64 { 0 } else { u64::MAX << m };
+        let mut projected = PackedBasis::trivial(self.width);
+        self.rows.iter().all(|&r| projected.insert(r & high_mask))
+    }
+
+    /// `true` when the subspace is spanned by standard basis vectors — the
+    /// null-space shape of a bit-selecting function.
+    #[must_use]
+    pub fn is_coordinate_subspace(&self) -> bool {
+        self.rows.iter().all(|r| r.count_ones() == 1)
+    }
+
     fn low_mask(&self) -> u64 {
         if self.width == 64 {
             u64::MAX
@@ -172,6 +300,41 @@ impl PackedBasis {
             .unwrap_or(self.rows.len());
         self.rows.insert(pos, remainder);
         true
+    }
+
+    /// Span of this subspace and one extra generator — the owned counterpart
+    /// of [`PackedBasis::insert`], mirroring [`Subspace::extended`].
+    ///
+    /// When `v` already lies in the span the result equals `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` has bits outside the ambient width.
+    #[must_use]
+    pub fn extended(&self, v: u64) -> Self {
+        let mut out = self.clone();
+        out.insert(v);
+        out
+    }
+
+    /// Enumerates all `2^dim − 1` hyperplanes (subspaces of dimension
+    /// `dim − 1`) of this subspace, each already in canonical form.
+    ///
+    /// Every non-zero linear functional over the basis rows determines one
+    /// hyperplane, and the enumeration visits functionals in increasing
+    /// order, matching [`Subspace::hyperplanes`] value-for-value and
+    /// order-for-order. Each hyperplane is produced *incrementally*: the
+    /// selected row with the smallest pivot is XOR-ed into the other selected
+    /// rows and removed. Because that row is zero above its own pivot and
+    /// zero at every other pivot, the remaining rows keep their leading bits
+    /// and stay reduced — no re-elimination is ever needed.
+    #[must_use]
+    pub fn hyperplanes(&self) -> PackedHyperplanes<'_> {
+        PackedHyperplanes {
+            basis: self,
+            functional: 1,
+            count: 1u128 << self.rows.len(),
+        }
     }
 
     /// The basis with row `index` removed — a canonical basis of a hyperplane
@@ -279,6 +442,56 @@ impl Iterator for PackedVectors<'_> {
 }
 
 impl ExactSizeIterator for PackedVectors<'_> {}
+
+/// Iterator over the hyperplanes of a [`PackedBasis`], produced by
+/// [`PackedBasis::hyperplanes`].
+#[derive(Debug, Clone)]
+pub struct PackedHyperplanes<'a> {
+    basis: &'a PackedBasis,
+    functional: u128,
+    count: u128,
+}
+
+impl Iterator for PackedHyperplanes<'_> {
+    type Item = PackedBasis;
+
+    fn next(&mut self) -> Option<PackedBasis> {
+        if self.functional >= self.count {
+            return None;
+        }
+        let f = self.functional as u64;
+        self.functional += 1;
+        let rows = &self.basis.rows;
+        // Among the rows the functional selects, XOR the one with the largest
+        // index (= smallest pivot, rows being sorted by decreasing pivot) into
+        // the others and drop it. The combined rows keep their own leading
+        // bits (row j is zero above its pivot) and stay reduced (row j is zero
+        // at every other pivot), so the result is canonical as-is.
+        let j = 63 - f.leading_zeros() as usize;
+        let mut out = Vec::with_capacity(rows.len() - 1);
+        for (i, &row) in rows.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            if (f >> i) & 1 == 1 {
+                out.push(row ^ rows[j]);
+            } else {
+                out.push(row);
+            }
+        }
+        Some(PackedBasis {
+            rows: out,
+            width: self.basis.width,
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = (self.count - self.functional) as usize;
+        (remaining, Some(remaining))
+    }
+}
+
+impl ExactSizeIterator for PackedHyperplanes<'_> {}
 
 #[cfg(test)]
 mod tests {
@@ -420,5 +633,127 @@ mod tests {
         assert_eq!(packed.dim(), 64);
         assert!(packed.contains(u64::MAX));
         assert_eq!(packed.to_subspace(), s);
+    }
+
+    #[test]
+    fn standard_span_matches_subspace_standard_span() {
+        let packed = PackedBasis::standard_span(10, [7usize, 2, 9, 2]);
+        let reference = Subspace::standard_span(10, [7usize, 2, 9, 2]);
+        assert_eq!(packed, PackedBasis::from_subspace(&reference));
+        assert_eq!(packed.dim(), 3);
+        assert!(packed.is_coordinate_subspace());
+        assert_eq!(PackedBasis::standard_span(6, []).dim(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside GF(2)^4")]
+    fn standard_span_rejects_out_of_width_bits() {
+        let _ = PackedBasis::standard_span(4, [4usize]);
+    }
+
+    #[test]
+    fn extended_matches_subspace_extended() {
+        let s = subspace(6, &[0b000011, 0b001100]);
+        let packed = PackedBasis::from_subspace(&s);
+        for v in 0..(1u64 << 6) {
+            let grown = packed.extended(v);
+            assert_eq!(
+                grown.to_subspace(),
+                s.extended(BitVec::from_u64(v, 6)),
+                "direction {v:06b}"
+            );
+            // Dependent directions leave the basis unchanged.
+            assert_eq!(grown.dim() == packed.dim(), packed.contains(v));
+        }
+    }
+
+    #[test]
+    fn hyperplanes_match_subspace_hyperplanes_in_order() {
+        let s = subspace(8, &[0b0000_0111, 0b0011_1000, 0b1100_0000, 0b1010_1010]);
+        let packed = PackedBasis::from_subspace(&s);
+        let reference = s.hyperplanes();
+        let got: Vec<PackedBasis> = packed.hyperplanes().collect();
+        assert_eq!(packed.hyperplanes().len(), reference.len());
+        assert_eq!(got.len(), reference.len());
+        for (i, (p, r)) in got.iter().zip(&reference).enumerate() {
+            assert_eq!(p, &PackedBasis::from_subspace(r), "hyperplane {i}");
+            assert!(packed.contains_subspace(p));
+            // Canonical with no re-elimination: round-tripping changes nothing.
+            assert_eq!(p, &PackedBasis::from_subspace(&p.to_subspace()));
+        }
+        assert_eq!(PackedBasis::trivial(8).hyperplanes().count(), 0);
+    }
+
+    #[test]
+    fn hyperplane_extended_by_an_outside_member_recovers_the_parent() {
+        let s = subspace(6, &[0b000111, 0b011100, 0b110000]);
+        let packed = PackedBasis::from_subspace(&s);
+        for hyper in packed.hyperplanes() {
+            let v = packed
+                .vectors()
+                .find(|&v| v != 0 && !hyper.contains(v))
+                .expect("a hyperplane misses half the parent");
+            assert_eq!(hyper.extended(v), packed);
+        }
+    }
+
+    #[test]
+    fn contains_subspace_orders_and_rejects_width_mismatch() {
+        let small = PackedBasis::standard_span(6, [1usize, 2]);
+        let big = PackedBasis::standard_span(6, [0usize, 1, 2, 3]);
+        assert!(big.contains_subspace(&small));
+        assert!(!small.contains_subspace(&big));
+        assert!(small.contains_subspace(&small));
+        assert!(small.contains_subspace(&PackedBasis::trivial(6)));
+    }
+
+    #[test]
+    fn canonical_key_identifies_the_subspace() {
+        let a = PackedBasis::from_subspace(&subspace(8, &[0b0011_0011, 0b0101_0101]));
+        let b = PackedBasis::from_subspace(&subspace(8, &[0b0101_0101, 0b0110_0110]));
+        assert_eq!(a, b);
+        assert_eq!(a.canonical_key(), b.canonical_key());
+        let c = PackedBasis::from_subspace(&subspace(8, &[0b0011_0011]));
+        assert_ne!(a.canonical_key(), c.canonical_key());
+        // The width participates, so equal rows in different ambient spaces
+        // yield different keys.
+        let narrow = PackedBasis::standard_span(6, [1usize]);
+        let wide = PackedBasis::standard_span(8, [1usize]);
+        assert_eq!(narrow.rows(), wide.rows());
+        assert_ne!(narrow.canonical_key(), wide.canonical_key());
+        assert_eq!(a.canonical_key().as_words()[0], 8);
+    }
+
+    #[test]
+    fn ordering_is_total_and_consistent_with_equality() {
+        let mut bases = [
+            PackedBasis::standard_span(6, [5usize]),
+            PackedBasis::standard_span(6, [0usize, 1]),
+            PackedBasis::trivial(6),
+            PackedBasis::standard_span(6, [5usize]),
+        ];
+        bases.sort();
+        for w in bases.windows(2) {
+            assert!(w[0] <= w[1]);
+            assert_eq!(w[0] == w[1], w[0].cmp(&w[1]).is_eq());
+        }
+    }
+
+    #[test]
+    fn admits_permutation_based_matches_subspace_check() {
+        for (gens, m) in [
+            (vec![0b110000u64, 0b001100, 0b000011], 2usize),
+            (vec![0b000001, 0b110000], 2),
+            (vec![0b101010, 0b010101], 3),
+            (vec![], 4),
+        ] {
+            let s = subspace(6, &gens);
+            let packed = PackedBasis::from_subspace(&s);
+            assert_eq!(
+                packed.admits_permutation_based(m),
+                s.admits_permutation_based_function(m),
+                "gens {gens:?}, m {m}"
+            );
+        }
     }
 }

@@ -342,6 +342,13 @@ impl Subspace {
             .iter()
             .all(|b| projected.insert(b.as_u64() & high_mask))
     }
+
+    /// Packs this subspace's canonical basis into a [`crate::PackedBasis`] —
+    /// convenience alias for [`crate::PackedBasis::from_subspace`].
+    #[must_use]
+    pub fn to_packed(&self) -> crate::PackedBasis {
+        crate::PackedBasis::from_subspace(self)
+    }
 }
 
 impl fmt::Display for Subspace {

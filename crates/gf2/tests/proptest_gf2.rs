@@ -268,5 +268,83 @@ proptest! {
                 "n={} m={} space={}", n, m, &space
             );
         }
+        // The packed check agrees with the subspace check everywhere.
+        let packed = gf2::PackedBasis::from_subspace(&space);
+        for m in 0..=n {
+            prop_assert_eq!(
+                packed.admits_permutation_based(m),
+                space.admits_permutation_based_function(m)
+            );
+        }
+    }
+
+    #[test]
+    fn packed_hyperplanes_match_subspace_hyperplanes_in_order(
+        seed in any::<u64>(),
+        n in 2usize..=12,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dim = ((seed as usize) % n).clamp(1, 6);
+        let space = random::random_subspace(&mut rng, n, dim);
+        let packed = gf2::PackedBasis::from_subspace(&space);
+        let reference = space.hyperplanes();
+        let got: Vec<gf2::PackedBasis> = packed.hyperplanes().collect();
+        prop_assert_eq!(got.len(), reference.len());
+        prop_assert_eq!(packed.hyperplanes().len(), reference.len());
+        for (i, (p, r)) in got.iter().zip(&reference).enumerate() {
+            // Same subspace, same canonical rows, same enumeration position —
+            // and already canonical without any re-elimination.
+            prop_assert_eq!(p, &gf2::PackedBasis::from_subspace(r), "hyperplane {}", i);
+            prop_assert!(packed.contains_subspace(p));
+            prop_assert_eq!(p.dim(), dim - 1);
+        }
+    }
+
+    #[test]
+    fn packed_extended_round_trips_through_hyperplanes(
+        seed in any::<u64>(),
+        n in 2usize..=12,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dim = ((seed as usize) % n).clamp(1, 6);
+        let space = random::random_subspace(&mut rng, n, dim);
+        let packed = gf2::PackedBasis::from_subspace(&space);
+        for hyper in packed.hyperplanes() {
+            // Extending a hyperplane by any parent member outside it recovers
+            // the parent exactly (the move the neighbourhood generator makes
+            // with pool directions).
+            let outside = packed
+                .vectors()
+                .find(|&v| !hyper.contains(v))
+                .expect("a strict subspace misses some parent vector");
+            prop_assert_eq!(hyper.extended(outside), packed.clone());
+            // Extending by a hyperplane member (a non-zero one when the
+            // hyperplane has any) changes nothing.
+            let inside = hyper.vectors().find(|&v| v != 0).unwrap_or(0);
+            prop_assert_eq!(hyper.extended(inside), hyper.clone());
+        }
+        // extended agrees with the Subspace-level construction on random
+        // directions.
+        for _ in 0..16 {
+            let v = random::random_vector(&mut rng, n);
+            prop_assert_eq!(
+                packed.extended(v.as_u64()).to_subspace(),
+                space.extended(v)
+            );
+        }
+    }
+
+    #[test]
+    fn canonical_keys_are_injective_on_subspaces(
+        seed in any::<u64>(),
+        n in 2usize..=12,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = random::random_subspace(&mut rng, n, (seed as usize) % (n + 1));
+        let b = random::random_subspace(&mut rng, n, (seed as usize / 7) % (n + 1));
+        let ka = gf2::PackedBasis::from_subspace(&a).canonical_key();
+        let kb = gf2::PackedBasis::from_subspace(&b).canonical_key();
+        prop_assert_eq!(a == b, ka == kb);
+        prop_assert_eq!(ka.as_words()[0] as usize, n);
     }
 }
