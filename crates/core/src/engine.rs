@@ -4,46 +4,44 @@
 //! against the `HashMap` histogram; every search step re-pays key hashing,
 //! `Subspace` traversal and — across steps — re-evaluation of candidates the
 //! search has already seen. [`EvalEngine`] is the batch-oriented replacement
-//! the search algorithms run on:
+//! the search algorithms run on. Since the engine split it is a thin façade
+//! over two shareable parts:
 //!
-//! * **Dense storage** — the histogram is frozen into a [`DenseProfile`]
-//!   (sorted pairs + flat lookup array), so a point lookup is an indexed load
-//!   instead of a `BitVec` hash.
-//! * **Packed candidates** — the native candidate currency is
-//!   [`gf2::PackedBasis`]: [`EvalEngine::estimate_packed`],
-//!   [`EvalEngine::estimate_batch`] and [`EvalEngine::estimate_neighborhood`]
-//!   price packed bases directly, and the [`Subspace`] entry points are thin
-//!   boundary wrappers that pack once and delegate.
-//! * **Memoization** — canonical null spaces are cached under their compact
-//!   [`CanonicalKey`], so no subspace is ever evaluated twice within a search
-//!   (hill-climb neighbourhoods overlap heavily step-to-step, and random
-//!   restarts revisit whole basins), and a memo probe hashes a few bare words
-//!   instead of a `Subspace` clone.
-//! * **Delta evaluation** — hill-climb neighbours share hyperplanes with
-//!   their parent: `misses(M ⊕ span(w)) = misses(M) + Σ_{u∈M} misses(u ⊕ w)`,
-//!   so the engine computes each hyperplane's partial sum once and each
-//!   neighbour costs only a `2^(d−1)`-term coset sum instead of a fresh
-//!   `2^d`-term null-space walk.
-//! * **Parallel batches** — large batches are split across OS threads with
-//!   `std::thread::scope`.
+//! * [`FrozenKernel`] — the immutable pricing core: the [`DenseProfile`]
+//!   snapshot plus all Eq. 4 arithmetic (full walks, histogram scans,
+//!   hyperplane-delta coset sums) and strategy resolution. `Send + Sync`,
+//!   shared via `Arc` so one kernel per application serves any number of
+//!   searches and serving workers concurrently.
+//! * [`ShardedMemo`] — the concurrent `CanonicalKey → u64` memo, sharded
+//!   across `Mutex<HashMap>` shards selected by the key hash, probe-able
+//!   allocation-free, with per-shard hit/miss stats and an optional entry
+//!   cap.
 //!
-//! All paths compute the exact Eq. 4 sum; estimates are bit-identical to
-//! [`MissEstimator`](crate::MissEstimator) under every
-//! [`EstimationStrategy`].
+//! The façade adds what a single search loop needs on top: per-engine work
+//! counters ([`EngineStats`]), batch orchestration with
+//! `std::thread::scope` parallelism, and the hyperplane-delta neighbourhood
+//! evaluation. All paths compute the exact Eq. 4 sum; estimates are
+//! bit-identical to [`MissEstimator`](crate::MissEstimator) under every
+//! [`EstimationStrategy`], with or without a memo cap, and however many
+//! engines share one kernel and memo.
 
-use std::collections::HashMap;
+use std::sync::Arc;
 
-use gf2::{CanonicalKey, PackedBasis, Subspace};
+use gf2::{PackedBasis, Subspace};
 
-use crate::estimate::resolve_strategy;
 use crate::search::{Neighborhood, PackedNeighborhood};
-use crate::{ConflictProfile, DenseProfile, EstimationStrategy};
+use crate::{ConflictProfile, DenseProfile, EstimationStrategy, FrozenKernel, ShardedMemo};
 
 /// Minimum number of fresh candidates before a batch is split across threads
 /// (below this the spawn overhead dominates).
 const PARALLEL_THRESHOLD: usize = 8;
 
 /// Counters describing the work an [`EvalEngine`] has performed.
+///
+/// These are per-engine (per-façade) counters: an engine sharing its
+/// [`ShardedMemo`] with other engines still reports only its own evaluations
+/// and hits here; the shared table's global view is
+/// [`ShardedMemo::stats`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EngineStats {
     /// Unique candidate Eq. 4 evaluations computed (full walks, scans or
@@ -60,7 +58,12 @@ pub struct EngineStats {
 }
 
 /// Batch evaluator of Eq. 4 (`misses(H) = Σ_{v ∈ N(H)} misses(v)`) over a
-/// frozen [`DenseProfile`].
+/// frozen [`DenseProfile`] — a compatibility façade over an
+/// `Arc<`[`FrozenKernel`]`>` and a [`ShardedMemo`].
+///
+/// Cloning an engine clones the `Arc` and the memo *handle*: the clone prices
+/// against the same kernel and shares the same memo table (its
+/// [`EngineStats`] start fresh).
 ///
 /// # Example
 ///
@@ -87,35 +90,70 @@ pub struct EngineStats {
 #[derive(Debug, Clone)]
 pub struct EvalEngine<'a> {
     profile: &'a ConflictProfile,
-    dense: DenseProfile,
-    strategy: EstimationStrategy,
+    kernel: Arc<FrozenKernel>,
+    memo: ShardedMemo,
     threads: usize,
-    memo: HashMap<CanonicalKey, u64>,
     stats: EngineStats,
 }
 
 impl<'a> EvalEngine<'a> {
-    /// Builds an engine over a profile, freezing its histogram into the dense
-    /// layout. Uses [`EstimationStrategy::Auto`] and as many threads as the
+    /// Builds an engine over a profile, freezing its histogram into a private
+    /// kernel. Uses [`EstimationStrategy::Auto`] and as many threads as the
     /// host exposes.
     #[must_use]
     pub fn new(profile: &'a ConflictProfile) -> Self {
+        Self::from_parts(
+            profile,
+            Arc::new(FrozenKernel::new(profile)),
+            ShardedMemo::new(),
+        )
+    }
+
+    /// Assembles an engine from an existing kernel and memo handle — the
+    /// sharing entry point: several engines (across searches, threads or
+    /// serving workers) built from clones of the same `Arc` and memo answer
+    /// from one frozen histogram and one cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel was frozen for a different hashed width than
+    /// `profile` records.
+    #[must_use]
+    pub fn from_parts(
+        profile: &'a ConflictProfile,
+        kernel: Arc<FrozenKernel>,
+        memo: ShardedMemo,
+    ) -> Self {
+        assert_eq!(
+            kernel.hashed_bits(),
+            profile.hashed_bits(),
+            "kernel width must match the profile"
+        );
         EvalEngine {
             profile,
-            dense: DenseProfile::from_profile(profile),
-            strategy: EstimationStrategy::Auto,
+            kernel,
+            memo,
             threads: std::thread::available_parallelism()
                 .map(std::num::NonZeroUsize::get)
                 .unwrap_or(1),
-            memo: HashMap::new(),
             stats: EngineStats::default(),
         }
     }
 
     /// Selects the evaluation strategy (default: automatic per candidate).
+    ///
+    /// Rebuilds this engine's kernel; call it at construction time, before
+    /// sharing the kernel with other engines.
     #[must_use]
     pub fn with_strategy(mut self, strategy: EstimationStrategy) -> Self {
-        self.strategy = strategy;
+        match Arc::get_mut(&mut self.kernel) {
+            // The common builder chain (`EvalEngine::new(p).with_strategy(s)`)
+            // still uniquely owns the kernel: update it in place.
+            Some(kernel) => kernel.set_strategy(strategy),
+            // Already shared: leave the other holders' kernel untouched and
+            // re-freeze a private copy with the new strategy.
+            None => self.kernel = Arc::new((*self.kernel).clone().with_strategy(strategy)),
+        }
         self
     }
 
@@ -126,16 +164,38 @@ impl<'a> EvalEngine<'a> {
         self
     }
 
+    /// Replaces the memo with a fresh entry-capped table (see
+    /// [`ShardedMemo::with_capacity`]); estimates are unaffected, overflow
+    /// is recomputed instead of cached. Call at construction time.
+    #[must_use]
+    pub fn with_memo_capacity(mut self, total_entries: usize) -> Self {
+        self.memo = ShardedMemo::with_capacity(total_entries);
+        self
+    }
+
     /// The profile this engine evaluates against.
     #[must_use]
     pub fn profile(&self) -> &ConflictProfile {
         self.profile
     }
 
+    /// The shared pricing kernel. Clone the `Arc` to share it with another
+    /// engine or a serving layer.
+    #[must_use]
+    pub fn kernel(&self) -> &Arc<FrozenKernel> {
+        &self.kernel
+    }
+
+    /// The memo handle. Clones share this engine's table.
+    #[must_use]
+    pub fn memo(&self) -> &ShardedMemo {
+        &self.memo
+    }
+
     /// The frozen dense view of the histogram.
     #[must_use]
     pub fn dense(&self) -> &DenseProfile {
-        &self.dense
+        self.kernel.dense()
     }
 
     /// Work counters accumulated since construction (or the last
@@ -145,7 +205,8 @@ impl<'a> EvalEngine<'a> {
         self.stats
     }
 
-    /// Clears the memo table and counters, keeping the dense profile.
+    /// Clears the memo table and counters, keeping the frozen kernel. The
+    /// memo clear affects every handle sharing the table.
     pub fn reset(&mut self) {
         self.memo.clear();
         self.stats = EngineStats::default();
@@ -160,17 +221,14 @@ impl<'a> EvalEngine<'a> {
     /// Panics if the basis's ambient width differs from the profile's hashed
     /// width.
     pub fn estimate_packed(&mut self, basis: &PackedBasis) -> u64 {
-        self.check_packed_width(basis);
-        // Probe with the stack-buffered key words; the boxed key is only
-        // allocated when a new entry is actually inserted.
-        let mut buf = [0u64; 65];
-        if let Some(&cost) = self.memo.get(basis.key_words(&mut buf)) {
+        self.kernel.check_width(basis);
+        let kernel = &self.kernel;
+        let (cost, hit) = self.memo.price_with(basis, || kernel.cost(basis));
+        if hit {
             self.stats.memo_hits += 1;
-            return cost;
+        } else {
+            self.stats.evaluations += 1;
         }
-        let cost = Self::cost_of(&self.dense, self.strategy, basis);
-        self.stats.evaluations += 1;
-        self.memo.insert(basis.canonical_key(), cost);
         cost
     }
 
@@ -195,8 +253,7 @@ impl<'a> EvalEngine<'a> {
     /// width.
     #[must_use]
     pub fn estimate_packed_fresh(&self, basis: &PackedBasis) -> u64 {
-        self.check_packed_width(basis);
-        Self::cost_of(&self.dense, self.strategy, basis)
+        self.kernel.cost(basis)
     }
 
     /// One-shot evaluation that bypasses the memo table. Boundary wrapper
@@ -240,10 +297,9 @@ impl<'a> EvalEngine<'a> {
     fn estimate_batch_refs(&mut self, candidates: &[&PackedBasis]) -> Vec<u64> {
         let mut out = vec![0u64; candidates.len()];
         let mut pending: Vec<usize> = Vec::new();
-        let mut buf = [0u64; 65];
         for (i, basis) in candidates.iter().enumerate() {
-            self.check_packed_width(basis);
-            if let Some(&cost) = self.memo.get(basis.key_words(&mut buf)) {
+            self.kernel.check_width(basis);
+            if let Some(cost) = self.memo.probe(basis) {
                 self.stats.memo_hits += 1;
                 out[i] = cost;
             } else {
@@ -253,15 +309,14 @@ impl<'a> EvalEngine<'a> {
         if pending.is_empty() {
             return out;
         }
-        let dense = &self.dense;
-        let strategy = self.strategy;
+        let kernel = &*self.kernel;
         let costs = Self::compute_parallel(&pending, self.threads, &mut self.stats, |&i| {
-            Self::cost_of(dense, strategy, candidates[i])
+            kernel.cost(candidates[i])
         });
         self.stats.evaluations += pending.len() as u64;
         for (i, cost) in pending.into_iter().zip(costs) {
             out[i] = cost;
-            self.memo.insert(candidates[i].canonical_key(), cost);
+            self.memo.insert(candidates[i], cost);
         }
         out
     }
@@ -287,11 +342,7 @@ impl<'a> EvalEngine<'a> {
             return Vec::new();
         }
         let dim = neighborhood.candidates[0].basis.dim();
-        let delta_pays = matches!(
-            resolve_strategy(self.strategy, dim, self.dense.distinct_vectors()),
-            EstimationStrategy::EnumerateNullSpace
-        );
-        if !delta_pays {
+        if !self.kernel.delta_pays(dim) {
             let refs: Vec<&PackedBasis> = neighborhood.bases().collect();
             return self.estimate_batch_refs(&refs);
         }
@@ -308,10 +359,9 @@ impl<'a> EvalEngine<'a> {
 
         let mut out = vec![0u64; neighborhood.candidates.len()];
         let mut pending: Vec<(usize, u64, &PackedBasis, u64)> = Vec::new();
-        let mut buf = [0u64; 65];
         for (i, candidate) in neighborhood.candidates.iter().enumerate() {
-            self.check_packed_width(&candidate.basis);
-            if let Some(&cost) = self.memo.get(candidate.basis.key_words(&mut buf)) {
+            self.kernel.check_width(&candidate.basis);
+            if let Some(cost) = self.memo.probe(&candidate.basis) {
                 self.stats.memo_hits += 1;
                 out[i] = cost;
             } else {
@@ -328,26 +378,19 @@ impl<'a> EvalEngine<'a> {
         if pending.is_empty() {
             return out;
         }
-        let dense = &self.dense;
+        let kernel = &*self.kernel;
         let costs = Self::compute_parallel(
             &pending,
             self.threads,
             &mut self.stats,
             |&(_, hyper_cost, hyperplane, direction)| {
-                // Every coset vector is non-zero (direction ∉ hyperplane), and
-                // the zero vector carries weight 0 anyway.
-                hyper_cost
-                    + hyperplane
-                        .coset(direction)
-                        .map(|v| dense.misses_of(v))
-                        .sum::<u64>()
+                kernel.neighbour_cost(hyper_cost, hyperplane, direction)
             },
         );
         self.stats.evaluations += pending.len() as u64;
         for ((i, ..), cost) in pending.into_iter().zip(costs) {
             out[i] = cost;
-            self.memo
-                .insert(neighborhood.candidates[i].basis.canonical_key(), cost);
+            self.memo.insert(&neighborhood.candidates[i].basis, cost);
         }
         out
     }
@@ -388,40 +431,15 @@ impl<'a> EvalEngine<'a> {
     /// Memoized evaluation counted as support work (hyperplane partial sums)
     /// rather than as a candidate evaluation.
     fn estimate_support(&mut self, basis: &PackedBasis) -> u64 {
-        self.check_packed_width(basis);
-        let mut buf = [0u64; 65];
-        if let Some(&cost) = self.memo.get(basis.key_words(&mut buf)) {
+        self.kernel.check_width(basis);
+        let kernel = &self.kernel;
+        let (cost, hit) = self.memo.price_with(basis, || kernel.cost(basis));
+        if hit {
             self.stats.memo_hits += 1;
-            return cost;
+        } else {
+            self.stats.support_evaluations += 1;
         }
-        let cost = Self::cost_of(&self.dense, self.strategy, basis);
-        self.stats.support_evaluations += 1;
-        self.memo.insert(basis.canonical_key(), cost);
         cost
-    }
-
-    fn check_packed_width(&self, basis: &PackedBasis) {
-        assert_eq!(
-            basis.width(),
-            self.dense.hashed_bits(),
-            "null space width must match the profile"
-        );
-    }
-
-    /// The exact Eq. 4 sum for one packed null space.
-    fn cost_of(dense: &DenseProfile, strategy: EstimationStrategy, packed: &PackedBasis) -> u64 {
-        match resolve_strategy(strategy, packed.dim(), dense.distinct_vectors()) {
-            // The zero vector carries weight 0, so it needs no special case.
-            EstimationStrategy::EnumerateNullSpace => {
-                packed.vectors().map(|v| dense.misses_of(v)).sum()
-            }
-            EstimationStrategy::ScanHistogram => dense
-                .iter()
-                .filter(|&(v, _)| packed.contains(v))
-                .map(|(_, w)| w)
-                .sum(),
-            EstimationStrategy::Auto => unreachable!("Auto resolved above"),
-        }
     }
 
     /// Maps `job_cost` over `jobs`, splitting across scoped threads when the
@@ -600,6 +618,47 @@ mod tests {
         engine.evaluate(&ns);
         assert_eq!(engine.stats().evaluations, 1);
         assert_eq!(engine.stats().memo_hits, 0);
+    }
+
+    #[test]
+    fn engines_sharing_kernel_and_memo_answer_from_one_table() {
+        let profile = mixed_profile();
+        let first = EvalEngine::new(&profile);
+        let mut second =
+            EvalEngine::from_parts(&profile, Arc::clone(first.kernel()), first.memo().clone());
+        let mut first = first;
+        let ns = HashFunction::conventional(12, 6).unwrap().null_space();
+        let cost = first.evaluate(&ns);
+        // The second engine hits the shared memo without evaluating.
+        assert_eq!(second.evaluate(&ns), cost);
+        assert_eq!(second.stats().evaluations, 0);
+        assert_eq!(second.stats().memo_hits, 1);
+        // The shared table saw one miss (first engine) and one hit (second).
+        assert_eq!(first.memo().stats().hits, 1);
+        assert_eq!(first.memo().stats().misses, 1);
+    }
+
+    #[test]
+    fn capped_memo_is_bit_identical_with_more_recomputation() {
+        let profile = mixed_profile();
+        let pool = NeighborPool::UnitsAndPairs.vectors(12, &profile);
+        let parent = HashFunction::conventional(12, 6).unwrap().null_space();
+        let nbhd = neighborhood(&parent, FunctionClass::xor_unlimited(), &pool);
+
+        let mut uncapped = EvalEngine::new(&profile).with_threads(1);
+        let mut capped = EvalEngine::new(&profile)
+            .with_threads(1)
+            .with_memo_capacity(4);
+        let reference = uncapped.evaluate_neighborhood(&nbhd);
+        assert_eq!(capped.evaluate_neighborhood(&nbhd), reference);
+        // Re-pricing the same neighbourhood: the capped engine recomputes
+        // everything it could not cache, still bit-identically.
+        assert_eq!(capped.evaluate_neighborhood(&nbhd), reference);
+        assert_eq!(uncapped.evaluate_neighborhood(&nbhd), reference);
+        assert!(capped.stats().evaluations > uncapped.stats().evaluations);
+        // Capacity 4 is enforced as ceil(4/shards) per shard.
+        assert!(capped.memo().len() <= capped.memo().shards());
+        assert!(capped.memo().stats().rejected_inserts > 0);
     }
 
     #[test]

@@ -1,0 +1,271 @@
+//! The frozen, shareable pricing core of the evaluation engine.
+//!
+//! [`FrozenKernel`] is the immutable half of what used to be `EvalEngine`: a
+//! [`DenseProfile`] snapshot of one application's conflict histogram plus the
+//! Eq. 4 arithmetic (full null-space walks, histogram scans, and the
+//! hyperplane-delta coset sums) and the strategy-resolution rule. It holds no
+//! interior mutability at all, so it is `Send + Sync` by construction and one
+//! `Arc<FrozenKernel>` can price candidates from any number of threads
+//! simultaneously — the [`EvalEngine`](crate::EvalEngine) façade, the search
+//! algorithms, and a multi-tenant serving layer all share the same kernel per
+//! application instead of re-freezing the histogram per search.
+//!
+//! Memoization lives next door in [`ShardedMemo`](crate::ShardedMemo); the
+//! kernel itself never caches, so every method here is a pure function of the
+//! frozen histogram.
+
+use gf2::PackedBasis;
+
+use crate::estimate::resolve_strategy;
+use crate::{ConflictProfile, DenseProfile, EstimationStrategy};
+
+/// The immutable Eq. 4 pricing core: a frozen [`DenseProfile`] plus the
+/// evaluation strategy, shareable across threads via `Arc`.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use cache_sim::BlockAddr;
+/// use gf2::PackedBasis;
+/// use xorindex::{ConflictProfile, FrozenKernel, MissEstimator};
+///
+/// let trace = (0..20u64).map(|i| BlockAddr((i % 2) * 0x100));
+/// let profile = ConflictProfile::from_blocks(trace, 16, 256);
+/// let kernel = Arc::new(FrozenKernel::new(&profile));
+///
+/// let ns = PackedBasis::standard_span(16, 8..16);
+/// // The kernel prices through &self, so clones of the Arc can evaluate
+/// // concurrently; results are bit-identical to the reference estimator.
+/// assert_eq!(
+///     kernel.cost(&ns),
+///     MissEstimator::new(&profile).estimate_packed(&ns)
+/// );
+/// ```
+#[derive(Debug, Clone)]
+pub struct FrozenKernel {
+    dense: DenseProfile,
+    strategy: EstimationStrategy,
+}
+
+impl FrozenKernel {
+    /// Freezes a profile's histogram into a kernel using
+    /// [`EstimationStrategy::Auto`].
+    #[must_use]
+    pub fn new(profile: &ConflictProfile) -> Self {
+        FrozenKernel {
+            dense: DenseProfile::from_profile(profile),
+            strategy: EstimationStrategy::Auto,
+        }
+    }
+
+    /// Builds a kernel over an already-frozen dense profile.
+    #[must_use]
+    pub fn from_dense(dense: DenseProfile) -> Self {
+        FrozenKernel {
+            dense,
+            strategy: EstimationStrategy::Auto,
+        }
+    }
+
+    /// Selects the evaluation strategy (default: automatic per candidate).
+    #[must_use]
+    pub fn with_strategy(mut self, strategy: EstimationStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// In-place strategy change for a uniquely-owned kernel (the façade's
+    /// builder path), avoiding a dense-profile clone.
+    pub(crate) fn set_strategy(&mut self, strategy: EstimationStrategy) {
+        self.strategy = strategy;
+    }
+
+    /// The configured evaluation strategy.
+    #[must_use]
+    pub fn strategy(&self) -> EstimationStrategy {
+        self.strategy
+    }
+
+    /// The frozen dense view of the histogram.
+    #[must_use]
+    pub fn dense(&self) -> &DenseProfile {
+        &self.dense
+    }
+
+    /// Number of hashed address bits the kernel prices against.
+    #[must_use]
+    pub fn hashed_bits(&self) -> usize {
+        self.dense.hashed_bits()
+    }
+
+    /// Asserts that a candidate's ambient width matches the profile's hashed
+    /// width (the precondition of every pricing method).
+    ///
+    /// # Panics
+    ///
+    /// Panics on mismatch.
+    pub fn check_width(&self, basis: &PackedBasis) {
+        assert_eq!(
+            basis.width(),
+            self.dense.hashed_bits(),
+            "null space width must match the profile"
+        );
+    }
+
+    /// The exact Eq. 4 sum for one packed null space — a fresh evaluation,
+    /// never memoized.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the basis's ambient width differs from the profile's hashed
+    /// width.
+    #[must_use]
+    pub fn cost(&self, basis: &PackedBasis) -> u64 {
+        self.check_width(basis);
+        match resolve_strategy(self.strategy, basis.dim(), self.dense.distinct_vectors()) {
+            // The zero vector carries weight 0, so it needs no special case.
+            EstimationStrategy::EnumerateNullSpace => {
+                basis.vectors().map(|v| self.dense.misses_of(v)).sum()
+            }
+            EstimationStrategy::ScanHistogram => self
+                .dense
+                .iter()
+                .filter(|&(v, _)| basis.contains(v))
+                .map(|(_, w)| w)
+                .sum(),
+            EstimationStrategy::Auto => unreachable!("Auto resolved above"),
+        }
+    }
+
+    /// `true` when the hyperplane-delta decomposition pays off for candidates
+    /// of this null-space dimension — i.e. when the resolved strategy would
+    /// enumerate the null space rather than scan the histogram.
+    #[must_use]
+    pub fn delta_pays(&self, dim: usize) -> bool {
+        matches!(
+            resolve_strategy(self.strategy, dim, self.dense.distinct_vectors()),
+            EstimationStrategy::EnumerateNullSpace
+        )
+    }
+
+    /// Prices a neighbour `hyperplane ⊕ span(direction)` from its hyperplane's
+    /// already-known cost: `misses(M ⊕ span(w)) = misses(M) + Σ_{u∈M}
+    /// misses(u ⊕ w)` — the one-generator-delta identity the neighbourhood
+    /// batches exploit. Every coset vector is non-zero (the direction lies
+    /// outside the hyperplane), and the zero vector carries weight 0 anyway.
+    #[must_use]
+    pub fn neighbour_cost(
+        &self,
+        hyperplane_cost: u64,
+        hyperplane: &PackedBasis,
+        direction: u64,
+    ) -> u64 {
+        hyperplane_cost
+            + hyperplane
+                .coset(direction)
+                .map(|v| self.dense.misses_of(v))
+                .sum::<u64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{HashFunction, MissEstimator};
+    use cache_sim::BlockAddr;
+
+    fn mixed_profile() -> ConflictProfile {
+        let seq: Vec<u64> = (0..400u64)
+            .map(|i| match i % 5 {
+                0 => 0,
+                1 => 0x40,
+                2 => 0x80,
+                3 => 0x23,
+                _ => 0xC0,
+            })
+            .collect();
+        ConflictProfile::from_blocks(seq.iter().copied().map(BlockAddr), 12, 64)
+    }
+
+    #[test]
+    fn kernel_is_send_sync_and_prices_like_the_estimator() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FrozenKernel>();
+
+        let profile = mixed_profile();
+        for strategy in [
+            EstimationStrategy::Auto,
+            EstimationStrategy::EnumerateNullSpace,
+            EstimationStrategy::ScanHistogram,
+        ] {
+            let kernel = FrozenKernel::new(&profile).with_strategy(strategy);
+            let estimator = MissEstimator::new(&profile).with_strategy(strategy);
+            for m in 2..=8 {
+                let ns = HashFunction::conventional(12, m).unwrap().null_space();
+                assert_eq!(
+                    kernel.cost(&ns.to_packed()),
+                    estimator.estimate_null_space(&ns),
+                    "{strategy:?}, m={m}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn one_kernel_prices_identically_from_many_threads() {
+        let profile = mixed_profile();
+        let kernel = std::sync::Arc::new(FrozenKernel::new(&profile));
+        let candidates: Vec<PackedBasis> = (2..=8)
+            .map(|m| PackedBasis::standard_span(12, m..12))
+            .collect();
+        let expected: Vec<u64> = candidates.iter().map(|b| kernel.cost(b)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let kernel = std::sync::Arc::clone(&kernel);
+                let candidates = &candidates;
+                let expected = &expected;
+                scope.spawn(move || {
+                    let got: Vec<u64> = candidates.iter().map(|b| kernel.cost(b)).collect();
+                    assert_eq!(&got, expected);
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn neighbour_cost_matches_a_fresh_evaluation() {
+        let profile = mixed_profile();
+        let kernel = FrozenKernel::new(&profile);
+        let parent = PackedBasis::standard_span(12, 6..12);
+        for hyperplane in parent.hyperplanes() {
+            let hyperplane_cost = kernel.cost(&hyperplane);
+            let direction = parent
+                .vectors()
+                .find(|&v| v != 0 && !hyperplane.contains(v))
+                .expect("a hyperplane misses half the parent");
+            assert_eq!(
+                kernel.neighbour_cost(hyperplane_cost, &hyperplane, direction),
+                kernel.cost(&hyperplane.extended(direction))
+            );
+        }
+    }
+
+    #[test]
+    fn from_dense_and_new_agree() {
+        let profile = mixed_profile();
+        let a = FrozenKernel::new(&profile);
+        let b = FrozenKernel::from_dense(DenseProfile::from_profile(&profile));
+        assert_eq!(a.dense(), b.dense());
+        assert_eq!(a.hashed_bits(), 12);
+        assert_eq!(a.strategy(), EstimationStrategy::Auto);
+        assert!(a.delta_pays(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "width must match")]
+    fn width_mismatch_panics() {
+        let kernel = FrozenKernel::new(&mixed_profile());
+        let _ = kernel.cost(&PackedBasis::standard_span(8, 0..4));
+    }
+}

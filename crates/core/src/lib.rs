@@ -15,7 +15,10 @@
 //!    The searches run this sum through the dense evaluation engine
 //!    ([`EvalEngine`] over a [`DenseProfile`]): packed `u64` bases, memoized
 //!    canonical null spaces, one-generator-delta neighbourhood batches and
-//!    scoped-thread parallelism, with bit-identical results.
+//!    scoped-thread parallelism, with bit-identical results. The engine is a
+//!    façade over an immutable, `Arc`-shareable [`FrozenKernel`] (the Eq. 4
+//!    arithmetic) and a concurrent [`ShardedMemo`], so one kernel + memo per
+//!    application can serve many searches and threads at once.
 //! 3. **Design-space search** ([`search`]): steepest-descent hill climbing over
 //!    null spaces (neighbours differ in exactly one dimension), plus the
 //!    random-restart / simulated-annealing extensions and the exhaustive
@@ -64,6 +67,8 @@ mod error;
 mod estimate;
 mod function_class;
 mod hashfn;
+mod kernel;
+mod memo;
 mod optimizer;
 mod profile;
 mod report;
@@ -77,6 +82,8 @@ pub use error::XorIndexError;
 pub use estimate::{EstimationStrategy, MissEstimator};
 pub use function_class::FunctionClass;
 pub use hashfn::HashFunction;
+pub use kernel::FrozenKernel;
+pub use memo::{MemoShardStats, MemoStats, ShardedMemo, DEFAULT_MEMO_SHARDS};
 pub use optimizer::{OptimizationOutcome, Optimizer, OptimizerBuilder};
 pub use profile::{ConflictProfile, ProfileSummary};
 pub use report::{EvaluationReport, ReportRow};
@@ -94,5 +101,7 @@ mod lib_tests {
         assert_send_sync::<FunctionClass>();
         assert_send_sync::<Optimizer>();
         assert_send_sync::<XorIndexError>();
+        assert_send_sync::<FrozenKernel>();
+        assert_send_sync::<ShardedMemo>();
     }
 }

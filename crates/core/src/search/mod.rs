@@ -33,12 +33,14 @@ mod neighbors;
 mod optimal_bitselect;
 mod random_restart;
 
+use std::sync::Arc;
+
 use gf2::{PackedBasis, Subspace};
 use serde::{Deserialize, Serialize};
 
 use crate::{
-    ConflictProfile, EstimationStrategy, EvalEngine, FunctionClass, HashFunction, MissEstimator,
-    XorIndexError,
+    ConflictProfile, EstimationStrategy, EvalEngine, FrozenKernel, FunctionClass, HashFunction,
+    MissEstimator, ShardedMemo, XorIndexError,
 };
 
 pub use neighbors::{
@@ -130,6 +132,9 @@ pub struct Searcher<'a> {
     pool: NeighborPool,
     strategy: EstimationStrategy,
     threads: Option<usize>,
+    kernel: Option<Arc<FrozenKernel>>,
+    memo: Option<ShardedMemo>,
+    memo_capacity: Option<usize>,
 }
 
 impl<'a> Searcher<'a> {
@@ -159,6 +164,9 @@ impl<'a> Searcher<'a> {
             pool: NeighborPool::UnitsAndPairs,
             strategy: EstimationStrategy::Auto,
             threads: None,
+            kernel: None,
+            memo: None,
+            memo_capacity: None,
         })
     }
 
@@ -182,6 +190,40 @@ impl<'a> Searcher<'a> {
     #[must_use]
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = Some(threads.max(1));
+        self
+    }
+
+    /// Prices through an existing frozen kernel instead of freezing the
+    /// profile again — the sharing entry point for callers that search one
+    /// application across several classes, geometries or threads.
+    ///
+    /// The kernel must have been frozen from a profile with the same hashed
+    /// width (checked when the engine is assembled). Its strategy wins over
+    /// [`Searcher::with_estimation_strategy`].
+    #[must_use]
+    pub fn with_kernel(mut self, kernel: Arc<FrozenKernel>) -> Self {
+        self.kernel = Some(kernel);
+        self
+    }
+
+    /// Answers candidate costs from (and caches them into) an existing memo
+    /// handle instead of a fresh private table. Costs depend only on the
+    /// profile, never on the class or geometry, so one memo can back every
+    /// search over the same profile — and the serving layer shares each
+    /// application's memo between its workers this way.
+    #[must_use]
+    pub fn with_memo(mut self, memo: ShardedMemo) -> Self {
+        self.memo = Some(memo);
+        self
+    }
+
+    /// Caps the engine's memo at roughly `total_entries` cached costs (see
+    /// [`ShardedMemo::with_capacity`]); results are bit-identical, overflow
+    /// is recomputed instead of cached. Ignored when [`Searcher::with_memo`]
+    /// supplies a table.
+    #[must_use]
+    pub fn with_memo_capacity(mut self, total_entries: usize) -> Self {
+        self.memo_capacity = Some(total_entries);
         self
     }
 
@@ -222,14 +264,25 @@ impl<'a> Searcher<'a> {
     }
 
     /// Builds the dense evaluation engine every search algorithm runs on,
-    /// configured with this searcher's strategy and thread cap.
+    /// configured with this searcher's strategy, thread cap, and any shared
+    /// kernel/memo supplied through [`Searcher::with_kernel`] /
+    /// [`Searcher::with_memo`].
     ///
-    /// The engine freezes the profile's histogram, so build it once per
-    /// search (or share it across several, as
-    /// [`Searcher::random_restart`] does) rather than per candidate.
+    /// Freezing the histogram is the expensive part, so build the engine once
+    /// per search (or share one kernel across several searches) rather than
+    /// per candidate.
     #[must_use]
     pub fn engine(&self) -> EvalEngine<'a> {
-        let mut engine = EvalEngine::new(self.profile).with_strategy(self.strategy);
+        let kernel = match &self.kernel {
+            Some(kernel) => Arc::clone(kernel),
+            None => Arc::new(FrozenKernel::new(self.profile).with_strategy(self.strategy)),
+        };
+        let memo = match (&self.memo, self.memo_capacity) {
+            (Some(memo), _) => memo.clone(),
+            (None, Some(cap)) => ShardedMemo::with_capacity(cap),
+            (None, None) => ShardedMemo::new(),
+        };
+        let mut engine = EvalEngine::from_parts(self.profile, kernel, memo);
         if let Some(threads) = self.threads {
             engine = engine.with_threads(threads);
         }
@@ -300,6 +353,51 @@ mod tests {
             s.baseline_estimate(),
             MissEstimator::new(&p).estimate(&conventional).unwrap()
         );
+    }
+
+    #[test]
+    fn shared_kernel_and_memo_do_not_change_search_outcomes() {
+        let p = ping_pong_profile();
+        let kernel = Arc::new(FrozenKernel::new(&p));
+        let memo = ShardedMemo::new();
+        for class in [
+            FunctionClass::xor_unlimited(),
+            FunctionClass::permutation_based(2),
+            FunctionClass::bit_selecting(),
+        ] {
+            let private = Searcher::new(&p, class, 6)
+                .unwrap()
+                .run(SearchAlgorithm::HillClimb)
+                .unwrap();
+            let shared = Searcher::new(&p, class, 6)
+                .unwrap()
+                .with_kernel(Arc::clone(&kernel))
+                .with_memo(memo.clone())
+                .run(SearchAlgorithm::HillClimb)
+                .unwrap();
+            assert_eq!(shared.function, private.function, "{class}");
+            assert_eq!(shared.estimated_misses, private.estimated_misses);
+            assert_eq!(shared.baseline_estimate, private.baseline_estimate);
+            // Sharing can only remove evaluations (memo carries over between
+            // classes), never change what the search finds.
+            assert!(shared.evaluations <= private.evaluations);
+        }
+        assert!(memo.stats().hits > 0, "later searches reuse earlier costs");
+    }
+
+    #[test]
+    fn capped_searcher_memo_is_bit_identical() {
+        let p = ping_pong_profile();
+        let searcher = Searcher::new(&p, FunctionClass::xor_unlimited(), 6).unwrap();
+        let reference = searcher.run(SearchAlgorithm::HillClimb).unwrap();
+        let capped = searcher
+            .clone()
+            .with_memo_capacity(2)
+            .run(SearchAlgorithm::HillClimb)
+            .unwrap();
+        assert_eq!(capped.function, reference.function);
+        assert_eq!(capped.estimated_misses, reference.estimated_misses);
+        assert_eq!(capped.baseline_estimate, reference.baseline_estimate);
     }
 
     #[test]

@@ -14,7 +14,7 @@ use experiments::{ExperimentConfig, TraceSide};
 use workloads::Scale;
 
 const USAGE: &str = "\
-usage: repro <command> [--scale tiny|small|reference] [--quick]
+usage: repro <command> [--scale tiny|small|reference] [--quick] [--threads N]
 
 commands:
   design-space     Section 2 design-space size figures (Eq. 3)
@@ -28,27 +28,56 @@ commands:
 options:
   --scale SCALE    workload input scale (default: small)
   --quick          tiny inputs, 12 hashed bits, 1 KB cache only (smoke test)
+  --threads N      worker threads for each search's evaluation engine
+                   (default 1: the experiments already fan out across
+                   workloads; results are bit-identical at any setting)
 ";
 
 fn parse_config(args: &[String]) -> Result<ExperimentConfig, String> {
-    let mut config = ExperimentConfig::paper();
+    let mut quick = false;
+    let mut scale = None;
+    let mut threads = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
-            "--quick" => config = ExperimentConfig::quick(),
+            "--quick" => quick = true,
             "--scale" => {
                 i += 1;
                 let value = args.get(i).ok_or("--scale needs a value")?;
-                config.scale = match value.as_str() {
+                scale = Some(match value.as_str() {
                     "tiny" => Scale::Tiny,
                     "small" => Scale::Small,
                     "reference" => Scale::Reference,
                     other => return Err(format!("unknown scale {other:?}")),
-                };
+                });
+            }
+            "--threads" => {
+                i += 1;
+                let value = args.get(i).ok_or("--threads needs a value")?;
+                let parsed: usize = value
+                    .parse()
+                    .map_err(|_| format!("invalid thread count {value:?}"))?;
+                if parsed == 0 {
+                    return Err("--threads must be at least 1".to_string());
+                }
+                threads = Some(parsed);
             }
             other => return Err(format!("unknown option {other:?}")),
         }
         i += 1;
+    }
+    // Flags compose in any order: --quick picks the base configuration, then
+    // --scale / --threads override it.
+    let mut config = if quick {
+        ExperimentConfig::quick()
+    } else {
+        ExperimentConfig::paper()
+    };
+    if let Some(scale) = scale {
+        config.scale = scale;
+    }
+    if let Some(threads) = threads {
+        config.search_threads = threads;
     }
     Ok(config)
 }

@@ -1,10 +1,14 @@
 //! Shared experiment plumbing: configuration and per-trace evaluation.
 
+use std::sync::Arc;
+
 use cache_sim::{BlockAddr, Cache, CacheConfig, CacheStats, ModuloIndex};
 use memtrace::Trace;
 use workloads::Scale;
 use xorindex::search::NeighborPool;
-use xorindex::{ConflictProfile, FunctionClass, HashFunction, SearchAlgorithm};
+use xorindex::{
+    ConflictProfile, FrozenKernel, FunctionClass, HashFunction, SearchAlgorithm, ShardedMemo,
+};
 
 /// Which side of a workload trace an experiment evaluates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -135,11 +139,16 @@ impl CellResult {
 }
 
 /// Profiles `blocks` once and evaluates every function class on it, sharing
-/// the profile and the baseline simulation across classes.
+/// the profile, the frozen evaluation kernel, the candidate memo, and the
+/// baseline simulation across classes.
 ///
 /// Each class's search runs on the packed-native core (packed neighbourhood
 /// generation, `CanonicalKey`-keyed memoization, packed engine pricing), so
-/// the table reproductions measure the same hot path the library ships.
+/// the table reproductions measure the same hot path the library ships. The
+/// histogram is frozen into one [`FrozenKernel`] for the whole cell — where
+/// each class's search used to rebuild its engine — and candidate costs are
+/// class-independent, so one [`ShardedMemo`] lets later classes answer from
+/// basins earlier classes already priced.
 ///
 /// Returns one [`CellResult`] per class, in the order given.
 #[must_use]
@@ -155,6 +164,8 @@ pub fn evaluate_trace(
         config.hashed_bits,
         cache.num_blocks() as usize,
     );
+    let kernel = Arc::new(FrozenKernel::new(&profile));
+    let memo = ShardedMemo::new();
 
     let mut baseline_cache = Cache::new(cache, ModuloIndex::for_config(&cache));
     let baseline = baseline_cache.simulate_blocks(blocks.iter().copied());
@@ -165,7 +176,9 @@ pub fn evaluate_trace(
             let searcher = xorindex::search::Searcher::new(&profile, class, cache.set_bits())
                 .expect("experiment geometry is valid")
                 .with_pool(config.pool.clone())
-                .with_threads(config.search_threads);
+                .with_threads(config.search_threads)
+                .with_kernel(Arc::clone(&kernel))
+                .with_memo(memo.clone());
             let outcome = searcher
                 .run(config.algorithm)
                 .expect("search on a valid geometry succeeds");

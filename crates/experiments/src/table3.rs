@@ -60,6 +60,11 @@ pub fn evaluate_workload(
         config.hashed_bits,
         cache.num_blocks() as usize,
     );
+    // One frozen kernel and one memo back all six searches of this row:
+    // candidate costs depend only on the profile, so the heuristic classes
+    // reuse whatever the exhaustive bit-select sweep already priced.
+    let kernel = std::sync::Arc::new(xorindex::FrozenKernel::new(&profile));
+    let memo = xorindex::ShardedMemo::new();
 
     let removed = |optimized: &CacheStats| CacheStats::percent_misses_removed(&baseline, optimized);
 
@@ -67,6 +72,8 @@ pub fn evaluate_workload(
         let outcome = xorindex::search::Searcher::new(&profile, class, cache.set_bits())
             .expect("valid geometry")
             .with_pool(config.pool.clone())
+            .with_kernel(std::sync::Arc::clone(&kernel))
+            .with_memo(memo.clone())
             .run(algorithm)
             .expect("search succeeds");
         let mut optimized = Cache::new(cache, outcome.function.to_index_function());

@@ -1,0 +1,47 @@
+//! Smoke tests for the `repro` CLI driver, exercising the real binary.
+
+use std::process::Command;
+
+fn repro(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(args)
+        .output()
+        .expect("repro binary runs")
+}
+
+#[test]
+fn threads_flag_does_not_change_the_output() {
+    // Engine parallelism is bit-identical by construction; the CLI output of
+    // a whole experiment must therefore match exactly across --threads.
+    let one = repro(&["general-vs-perm", "--quick", "--threads", "1"]);
+    assert!(one.status.success(), "stderr: {:?}", one.stderr);
+    let two = repro(&["general-vs-perm", "--quick", "--threads", "2"]);
+    assert!(two.status.success(), "stderr: {:?}", two.stderr);
+    assert_eq!(
+        String::from_utf8_lossy(&one.stdout),
+        String::from_utf8_lossy(&two.stdout),
+        "--threads 2 must reproduce --threads 1 exactly"
+    );
+    assert!(!one.stdout.is_empty());
+}
+
+#[test]
+fn threads_flag_rejects_bad_values() {
+    let zero = repro(&["table1", "--threads", "0"]);
+    assert!(!zero.status.success());
+    assert!(String::from_utf8_lossy(&zero.stderr).contains("--threads"));
+    let missing = repro(&["table1", "--threads"]);
+    assert!(!missing.status.success());
+    let junk = repro(&["table1", "--threads", "lots"]);
+    assert!(!junk.status.success());
+}
+
+#[test]
+fn flags_compose_in_any_order() {
+    // --threads before --quick must not be clobbered by the quick preset.
+    let a = repro(&["design-space", "--threads", "2", "--quick"]);
+    let b = repro(&["design-space", "--quick", "--threads", "2"]);
+    assert!(a.status.success());
+    assert!(b.status.success());
+    assert_eq!(a.stdout, b.stdout);
+}

@@ -53,7 +53,7 @@ pub mod random;
 
 pub use bitvec::{BitVec, SetBits};
 pub use matrix::BitMatrix;
-pub use packed::{CanonicalKey, PackedBasis, PackedHyperplanes, PackedVectors};
+pub use packed::{hash_key_words, CanonicalKey, PackedBasis, PackedHyperplanes, PackedVectors};
 pub use subspace::{Subspace, SubspaceVectors};
 
 /// Errors reported by GF(2) operations.

@@ -89,6 +89,44 @@ impl CanonicalKey {
     pub fn as_words(&self) -> &[u64] {
         &self.0
     }
+
+    /// A stable 64-bit hash of the key, equal to
+    /// [`hash_key_words`]`(self.as_words())` and to the owning basis's
+    /// [`PackedBasis::key_hash`]. Intended for shard selection in concurrent
+    /// memo tables, where the hash must be computable from a borrowed
+    /// `[u64]` probe without allocating the owned key first.
+    #[must_use]
+    pub fn hash64(&self) -> u64 {
+        hash_key_words(&self.0)
+    }
+}
+
+/// Hashes a canonical key's words (ambient width followed by the canonical
+/// rows) into a stable, well-mixed 64 bits.
+///
+/// This is the shard-selection hash of concurrent memo tables keyed by
+/// [`CanonicalKey`]: the borrowed probe path ([`PackedBasis::key_words`]) and
+/// the owned key ([`CanonicalKey::hash64`]) hash identically, so a shard can
+/// be chosen without allocating. The function is a SplitMix64-style word mixer
+/// — deterministic across processes and platforms (unlike `std`'s seeded
+/// `SipHash`), which keeps shard assignment reproducible.
+#[must_use]
+pub fn hash_key_words(words: &[u64]) -> u64 {
+    // Seed on the length so prefixes hash differently, then fold each word in
+    // through the SplitMix64 finalizer (invertible, full avalanche).
+    let mut h = (words.len() as u64) ^ 0x9E37_79B9_7F4A_7C15;
+    for &w in words {
+        h = splitmix64(h.rotate_left(5) ^ w);
+    }
+    h
+}
+
+/// The SplitMix64 finalizer: a bijective full-avalanche mix of one word.
+#[inline]
+fn splitmix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 /// Keyed collections can be probed with a borrowed `[u64]` produced by
@@ -228,6 +266,21 @@ impl PackedBasis {
         buf[0] = self.width as u64;
         buf[1..=self.rows.len()].copy_from_slice(&self.rows);
         &buf[..self.rows.len() + 1]
+    }
+
+    /// The stable 64-bit hash of this basis's canonical key, computed without
+    /// materializing the key — equal to
+    /// [`CanonicalKey::hash64`]`()` of [`PackedBasis::canonical_key`] and to
+    /// [`hash_key_words`] over [`PackedBasis::key_words`]. This is what a
+    /// sharded memo uses to pick a shard allocation-free.
+    #[must_use]
+    pub fn key_hash(&self) -> u64 {
+        let mut h = ((self.rows.len() + 1) as u64) ^ 0x9E37_79B9_7F4A_7C15;
+        h = splitmix64(h.rotate_left(5) ^ self.width as u64);
+        for &row in &self.rows {
+            h = splitmix64(h.rotate_left(5) ^ row);
+        }
+        h
     }
 
     /// `true` when this subspace intersects `span(e_0, …, e_{m-1})` only in
@@ -722,6 +775,43 @@ mod tests {
         assert_eq!(narrow.rows(), wide.rows());
         assert_ne!(narrow.canonical_key(), wide.canonical_key());
         assert_eq!(a.canonical_key().as_words()[0], 8);
+    }
+
+    #[test]
+    fn key_hash_agrees_across_all_three_paths() {
+        let bases = [
+            PackedBasis::trivial(8),
+            PackedBasis::standard_span(8, [1usize, 4]),
+            PackedBasis::from_subspace(&subspace(8, &[0b0011_0011, 0b0101_0101])),
+            PackedBasis::from_subspace(&Subspace::full(64)),
+        ];
+        let mut buf = [0u64; 65];
+        for b in &bases {
+            let owned = b.canonical_key();
+            assert_eq!(b.key_hash(), owned.hash64());
+            assert_eq!(b.key_hash(), hash_key_words(b.key_words(&mut buf)));
+            assert_eq!(owned.hash64(), hash_key_words(owned.as_words()));
+        }
+        // Equal subspaces hash equal; the width participates.
+        let a = PackedBasis::from_subspace(&subspace(8, &[0b0011_0011, 0b0101_0101]));
+        let b = PackedBasis::from_subspace(&subspace(8, &[0b0101_0101, 0b0110_0110]));
+        assert_eq!(a, b);
+        assert_eq!(a.key_hash(), b.key_hash());
+        assert_ne!(
+            PackedBasis::standard_span(6, [1usize]).key_hash(),
+            PackedBasis::standard_span(8, [1usize]).key_hash()
+        );
+    }
+
+    #[test]
+    fn key_hash_spreads_nearby_keys() {
+        // Shard selection uses the low bits; single-unit subspaces of one
+        // ambient width must not all collapse into a few shards.
+        let mut low_bits: HashSet<u64> = HashSet::new();
+        for bit in 0..16usize {
+            low_bits.insert(PackedBasis::standard_span(16, [bit]).key_hash() % 16);
+        }
+        assert!(low_bits.len() >= 8, "low bits collapsed: {low_bits:?}");
     }
 
     #[test]

@@ -1,0 +1,65 @@
+//! Multi-tenant serving of application-specific XOR index functions.
+//!
+//! The paper's end state is a *reconfigurable* cache whose index function is
+//! re-derived per application from that application's conflict profile.
+//! Operationally that is a service: it holds one profile per registered
+//! application and answers "price this candidate" / "optimize this workload"
+//! requests, many applications and many clients at a time. This crate is
+//! that layer, built directly on the engine split in `xorindex`:
+//!
+//! * [`IndexService`] — the registry. [`IndexService::register`] freezes an
+//!   application's [`ConflictProfile`](xorindex::ConflictProfile) into an
+//!   `Arc<`[`FrozenKernel`](xorindex::FrozenKernel)`>` and pairs it with a
+//!   [`ShardedMemo`](xorindex::ShardedMemo); every request for that
+//!   application — from any thread — prices through the same kernel and
+//!   answers repeats from the same memo.
+//! * [`Request`] / [`Response`] — the typed protocol:
+//!   [`Request::PriceCandidate`], [`Request::PriceBatch`],
+//!   [`Request::RunSearch`], [`Request::Stats`], [`Request::Evict`].
+//!   Candidate requests carry [`gf2::PackedBasis`] (and are deduplicated /
+//!   cached under [`gf2::CanonicalKey`] hashes), so the pricing hot path
+//!   never materializes a `Subspace`.
+//! * [`WorkerPool`] — N worker threads draining a bounded `crossbeam`
+//!   channel of request envelopes; each reply arrives on a per-request
+//!   [`PendingResponse`]. Because the kernel is immutable and the memo is
+//!   sharded, workers scale with cores instead of serializing on one engine.
+//!
+//! Correctness is pinned by the crate's stress test: every concurrent answer
+//! is bit-identical to a fresh single-threaded
+//! [`EvalEngine`](xorindex::EvalEngine) over the same profile, and the
+//! memo's per-shard hit/miss counters account for every request exactly.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use std::sync::Arc;
+//! use cache_sim::{BlockAddr, CacheConfig};
+//! use gf2::PackedBasis;
+//! use xorindex::ConflictProfile;
+//! use xorindex_serve::{IndexService, Registration, Request, Response, WorkerPool};
+//!
+//! // Profile one application's trace for a 1 KB cache.
+//! let trace = (0..200u64).map(|i| BlockAddr((i % 2) * 256));
+//! let profile = ConflictProfile::from_blocks(trace, 12, 256);
+//! let service = Arc::new(IndexService::new());
+//! let app = service.register(Registration::new(profile, CacheConfig::paper_cache(1)))?;
+//!
+//! // Price a candidate null space through a 2-worker pool.
+//! let pool = WorkerPool::new(Arc::clone(&service), 2, 16);
+//! let candidate = PackedBasis::standard_span(12, 8..12);
+//! let pending = pool.submit(Request::PriceCandidate { app, basis: candidate })?;
+//! match pending.wait() {
+//!     Response::Price(cost) => assert!(cost > 0), // the stride conflicts
+//!     other => panic!("unexpected {other:?}"),
+//! }
+//! # Ok::<(), xorindex_serve::ServeError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod service;
+mod worker;
+
+pub use service::{AppId, AppStats, IndexService, Registration, Request, Response, ServeError};
+pub use worker::{PendingResponse, RejectedRequest, WorkerPool};

@@ -1,0 +1,577 @@
+//! The application registry and request handlers.
+
+use std::fmt;
+use std::sync::{Arc, RwLock};
+
+use cache_sim::CacheConfig;
+use gf2::PackedBasis;
+use xorindex::search::{NeighborPool, Searcher};
+use xorindex::{
+    ConflictProfile, FrozenKernel, FunctionClass, MemoStats, SearchAlgorithm, SearchOutcome,
+    ShardedMemo, XorIndexError,
+};
+
+/// Opaque handle identifying a registered application.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AppId(usize);
+
+impl fmt::Display for AppId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "app#{}", self.0)
+    }
+}
+
+/// Errors returned by the serving layer. Requests never panic the service:
+/// malformed inputs come back as errors (or [`Response::Error`] through the
+/// worker pool).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The [`AppId`] does not name a registered application.
+    UnknownApp(AppId),
+    /// The registration's cache geometry cannot be searched against the
+    /// profile (zero set bits, or at least as many as the hashed width).
+    InvalidGeometry {
+        /// Hashed address bits of the profile.
+        hashed_bits: usize,
+        /// Set-index bits of the cache.
+        set_bits: usize,
+    },
+    /// A candidate's ambient width does not match the application's profile.
+    WidthMismatch {
+        /// The application's hashed width.
+        expected: usize,
+        /// The candidate's ambient width.
+        actual: usize,
+    },
+    /// A search failed.
+    Search(XorIndexError),
+    /// The worker pool's bounded queue was full (only from `try_submit`).
+    QueueFull,
+    /// The worker pool shut down before answering.
+    Disconnected,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::UnknownApp(app) => write!(f, "{app} is not registered"),
+            ServeError::InvalidGeometry {
+                hashed_bits,
+                set_bits,
+            } => write!(
+                f,
+                "cannot serve {set_bits} set-index bits against a {hashed_bits}-bit profile"
+            ),
+            ServeError::WidthMismatch { expected, actual } => {
+                write!(f, "candidate width {actual} != profile width {expected}")
+            }
+            ServeError::Search(e) => write!(f, "search failed: {e}"),
+            ServeError::QueueFull => write!(f, "request queue is full"),
+            ServeError::Disconnected => write!(f, "worker pool shut down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Search(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<XorIndexError> for ServeError {
+    fn from(e: XorIndexError) -> Self {
+        ServeError::Search(e)
+    }
+}
+
+/// Everything the service needs to take ownership of one application.
+#[derive(Debug, Clone)]
+pub struct Registration {
+    /// The application's conflict profile (owned by the service thereafter).
+    pub profile: ConflictProfile,
+    /// The cache geometry its index function is derived for.
+    pub cache: CacheConfig,
+    /// Function class searched by [`Request::RunSearch`] (default: 2-input
+    /// permutation-based, the class the paper recommends for hardware).
+    pub class: FunctionClass,
+    /// Neighbour pool used by hill-climbing searches.
+    pub pool: NeighborPool,
+    /// Optional total entry cap for the application's memo (see
+    /// [`ShardedMemo::with_capacity`]); `None` = unbounded.
+    pub memo_capacity: Option<usize>,
+}
+
+impl Registration {
+    /// A registration with the paper's defaults for everything but the
+    /// profile and cache.
+    #[must_use]
+    pub fn new(profile: ConflictProfile, cache: CacheConfig) -> Self {
+        Registration {
+            profile,
+            cache,
+            class: FunctionClass::permutation_based(2),
+            pool: NeighborPool::UnitsAndPairs,
+            memo_capacity: None,
+        }
+    }
+
+    /// Selects the function class searched for this application.
+    #[must_use]
+    pub fn with_class(mut self, class: FunctionClass) -> Self {
+        self.class = class;
+        self
+    }
+
+    /// Selects the neighbour pool used by searches.
+    #[must_use]
+    pub fn with_pool(mut self, pool: NeighborPool) -> Self {
+        self.pool = pool;
+        self
+    }
+
+    /// Caps the application's memo at roughly `total_entries` cached costs.
+    #[must_use]
+    pub fn with_memo_capacity(mut self, total_entries: usize) -> Self {
+        self.memo_capacity = Some(total_entries);
+        self
+    }
+}
+
+/// One registered application: its owned profile plus the shared pricing
+/// state every request routes through.
+#[derive(Debug)]
+struct Application {
+    profile: ConflictProfile,
+    cache: CacheConfig,
+    class: FunctionClass,
+    pool: NeighborPool,
+    kernel: Arc<FrozenKernel>,
+    memo: ShardedMemo,
+}
+
+/// A request to the serving layer. Pricing requests carry [`PackedBasis`]
+/// candidates, so handling them touches no `Subspace` at all.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Price one candidate null space (Eq. 4, memoized).
+    PriceCandidate {
+        /// The application whose profile prices the candidate.
+        app: AppId,
+        /// The candidate's packed null-space basis.
+        basis: PackedBasis,
+    },
+    /// Price a batch of candidates in one request.
+    PriceBatch {
+        /// The application whose profile prices the candidates.
+        app: AppId,
+        /// The candidates' packed null-space bases.
+        bases: Vec<PackedBasis>,
+    },
+    /// Run a full design-space search for the application's function class,
+    /// sharing the application's kernel and memo.
+    RunSearch {
+        /// The application to optimize.
+        app: AppId,
+        /// The search algorithm to run.
+        algorithm: SearchAlgorithm,
+    },
+    /// Report the application's serving statistics.
+    Stats {
+        /// The application to inspect.
+        app: AppId,
+    },
+    /// Drop every memoized cost for the application (e.g. after re-profiling
+    /// is scheduled), forcing recomputation.
+    Evict {
+        /// The application whose memo to clear.
+        app: AppId,
+    },
+}
+
+/// A response from the serving layer, one variant per [`Request`] plus
+/// [`Response::Error`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// The estimated conflict misses of one candidate.
+    Price(u64),
+    /// The estimated conflict misses of a batch, aligned with the request.
+    Prices(Vec<u64>),
+    /// The outcome of a search.
+    Search(SearchOutcome),
+    /// Serving statistics.
+    Stats(AppStats),
+    /// The number of memo entries dropped by an eviction.
+    Evicted(usize),
+    /// The request failed.
+    Error(ServeError),
+}
+
+/// A snapshot of one application's serving state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AppStats {
+    /// The application.
+    pub app: AppId,
+    /// Hashed address bits of its profile.
+    pub hashed_bits: usize,
+    /// Set-index bits of its cache.
+    pub set_bits: usize,
+    /// Distinct conflict vectors in its frozen histogram.
+    pub distinct_vectors: usize,
+    /// Aggregate memo counters (see [`ShardedMemo::stats`]).
+    pub memo: MemoStats,
+    /// Per-shard hit/miss/entry counters, in shard order.
+    pub shards: Vec<xorindex::MemoShardStats>,
+}
+
+/// The multi-tenant registry: one frozen kernel + sharded memo per
+/// application, priced through shared references from any thread.
+///
+/// All methods take `&self`; wrap the service in an `Arc` to share it with a
+/// [`WorkerPool`](crate::WorkerPool) or any other threads.
+#[derive(Debug, Default)]
+pub struct IndexService {
+    apps: RwLock<Vec<Arc<Application>>>,
+}
+
+impl IndexService {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        IndexService {
+            apps: RwLock::new(Vec::new()),
+        }
+    }
+
+    /// Registers an application: validates the geometry, freezes the
+    /// profile's histogram into the application's kernel, and allocates its
+    /// memo. Returns the handle every subsequent request uses.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::InvalidGeometry`] when the cache's set bits are zero or
+    /// at least the profile's hashed width.
+    pub fn register(&self, registration: Registration) -> Result<AppId, ServeError> {
+        let hashed_bits = registration.profile.hashed_bits();
+        let set_bits = registration.cache.set_bits();
+        if set_bits == 0 || set_bits >= hashed_bits {
+            return Err(ServeError::InvalidGeometry {
+                hashed_bits,
+                set_bits,
+            });
+        }
+        let kernel = Arc::new(FrozenKernel::new(&registration.profile));
+        let memo = match registration.memo_capacity {
+            Some(cap) => ShardedMemo::with_capacity(cap),
+            None => ShardedMemo::new(),
+        };
+        let app = Application {
+            profile: registration.profile,
+            cache: registration.cache,
+            class: registration.class,
+            pool: registration.pool,
+            kernel,
+            memo,
+        };
+        let mut apps = self.apps.write().expect("app registry lock poisoned");
+        apps.push(Arc::new(app));
+        Ok(AppId(apps.len() - 1))
+    }
+
+    /// Number of registered applications.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.apps.read().expect("app registry lock poisoned").len()
+    }
+
+    /// `true` when no application is registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The shared pricing kernel of an application — for callers that want
+    /// to price candidates without going through the request protocol.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownApp`] for an unregistered id.
+    pub fn kernel(&self, app: AppId) -> Result<Arc<FrozenKernel>, ServeError> {
+        Ok(Arc::clone(&self.app(app)?.kernel))
+    }
+
+    fn app(&self, id: AppId) -> Result<Arc<Application>, ServeError> {
+        self.apps
+            .read()
+            .expect("app registry lock poisoned")
+            .get(id.0)
+            .cloned()
+            .ok_or(ServeError::UnknownApp(id))
+    }
+
+    fn check_width(app: &Application, basis: &PackedBasis) -> Result<(), ServeError> {
+        let expected = app.profile.hashed_bits();
+        if basis.width() != expected {
+            return Err(ServeError::WidthMismatch {
+                expected,
+                actual: basis.width(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Prices one candidate null space for an application: a sharded memo
+    /// probe, then (on a miss) one fresh kernel evaluation. No `Subspace` is
+    /// ever materialized.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownApp`] / [`ServeError::WidthMismatch`].
+    pub fn price_candidate(&self, app: AppId, basis: &PackedBasis) -> Result<u64, ServeError> {
+        let app = self.app(app)?;
+        Self::check_width(&app, basis)?;
+        Ok(app.memo.price(&app.kernel, basis))
+    }
+
+    /// Prices a batch of candidates, returning costs aligned with `bases`.
+    /// The whole batch is width-checked before any pricing happens, so a
+    /// malformed batch is rejected atomically.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownApp`] / [`ServeError::WidthMismatch`].
+    pub fn price_batch(&self, app: AppId, bases: &[PackedBasis]) -> Result<Vec<u64>, ServeError> {
+        let app = self.app(app)?;
+        for basis in bases {
+            Self::check_width(&app, basis)?;
+        }
+        Ok(bases
+            .iter()
+            .map(|basis| app.memo.price(&app.kernel, basis))
+            .collect())
+    }
+
+    /// Runs a full search for the application's configured class, sharing
+    /// the application's kernel and memo — so a search warms the same cache
+    /// candidate pricing answers from, and vice versa.
+    ///
+    /// The search itself runs single-threaded: the worker pool is the
+    /// parallelism layer, and one request should not oversubscribe it.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownApp`] or [`ServeError::Search`].
+    pub fn run_search(
+        &self,
+        app: AppId,
+        algorithm: SearchAlgorithm,
+    ) -> Result<SearchOutcome, ServeError> {
+        let app = self.app(app)?;
+        let searcher = Searcher::new(&app.profile, app.class, app.cache.set_bits())?
+            .with_pool(app.pool.clone())
+            .with_kernel(Arc::clone(&app.kernel))
+            .with_memo(app.memo.clone())
+            .with_threads(1);
+        Ok(searcher.run(algorithm)?)
+    }
+
+    /// A snapshot of the application's serving statistics.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownApp`] for an unregistered id.
+    pub fn stats(&self, app_id: AppId) -> Result<AppStats, ServeError> {
+        let app = self.app(app_id)?;
+        Ok(AppStats {
+            app: app_id,
+            hashed_bits: app.profile.hashed_bits(),
+            set_bits: app.cache.set_bits(),
+            distinct_vectors: app.kernel.dense().distinct_vectors(),
+            memo: app.memo.stats(),
+            shards: app.memo.shard_stats(),
+        })
+    }
+
+    /// Clears the application's memo, returning the number of entries
+    /// dropped.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownApp`] for an unregistered id.
+    pub fn evict(&self, app: AppId) -> Result<usize, ServeError> {
+        Ok(self.app(app)?.memo.clear())
+    }
+
+    /// Dispatches one typed request — the entry point the worker pool
+    /// drains the queue through. Never panics on malformed requests; errors
+    /// come back as [`Response::Error`].
+    #[must_use]
+    pub fn handle(&self, request: Request) -> Response {
+        let result = match request {
+            Request::PriceCandidate { app, basis } => {
+                self.price_candidate(app, &basis).map(Response::Price)
+            }
+            Request::PriceBatch { app, bases } => {
+                self.price_batch(app, &bases).map(Response::Prices)
+            }
+            Request::RunSearch { app, algorithm } => {
+                self.run_search(app, algorithm).map(Response::Search)
+            }
+            Request::Stats { app } => self.stats(app).map(Response::Stats),
+            Request::Evict { app } => self.evict(app).map(Response::Evicted),
+        };
+        result.unwrap_or_else(Response::Error)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cache_sim::BlockAddr;
+    use xorindex::EvalEngine;
+
+    fn profile(hashed_bits: usize) -> ConflictProfile {
+        let blocks = (0..400u64)
+            .flat_map(|i| [BlockAddr((i % 3) * 256), BlockAddr(0x800 + (i % 2) * 0x100)]);
+        ConflictProfile::from_blocks(blocks, hashed_bits, 256)
+    }
+
+    #[test]
+    fn service_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<IndexService>();
+        assert_send_sync::<Request>();
+        assert_send_sync::<Response>();
+    }
+
+    #[test]
+    fn register_validates_geometry() {
+        let service = IndexService::new();
+        // 8 set bits vs 12 hashed bits: fine.
+        assert!(service
+            .register(Registration::new(profile(12), CacheConfig::paper_cache(1)))
+            .is_ok());
+        // 10 set bits vs 10 hashed bits: not searchable.
+        assert_eq!(
+            service.register(Registration::new(profile(10), CacheConfig::paper_cache(4))),
+            Err(ServeError::InvalidGeometry {
+                hashed_bits: 10,
+                set_bits: 10,
+            })
+        );
+        assert_eq!(service.len(), 1);
+        assert!(!service.is_empty());
+    }
+
+    #[test]
+    fn pricing_matches_a_fresh_engine_and_memoizes() {
+        let p = profile(12);
+        let service = IndexService::new();
+        let app = service
+            .register(Registration::new(p.clone(), CacheConfig::paper_cache(1)))
+            .unwrap();
+        let mut reference = EvalEngine::new(&p).with_threads(1);
+        let candidates: Vec<PackedBasis> = (1..=8)
+            .map(|m| PackedBasis::standard_span(12, m..12))
+            .collect();
+        for c in &candidates {
+            assert_eq!(
+                service.price_candidate(app, c).unwrap(),
+                reference.estimate_packed(c)
+            );
+        }
+        // The same batch is now answered entirely from the memo.
+        let batch = service.price_batch(app, &candidates).unwrap();
+        assert_eq!(batch, reference.estimate_batch(&candidates));
+        let stats = service.stats(app).unwrap();
+        assert_eq!(stats.memo.hits, candidates.len() as u64);
+        assert_eq!(stats.memo.misses, candidates.len() as u64);
+        assert_eq!(stats.hashed_bits, 12);
+        assert_eq!(stats.set_bits, 8);
+        assert!(stats.distinct_vectors > 0);
+        // Eviction forces recomputation but not different answers.
+        let dropped = service.evict(app).unwrap();
+        assert_eq!(dropped, candidates.len());
+        assert_eq!(service.price_batch(app, &candidates).unwrap(), batch);
+    }
+
+    #[test]
+    fn width_mismatch_is_an_error_not_a_panic() {
+        let service = IndexService::new();
+        let app = service
+            .register(Registration::new(profile(12), CacheConfig::paper_cache(1)))
+            .unwrap();
+        let wide = PackedBasis::standard_span(16, 8..16);
+        assert_eq!(
+            service.price_candidate(app, &wide),
+            Err(ServeError::WidthMismatch {
+                expected: 12,
+                actual: 16,
+            })
+        );
+        // A batch with one bad width is rejected before pricing anything.
+        let good = PackedBasis::standard_span(12, 8..12);
+        let hits_before = service.stats(app).unwrap().memo;
+        assert!(service.price_batch(app, &[good, wide.clone()]).is_err());
+        assert_eq!(service.stats(app).unwrap().memo, hits_before);
+    }
+
+    #[test]
+    fn unknown_app_is_reported() {
+        let service = IndexService::new();
+        let ghost = AppId(7);
+        assert_eq!(service.evict(ghost), Err(ServeError::UnknownApp(ghost)));
+        assert_eq!(format!("{ghost}"), "app#7");
+        let response = service.handle(Request::Stats { app: ghost });
+        assert_eq!(response, Response::Error(ServeError::UnknownApp(ghost)));
+    }
+
+    #[test]
+    fn run_search_matches_a_standalone_searcher_and_warms_the_memo() {
+        let p = profile(12);
+        let service = IndexService::new();
+        let app = service
+            .register(
+                Registration::new(p.clone(), CacheConfig::paper_cache(1))
+                    .with_class(FunctionClass::xor_unlimited()),
+            )
+            .unwrap();
+        let served = service.run_search(app, SearchAlgorithm::HillClimb).unwrap();
+        let standalone = Searcher::new(&p, FunctionClass::xor_unlimited(), 8)
+            .unwrap()
+            .run(SearchAlgorithm::HillClimb)
+            .unwrap();
+        assert_eq!(served.function, standalone.function);
+        assert_eq!(served.estimated_misses, standalone.estimated_misses);
+        assert_eq!(served.baseline_estimate, standalone.baseline_estimate);
+        // The search populated the app's memo: re-pricing its winner is a hit.
+        let winner = served.function.null_space().to_packed();
+        let hits_before = service.stats(app).unwrap().memo.hits;
+        let _ = service.price_candidate(app, &winner).unwrap();
+        assert_eq!(service.stats(app).unwrap().memo.hits, hits_before + 1);
+    }
+
+    #[test]
+    fn capped_registration_bounds_the_memo_without_changing_prices() {
+        let p = profile(12);
+        let service = IndexService::new();
+        let unbounded = service
+            .register(Registration::new(p.clone(), CacheConfig::paper_cache(1)))
+            .unwrap();
+        let capped = service
+            .register(Registration::new(p, CacheConfig::paper_cache(1)).with_memo_capacity(4))
+            .unwrap();
+        let candidates: Vec<PackedBasis> = (0..40)
+            .map(|i| PackedBasis::standard_span(12, [i % 12, (i + 5) % 12, (i + 7) % 12]))
+            .collect();
+        let a = service.price_batch(unbounded, &candidates).unwrap();
+        let b = service.price_batch(capped, &candidates).unwrap();
+        assert_eq!(a, b);
+        let stats = service.stats(capped).unwrap();
+        assert_eq!(stats.memo.capacity, Some(4));
+        assert!(stats.memo.entries <= stats.memo.shards);
+        assert!(stats.memo.rejected_inserts > 0);
+    }
+}

@@ -1,0 +1,291 @@
+//! The worker pool: N threads draining a bounded request queue.
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crossbeam::channel;
+
+use crate::{IndexService, Request, Response, ServeError};
+
+/// One queued request plus the channel its answer goes back on.
+struct Envelope {
+    request: Request,
+    reply: channel::Sender<Response>,
+}
+
+/// A submitted request's reply handle.
+#[derive(Debug)]
+pub struct PendingResponse {
+    reply: channel::Receiver<Response>,
+}
+
+impl PendingResponse {
+    /// Blocks until the worker answers. Queued requests are drained even
+    /// during pool shutdown, so this resolves to a real answer unless the
+    /// serving thread died abnormally — in which case it returns
+    /// [`Response::Error`] with [`ServeError::Disconnected`] rather than
+    /// hanging.
+    #[must_use]
+    pub fn wait(self) -> Response {
+        self.reply
+            .recv()
+            .unwrap_or(Response::Error(ServeError::Disconnected))
+    }
+
+    /// Waits up to `timeout` for the answer; `None` when it has not arrived
+    /// yet (the response can still be claimed by a later call or by
+    /// [`PendingResponse::wait`]).
+    #[must_use]
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<Response> {
+        match self.reply.recv_timeout(timeout) {
+            Ok(response) => Some(response),
+            Err(channel::RecvTimeoutError::Timeout) => None,
+            Err(channel::RecvTimeoutError::Disconnected) => {
+                Some(Response::Error(ServeError::Disconnected))
+            }
+        }
+    }
+}
+
+/// A request bounced by [`WorkerPool::try_submit`], handed back so the
+/// caller can retry, shed load, or block on [`WorkerPool::submit`].
+#[derive(Debug)]
+pub struct RejectedRequest {
+    /// The request that was not enqueued.
+    pub request: Request,
+    /// Why ([`ServeError::QueueFull`] or [`ServeError::Disconnected`]).
+    pub reason: ServeError,
+}
+
+/// N worker threads draining a bounded queue of [`Request`]s against one
+/// shared [`IndexService`].
+///
+/// The pool owns its threads: dropping it disconnects the queue and joins
+/// every worker. Shutdown is *graceful* — requests already queued are
+/// drained and answered before the threads exit, so `drop` blocks until the
+/// backlog (at most the queue capacity) is served; size the queue
+/// accordingly if requests can be slow (e.g. `RunSearch`).
+#[derive(Debug)]
+pub struct WorkerPool {
+    queue: Option<channel::Sender<Envelope>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `workers` threads (minimum 1) serving `service`, with a
+    /// bounded queue of `queue_capacity` outstanding requests.
+    /// [`WorkerPool::submit`] blocks while the queue is full (backpressure);
+    /// [`WorkerPool::try_submit`] bounces instead.
+    #[must_use]
+    pub fn new(service: Arc<IndexService>, workers: usize, queue_capacity: usize) -> Self {
+        let (tx, rx) = channel::bounded::<Envelope>(queue_capacity);
+        let workers = (0..workers.max(1))
+            .map(|index| {
+                let service = Arc::clone(&service);
+                let rx = rx.clone();
+                std::thread::Builder::new()
+                    .name(format!("xorindex-serve-{index}"))
+                    .spawn(move || Self::worker_loop(&service, &rx))
+                    .expect("worker thread spawns")
+            })
+            .collect();
+        WorkerPool {
+            queue: Some(tx),
+            workers,
+        }
+    }
+
+    /// Blocks on the queue until it disconnects (the pool dropping its
+    /// sender is the shutdown signal — no sender ever escapes the pool, so
+    /// no polling is needed), draining any backlog on the way out.
+    fn worker_loop(service: &IndexService, rx: &channel::Receiver<Envelope>) {
+        while let Ok(envelope) = rx.recv() {
+            let response = service.handle(envelope.request);
+            // The client may have dropped its PendingResponse; that only
+            // means nobody wants this answer.
+            let _ = envelope.reply.send(response);
+        }
+    }
+
+    /// Number of worker threads.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    fn envelope(request: Request) -> (Envelope, PendingResponse) {
+        // Capacity 1 so the worker's send never blocks on a slow client.
+        let (reply_tx, reply_rx) = channel::bounded(1);
+        (
+            Envelope {
+                request,
+                reply: reply_tx,
+            },
+            PendingResponse { reply: reply_rx },
+        )
+    }
+
+    /// Enqueues a request, blocking while the queue is full.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Disconnected`] when the pool has shut down.
+    pub fn submit(&self, request: Request) -> Result<PendingResponse, ServeError> {
+        let queue = self.queue.as_ref().ok_or(ServeError::Disconnected)?;
+        let (envelope, pending) = Self::envelope(request);
+        queue.send(envelope).map_err(|_| ServeError::Disconnected)?;
+        Ok(pending)
+    }
+
+    /// Enqueues a request without blocking; a full queue bounces the request
+    /// back to the caller.
+    ///
+    /// # Errors
+    ///
+    /// [`RejectedRequest`] with [`ServeError::QueueFull`] or
+    /// [`ServeError::Disconnected`], carrying the original request.
+    pub fn try_submit(&self, request: Request) -> Result<PendingResponse, RejectedRequest> {
+        let Some(queue) = self.queue.as_ref() else {
+            return Err(RejectedRequest {
+                request,
+                reason: ServeError::Disconnected,
+            });
+        };
+        let (envelope, pending) = Self::envelope(request);
+        match queue.try_send(envelope) {
+            Ok(()) => Ok(pending),
+            Err(channel::TrySendError::Full(envelope)) => Err(RejectedRequest {
+                request: envelope.request,
+                reason: ServeError::QueueFull,
+            }),
+            Err(channel::TrySendError::Disconnected(envelope)) => Err(RejectedRequest {
+                request: envelope.request,
+                reason: ServeError::Disconnected,
+            }),
+        }
+    }
+
+    /// Submits a request and blocks for its answer — the simple synchronous
+    /// client call.
+    #[must_use]
+    pub fn call(&self, request: Request) -> Response {
+        match self.submit(request) {
+            Ok(pending) => pending.wait(),
+            Err(e) => Response::Error(e),
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Disconnect the queue; each worker drains the remaining backlog and
+        // exits when its next receive reports the disconnect.
+        self.queue = None;
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registration;
+    use cache_sim::{BlockAddr, CacheConfig};
+    use gf2::PackedBasis;
+    use xorindex::{ConflictProfile, SearchAlgorithm};
+
+    fn service_with_app() -> (Arc<IndexService>, crate::AppId) {
+        let blocks = (0..300u64).map(|i| BlockAddr((i % 2) * 256 + (i % 3) * 0x400));
+        let profile = ConflictProfile::from_blocks(blocks, 12, 256);
+        let service = Arc::new(IndexService::new());
+        let app = service
+            .register(Registration::new(profile, CacheConfig::paper_cache(1)))
+            .unwrap();
+        (service, app)
+    }
+
+    #[test]
+    fn pool_answers_requests_and_shuts_down_cleanly() {
+        let (service, app) = service_with_app();
+        let pool = WorkerPool::new(Arc::clone(&service), 3, 8);
+        assert_eq!(pool.workers(), 3);
+        let basis = PackedBasis::standard_span(12, 8..12);
+        let expected = service.price_candidate(app, &basis).unwrap();
+        match pool.call(Request::PriceCandidate { app, basis }) {
+            Response::Price(cost) => assert_eq!(cost, expected),
+            other => panic!("unexpected {other:?}"),
+        }
+        match pool.call(Request::RunSearch {
+            app,
+            algorithm: SearchAlgorithm::HillClimb,
+        }) {
+            Response::Search(outcome) => {
+                assert!(outcome.estimated_misses <= outcome.baseline_estimate);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        drop(pool); // joins all workers without hanging
+    }
+
+    #[test]
+    fn try_submit_bounces_when_the_queue_is_full() {
+        let (service, app) = service_with_app();
+        // Zero workers is clamped to one; a rendezvous-free tiny queue plus a
+        // stats flood must eventually bounce.
+        let pool = WorkerPool::new(Arc::clone(&service), 1, 1);
+        let mut bounced = false;
+        let mut pending = Vec::new();
+        for _ in 0..200 {
+            match pool.try_submit(Request::Stats { app }) {
+                Ok(p) => pending.push(p),
+                Err(rejected) => {
+                    assert_eq!(rejected.reason, ServeError::QueueFull);
+                    assert_eq!(rejected.request, Request::Stats { app });
+                    bounced = true;
+                    break;
+                }
+            }
+        }
+        assert!(bounced, "a capacity-1 queue must fill under a flood");
+        for p in pending {
+            match p.wait() {
+                Response::Stats(_) => {}
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn wait_timeout_reports_pending_then_delivers() {
+        let (service, app) = service_with_app();
+        let pool = WorkerPool::new(service, 1, 4);
+        let pending = pool.submit(Request::Stats { app }).unwrap();
+        // Either it times out once and then arrives, or it was already fast.
+        let first = pending.wait_timeout(Duration::from_micros(1));
+        let response = match first {
+            Some(r) => r,
+            None => pending.wait(),
+        };
+        assert!(matches!(response, Response::Stats(_)));
+    }
+
+    #[test]
+    fn dropping_the_pool_drains_and_answers_the_backlog() {
+        let (service, app) = service_with_app();
+        let pool = WorkerPool::new(service, 1, 16);
+        let pending: Vec<PendingResponse> = (0..8)
+            .map(|_| pool.submit(Request::Stats { app }).unwrap())
+            .collect();
+        drop(pool);
+        // Shutdown is graceful: every queued request was served before the
+        // worker exited, so every reply resolves to a real answer.
+        for p in pending {
+            match p.wait() {
+                Response::Stats(_) => {}
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+}

@@ -3,7 +3,8 @@
 //! This crate re-exports the individual workspace crates under one roof so the
 //! examples and integration tests can use a single dependency. Library users
 //! should normally depend on the individual crates ([`xorindex`], [`cache_sim`],
-//! [`memtrace`], [`workloads`], [`gf2`], [`experiments`]) directly.
+//! [`memtrace`], [`workloads`], [`gf2`], [`experiments`], [`xorindex_serve`])
+//! directly.
 //!
 //! # Quick start
 //!
@@ -30,6 +31,7 @@ pub use gf2;
 pub use memtrace;
 pub use workloads;
 pub use xorindex;
+pub use xorindex_serve;
 
 /// Commonly used items, re-exported for examples and quick experiments.
 pub mod prelude {
@@ -41,7 +43,8 @@ pub mod prelude {
     pub use memtrace::{AccessKind, Trace, TraceBuilder, TraceRecord};
     pub use workloads::{Scale, Workload, WorkloadSuite};
     pub use xorindex::{
-        ConflictProfile, EvaluationReport, FunctionClass, HashFunction, MissEstimator, Optimizer,
-        SearchAlgorithm,
+        ConflictProfile, EvaluationReport, FrozenKernel, FunctionClass, HashFunction,
+        MissEstimator, Optimizer, SearchAlgorithm, ShardedMemo,
     };
+    pub use xorindex_serve::{IndexService, Registration, Request, Response, WorkerPool};
 }

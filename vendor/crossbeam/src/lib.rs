@@ -1,6 +1,8 @@
 //! Offline stub of the [`crossbeam`](https://crates.io/crates/crossbeam)
 //! crate, covering the subset this workspace uses: [`scope`] for structured
-//! fork/join parallelism and [`channel`] for unbounded MPMC-ish channels.
+//! fork/join parallelism and [`channel`] for unbounded and bounded MPMC-ish
+//! channels (`unbounded`, `bounded`, `try_send`, `recv_timeout` — the
+//! primitives the serving layer's worker pool drains its request queue with).
 //!
 //! `scope` is implemented over [`std::thread::scope`]. One behavioural
 //! difference: if a worker thread panics, the panic propagates out of
@@ -37,13 +39,35 @@ where
     Ok(std::thread::scope(|s| f(&Scope { inner: s })))
 }
 
-/// Multi-producer channels, mirroring `crossbeam::channel`.
+/// Multi-producer channels, mirroring `crossbeam::channel`: [`unbounded`] and
+/// [`bounded`] construction, blocking/non-blocking/timed sends and receives.
+/// Error types are re-exported from `std::sync::mpsc`, whose variants match
+/// the crossbeam ones this workspace uses.
 pub mod channel {
     use std::sync::mpsc;
     use std::sync::{Arc, Mutex};
+    use std::time::Duration;
 
-    /// The sending half of an unbounded channel.
-    pub struct Sender<T>(mpsc::Sender<T>);
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError, TrySendError};
+
+    /// The two underlying queue flavours behind one `Sender` type, mirroring
+    /// crossbeam's single sender for bounded and unbounded channels.
+    enum SendFlavor<T> {
+        Unbounded(mpsc::Sender<T>),
+        Bounded(mpsc::SyncSender<T>),
+    }
+
+    impl<T> Clone for SendFlavor<T> {
+        fn clone(&self) -> Self {
+            match self {
+                SendFlavor::Unbounded(tx) => SendFlavor::Unbounded(tx.clone()),
+                SendFlavor::Bounded(tx) => SendFlavor::Bounded(tx.clone()),
+            }
+        }
+    }
+
+    /// The sending half of a channel ([`unbounded`] or [`bounded`]).
+    pub struct Sender<T>(SendFlavor<T>);
 
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Self {
@@ -51,15 +75,41 @@ pub mod channel {
         }
     }
 
-    impl<T> Sender<T> {
-        /// Sends a message; fails only if all receivers are gone.
-        pub fn send(&self, value: T) -> Result<(), mpsc::SendError<T>> {
-            self.0.send(value)
+    impl<T> std::fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(match &self.0 {
+                SendFlavor::Unbounded(_) => "Sender { flavor: Unbounded }",
+                SendFlavor::Bounded(_) => "Sender { flavor: Bounded }",
+            })
         }
     }
 
-    /// The receiving half of an unbounded channel. Cloneable like crossbeam's
-    /// receiver; clones share one underlying queue.
+    impl<T> Sender<T> {
+        /// Sends a message, blocking while a bounded channel is full; fails
+        /// only if all receivers are gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            match &self.0 {
+                SendFlavor::Unbounded(tx) => tx.send(value),
+                SendFlavor::Bounded(tx) => tx.send(value),
+            }
+        }
+
+        /// Sends without blocking: fails with [`TrySendError::Full`] when a
+        /// bounded channel is at capacity (an unbounded channel is never
+        /// full) and [`TrySendError::Disconnected`] when all receivers are
+        /// gone; the message is handed back inside the error either way.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            match &self.0 {
+                SendFlavor::Unbounded(tx) => tx
+                    .send(value)
+                    .map_err(|SendError(v)| TrySendError::Disconnected(v)),
+                SendFlavor::Bounded(tx) => tx.try_send(value),
+            }
+        }
+    }
+
+    /// The receiving half of a channel. Cloneable like crossbeam's receiver;
+    /// clones share one underlying queue.
     pub struct Receiver<T>(Arc<Mutex<mpsc::Receiver<T>>>);
 
     impl<T> Clone for Receiver<T> {
@@ -68,10 +118,25 @@ pub mod channel {
         }
     }
 
+    impl<T> std::fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("Receiver { .. }")
+        }
+    }
+
     impl<T> Receiver<T> {
         /// Blocks until a message arrives or all senders are gone.
-        pub fn recv(&self) -> Result<T, mpsc::RecvError> {
+        pub fn recv(&self) -> Result<T, RecvError> {
             self.0.lock().expect("channel lock poisoned").recv()
+        }
+
+        /// Blocks until a message arrives, all senders are gone, or `timeout`
+        /// elapses — how a serving client bounds its wait for a reply.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.0
+                .lock()
+                .expect("channel lock poisoned")
+                .recv_timeout(timeout)
         }
 
         /// Iterates over messages until all senders are gone.
@@ -80,7 +145,7 @@ pub mod channel {
         }
 
         /// Returns a message if one is ready right now.
-        pub fn try_recv(&self) -> Result<T, mpsc::TryRecvError> {
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
             self.0.lock().expect("channel lock poisoned").try_recv()
         }
     }
@@ -123,7 +188,22 @@ pub mod channel {
     /// Creates an unbounded channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
         let (tx, rx) = mpsc::channel();
-        (Sender(tx), Receiver(Arc::new(Mutex::new(rx))))
+        (
+            Sender(SendFlavor::Unbounded(tx)),
+            Receiver(Arc::new(Mutex::new(rx))),
+        )
+    }
+
+    /// Creates a bounded channel holding at most `capacity` queued messages.
+    /// [`Sender::send`] blocks while the channel is full; [`Sender::try_send`]
+    /// fails instead. As in crossbeam, `capacity` 0 gives a rendezvous
+    /// channel (every send blocks until a receiver takes the message).
+    pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(capacity);
+        (
+            Sender(SendFlavor::Bounded(tx)),
+            Receiver(Arc::new(Mutex::new(rx))),
+        )
     }
 }
 
@@ -148,6 +228,90 @@ mod tests {
         let mut got: Vec<(usize, u64)> = rx.iter().collect();
         got.sort_unstable();
         assert_eq!(got, vec![(0, 10), (1, 20), (2, 30), (3, 40)]);
+    }
+
+    #[test]
+    fn bounded_try_send_reports_full_then_drains() {
+        let (tx, rx) = channel::bounded(2);
+        tx.try_send(1).expect("capacity 2, empty");
+        tx.try_send(2).expect("capacity 2, one queued");
+        match tx.try_send(3) {
+            Err(channel::TrySendError::Full(v)) => assert_eq!(v, 3),
+            other => panic!("expected Full, got {other:?}"),
+        }
+        assert_eq!(rx.recv(), Ok(1));
+        // A slot freed up, so try_send succeeds again.
+        tx.try_send(3).expect("slot freed");
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Ok(3));
+        drop(tx);
+        assert!(rx.recv().is_err());
+    }
+
+    #[test]
+    fn bounded_send_blocks_until_a_receiver_drains() {
+        let (tx, rx) = channel::bounded(1);
+        tx.send(10u64).expect("first send fits");
+        let handle = std::thread::spawn(move || {
+            // Blocks until the main thread receives the first message.
+            tx.send(20).expect("receiver alive");
+        });
+        assert_eq!(rx.recv(), Ok(10));
+        assert_eq!(rx.recv(), Ok(20));
+        handle.join().expect("sender thread");
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_receives() {
+        use std::time::Duration;
+        let (tx, rx) = channel::bounded::<u32>(4);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(channel::RecvTimeoutError::Timeout)
+        );
+        tx.send(7).expect("receiver alive");
+        assert_eq!(rx.recv_timeout(Duration::from_millis(100)), Ok(7));
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(channel::RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn try_send_on_disconnected_channels_returns_the_message() {
+        let (tx, rx) = channel::bounded(1);
+        drop(rx);
+        match tx.try_send(5) {
+            Err(channel::TrySendError::Disconnected(v)) => assert_eq!(v, 5),
+            other => panic!("expected Disconnected, got {other:?}"),
+        }
+        let (tx, rx) = channel::unbounded();
+        tx.try_send(6).expect("unbounded is never full");
+        assert_eq!(rx.recv(), Ok(6));
+        drop(rx);
+        match tx.try_send(7) {
+            Err(channel::TrySendError::Disconnected(v)) => assert_eq!(v, 7),
+            other => panic!("expected Disconnected, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bounded_channel_works_across_cloned_senders_and_receivers() {
+        let (tx, rx) = channel::bounded(8);
+        let workers: Vec<_> = (0..4u64)
+            .map(|i| {
+                let tx = tx.clone();
+                std::thread::spawn(move || tx.send(i).expect("receiver alive"))
+            })
+            .collect();
+        drop(tx);
+        let mut got: Vec<u64> = rx.iter().collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+        for w in workers {
+            w.join().expect("worker");
+        }
     }
 
     #[test]
