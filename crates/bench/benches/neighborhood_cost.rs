@@ -3,7 +3,8 @@
 //! PR 2's dense engine made Eq. 4 evaluation cheap enough that candidate
 //! *generation* dominates the unlimited-XOR hill climb. This target pins the
 //! cost of producing one full hill-climbing neighbourhood two ways at
-//! n = 12 / 16 / 20 hashed bits:
+//! n = 12 / 16 / 20 / 26 hashed bits (26 is the wide-width regime where the
+//! pricing side runs on the hybrid profile):
 //!
 //! * `packed` — the packed-native path the search runs on
 //!   ([`PackedNeighborhood::generate`]): incremental `u64` hyperplane
@@ -60,7 +61,7 @@ fn bench_neighborhood_cost(c: &mut Criterion) {
     let mut group = c.benchmark_group("neighborhood_cost");
     group.sample_size(10);
 
-    for n in [12usize, 16, 20] {
+    for n in [12usize, 16, 20, 26] {
         // Fix the null-space dimension at 6 (the paper's 4 KB / n = 16 shape)
         // so the hyperplane count stays comparable across widths and only the
         // pool size and word arithmetic scale with n.

@@ -113,6 +113,83 @@ fn bench_serve_throughput(c: &mut Criterion) {
     let _ = price_all(&pool); // warm it
     group.bench_function("memo_warm/4", |b| b.iter(|| black_box(price_all(&pool))));
 
+    // Wide-width contrast: a second application at n = 26 served through the
+    // hybrid profile (dense tail + binary search, no flat table). Same
+    // request shape, four workers, fresh pricing per iteration.
+    const WIDE_BITS: usize = 26;
+    let wide_trace: Vec<cache_sim::BlockAddr> = {
+        let mut footprint: Vec<u64> = (0..128u64).map(|k| k * 3 % 128).collect();
+        footprint.extend((0..64u64).flat_map(|k| [k, k | (1 << 22)]));
+        (0..4 * footprint.len())
+            .map(|i| cache_sim::BlockAddr(footprint[i % footprint.len()]))
+            .collect()
+    };
+    let wide_profile =
+        xorindex::ConflictProfile::from_blocks(wide_trace.iter().copied(), WIDE_BITS, 1 << 20);
+    let wide_cache = cache_sim::CacheConfig::builder()
+        .size_bytes(32 << 20)
+        .block_bytes(32)
+        .associativity(1)
+        .build()
+        .expect("valid geometry");
+    let wide_app = service
+        .register(
+            Registration::new(wide_profile.clone(), wide_cache)
+                .with_class(FunctionClass::xor_unlimited()),
+        )
+        .expect("valid geometry");
+    let wide_pool_dirs = NeighborPool::UnitsAndPairs.packed_vectors(WIDE_BITS, &wide_profile);
+    let wide_parent = PackedBasis::standard_span(WIDE_BITS, wide_cache.set_bits()..WIDE_BITS);
+    let wide_batches: Vec<Vec<PackedBasis>> = PackedNeighborhood::generate(
+        &wide_parent,
+        FunctionClass::xor_unlimited(),
+        &wide_pool_dirs,
+    )
+    .bases()
+    .cloned()
+    .collect::<Vec<_>>()
+    .chunks(BATCH)
+    .map(<[PackedBasis]>::to_vec)
+    .collect();
+    let wide_workers = WorkerPool::new(Arc::clone(&service), 4, 64);
+    group.bench_function("price_candidates_wide26/4", |b| {
+        b.iter(|| {
+            service.evict(wide_app).expect("registered app");
+            let total = std::sync::atomic::AtomicU64::new(0);
+            std::thread::scope(|scope| {
+                for client in 0..CLIENTS {
+                    let total = &total;
+                    let wide_batches = &wide_batches;
+                    let wide_workers = &wide_workers;
+                    scope.spawn(move || {
+                        let pending: Vec<_> = wide_batches
+                            .iter()
+                            .skip(client)
+                            .step_by(CLIENTS)
+                            .map(|batch| {
+                                wide_workers
+                                    .submit(Request::PriceBatch {
+                                        app: wide_app,
+                                        bases: batch.clone(),
+                                    })
+                                    .expect("pool alive")
+                            })
+                            .collect();
+                        let mut sum = 0u64;
+                        for p in pending {
+                            match p.wait() {
+                                Response::Prices(costs) => sum += costs.iter().sum::<u64>(),
+                                other => panic!("unexpected {other:?}"),
+                            }
+                        }
+                        total.fetch_add(sum, std::sync::atomic::Ordering::Relaxed);
+                    });
+                }
+            });
+            black_box(total.into_inner())
+        })
+    });
+
     group.finish();
 }
 

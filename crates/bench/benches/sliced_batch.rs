@@ -1,0 +1,159 @@
+//! Bench for the bit-sliced batch pricing paths.
+//!
+//! PR 6 refactored the pricing stack from one-candidate-at-a-time to
+//! 64-candidates-per-word. This target pins the four ways one full
+//! hill-climbing neighbourhood can be priced, on the paper's susan @ 4 KB
+//! configuration (n = 16, 4095 candidates of dimension 6):
+//!
+//! * `scalar` — the PR 3 baseline: one [`FrozenKernel::cost`] call per
+//!   candidate;
+//! * `delta` — the PR 5 path: hyperplane costs plus the one-generator coset
+//!   delta per candidate ([`FrozenKernel::neighbour_cost`]);
+//! * `sliced` — the generic transposed batch
+//!   ([`FrozenKernel::cost_batch_sliced`]): membership masks for 64
+//!   candidates per `u64` word, one histogram scan per block;
+//! * `coset` — the neighbourhood-aware sliced path
+//!   ([`FrozenKernel::cost_neighborhood_sliced`]): hyperplane functionals
+//!   hoisted into a `CosetFrame`, the histogram grouped by parent remainder,
+//!   each 64-lane block summing only the entries its cosets select.
+//!
+//! A second group reprices a neighbourhood slice at n = 26 through the
+//! hybrid profile (dense tail over the hot low region, binary search above
+//! it) — the wide-width regime where no flat table exists. The
+//! `CRITERION_JSON` records land in `BENCH_sliced.json` on CI.
+
+use std::hint::black_box;
+
+use cache_sim::BlockAddr;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gf2::PackedBasis;
+use xorindex::search::{NeighborPool, PackedNeighborhood};
+use xorindex::{ConflictProfile, FrozenKernel, FunctionClass};
+use xorindex_bench::{prepare_data, HASHED_BITS};
+
+const WIDE_BITS: usize = 26;
+
+/// The wide-width workload: small-stride blocks feeding the hybrid tail plus
+/// bit-22 collision pairs (same shape as the serve-layer wide-width test).
+fn wide_profile() -> ConflictProfile {
+    let mut footprint: Vec<u64> = (0..128u64).map(|k| k * 3 % 128).collect();
+    footprint.extend((0..64u64).flat_map(|k| [k, k | (1 << 22)]));
+    let trace = (0..4 * footprint.len()).map(|i| BlockAddr(footprint[i % footprint.len()]));
+    ConflictProfile::from_blocks(trace, WIDE_BITS, 1 << 20)
+}
+
+struct PreparedNeighborhood {
+    kernel: FrozenKernel,
+    neighborhood: PackedNeighborhood,
+    parent_span: PackedBasis,
+    lanes: Vec<(usize, u64)>,
+}
+
+fn prepare(profile: &ConflictProfile, hashed_bits: usize, set_bits: usize) -> PreparedNeighborhood {
+    let kernel = FrozenKernel::new(profile);
+    let pool = NeighborPool::UnitsAndPairs.packed_vectors(hashed_bits, profile);
+    let parent = PackedBasis::standard_span(hashed_bits, set_bits..hashed_bits);
+    let neighborhood = PackedNeighborhood::generate(&parent, FunctionClass::xor_unlimited(), &pool);
+    let parent_span = neighborhood.parent_span().expect("non-empty neighbourhood");
+    let lanes: Vec<(usize, u64)> = neighborhood
+        .candidates
+        .iter()
+        .map(|c| (c.hyperplane, c.direction))
+        .collect();
+    PreparedNeighborhood {
+        kernel,
+        neighborhood,
+        parent_span,
+        lanes,
+    }
+}
+
+fn bench_paths(
+    group: &mut criterion::BenchmarkGroup<'_>,
+    label: &str,
+    prep: &PreparedNeighborhood,
+) {
+    let refs: Vec<&PackedBasis> = prep.neighborhood.bases().collect();
+    let n = refs.len();
+    let kernel = &prep.kernel;
+
+    // Bit-identity across all four paths before timing anything.
+    let scalar: Vec<u64> = refs.iter().map(|b| kernel.cost(b)).collect();
+    assert_eq!(scalar, kernel.cost_batch_sliced(&refs));
+    assert_eq!(
+        scalar,
+        kernel.cost_neighborhood_sliced(
+            &prep.parent_span,
+            &prep.neighborhood.hyperplanes,
+            &prep.lanes
+        )
+    );
+
+    group.bench_with_input(
+        BenchmarkId::new(format!("{label}/scalar"), n),
+        &n,
+        |b, _| b.iter(|| refs.iter().map(|basis| kernel.cost(basis)).sum::<u64>()),
+    );
+    group.bench_with_input(BenchmarkId::new(format!("{label}/delta"), n), &n, |b, _| {
+        b.iter(|| {
+            let hyper_costs: Vec<u64> = prep
+                .neighborhood
+                .hyperplanes
+                .iter()
+                .map(|h| kernel.cost(h))
+                .collect();
+            prep.neighborhood
+                .candidates
+                .iter()
+                .map(|c| {
+                    kernel.neighbour_cost(
+                        hyper_costs[c.hyperplane],
+                        &prep.neighborhood.hyperplanes[c.hyperplane],
+                        c.direction,
+                    )
+                })
+                .sum::<u64>()
+        })
+    });
+    group.bench_with_input(
+        BenchmarkId::new(format!("{label}/sliced"), n),
+        &n,
+        |b, _| b.iter(|| black_box(kernel.cost_batch_sliced(&refs))),
+    );
+    group.bench_with_input(BenchmarkId::new(format!("{label}/coset"), n), &n, |b, _| {
+        b.iter(|| {
+            black_box(kernel.cost_neighborhood_sliced(
+                &prep.parent_span,
+                &prep.neighborhood.hyperplanes,
+                &prep.lanes,
+            ))
+        })
+    });
+}
+
+fn bench_sliced_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sliced_batch");
+    group.sample_size(10);
+
+    // The paper's configuration: susan @ 4 KB, n = 16, dimension-6
+    // candidates, one full 4095-candidate neighbourhood.
+    let susan = prepare_data("susan", 4);
+    let prep = prepare(&susan.profile, HASHED_BITS, susan.cache.set_bits());
+    bench_paths(&mut group, "susan", &prep);
+
+    // Wide-width regime: n = 26 through the hybrid profile (no flat table).
+    let wide = wide_profile();
+    let prep = prepare(&wide, WIDE_BITS, WIDE_BITS - 6);
+    let dense = prep.kernel.dense();
+    assert!(!dense.has_flat_lookup() && dense.has_dense_tail());
+    bench_paths(&mut group, "wide26", &prep);
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().measurement_time(std::time::Duration::from_millis(600)).warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench_sliced_batch
+}
+criterion_main!(benches);

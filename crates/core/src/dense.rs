@@ -4,22 +4,52 @@
 //! is the right structure for accumulation but a poor one for the evaluation
 //! hot path: Eq. 4 sums `misses(v)` over up to `2^(n−m)` null-space vectors
 //! per candidate, and each `HashMap` lookup hashes a `BitVec` key. A
-//! [`DenseProfile`] freezes the histogram into
+//! [`DenseProfile`] freezes the histogram into a *hybrid* layout:
 //!
 //! * a `Vec<(u64, u64)>` of `(vector, weight)` pairs sorted by vector — the
-//!   cache-friendly layout for scanning the whole histogram, with binary
-//!   search for point lookups; and
-//! * when `hashed_bits ≤ 20`, an additional flat array of `2^n` weights so a
-//!   point lookup is a single indexed load (2^20 × 8 B = 8 MB at the limit;
-//!   the paper's configuration uses n = 16, i.e. 512 KB).
+//!   cache-friendly layout for scanning the whole histogram; and
+//! * an optional dense *tail*: a flat weight array covering the vectors below
+//!   `2^tail_bits`, sized to the hottest low-index region of the histogram
+//!   rather than to the full address space. Point lookups that land under the
+//!   tail are one indexed load; the rest binary-search only the entries above
+//!   it.
+//!
+//! Narrow profiles (`hashed_bits ≤` [`FLAT_LOOKUP_MAX_BITS`]) keep the old
+//! behaviour as a special case: the tail spans the whole space, so every
+//! lookup is a flat load (at the 20-bit limit that is `2^20 × 8 B = 8 MB`;
+//! the paper's configuration uses n = 16, i.e. 512 KB). Wider profiles no
+//! longer fall off a cliff into pure binary search: conflict vectors are
+//! XORs of addresses and cluster heavily in the low-index region (small
+//! strides), so [`DenseProfile::from_profile`] materializes a tail over that
+//! region whenever it is occupied densely enough to pay for itself, and
+//! [`DenseProfile::with_tail_cap`] lets callers move the memory/latency
+//! trade-off in either direction.
 //!
 //! It mirrors the read-side API of [`ConflictProfile`], so evaluation code is
-//! oblivious to which representation it is handed.
+//! oblivious to which representation it is handed — all three (full tail,
+//! hybrid tail, pure sorted) answer bit-identically.
 
 use crate::ConflictProfile;
 
-/// Widest `hashed_bits` for which the flat lookup array is materialized.
+/// Widest `hashed_bits` for which [`DenseProfile::from_profile`] covers the
+/// *entire* space with the dense tail (the old "flat lookup" behaviour), and
+/// the default tail cap for wider profiles.
 pub const FLAT_LOOKUP_MAX_BITS: usize = 20;
+
+/// Widest tail a caller may request through [`DenseProfile::with_tail_cap`]
+/// (a `2^30`-entry tail is already an 8 GiB allocation).
+pub const TAIL_CAP_MAX_BITS: usize = 30;
+
+/// A candidate tail must cover at least three quarters of the entries any
+/// tail under the cap could cover; otherwise a smaller tail is chosen.
+const TAIL_COVERAGE_NUM: usize = 3;
+const TAIL_COVERAGE_DEN: usize = 4;
+
+/// A tail is only materialized when at least one slot in 64 would be
+/// occupied (and never for fewer than four entries) — sparser regions are
+/// cheaper to binary-search than to cache-miss through.
+const TAIL_MIN_OCCUPANCY_SHIFT: usize = 6;
+const TAIL_MIN_ENTRIES: usize = 4;
 
 /// A read-optimized snapshot of a [`ConflictProfile`] histogram.
 ///
@@ -42,15 +72,48 @@ pub struct DenseProfile {
     /// `(vector, weight)` pairs sorted by vector; weights are non-zero and the
     /// zero vector never appears (the profiler drops it).
     entries: Vec<(u64, u64)>,
-    /// Flat `2^hashed_bits` weight array when the width permits.
-    flat: Option<Vec<u64>>,
+    /// Dense tail: `misses_of(v)` for every `v < 2^tail_bits`, when
+    /// materialized (empty otherwise).
+    tail: Vec<u64>,
+    /// Width of the tail in bits; meaningful only when `tail` is non-empty.
+    tail_bits: usize,
+    /// Index of the first entry `≥ 2^tail_bits`: entries below it are
+    /// answered by the tail, the slice above it by binary search.
+    tail_split: usize,
     total_weight: u64,
+    /// Mean set-bit count over the distinct recorded vectors, rounded up —
+    /// the batch cost model's estimate of per-entry sliced work.
+    mean_popcount: usize,
 }
 
 impl DenseProfile {
-    /// Freezes a profile's histogram into the dense layout.
+    /// Freezes a profile's histogram into the hybrid layout with the default
+    /// tail cap ([`FLAT_LOOKUP_MAX_BITS`]): narrow profiles get a
+    /// whole-space tail, wide profiles a tail over their hottest low-index
+    /// region when occupancy warrants one.
     #[must_use]
     pub fn from_profile(profile: &ConflictProfile) -> Self {
+        Self::with_tail_cap(profile, FLAT_LOOKUP_MAX_BITS)
+    }
+
+    /// Freezes a profile with an explicit bound on the dense tail's width.
+    ///
+    /// `cap_bits = 0` disables the tail entirely (pure sorted entries — the
+    /// smallest footprint and the reference representation in tests); larger
+    /// caps permit up to a `2^cap_bits`-slot tail, `8 << cap_bits` bytes at
+    /// the limit. The cap is clamped to the profile's own width. Whatever
+    /// the cap, estimates are bit-identical; only lookup latency and memory
+    /// change.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap_bits` exceeds [`TAIL_CAP_MAX_BITS`].
+    #[must_use]
+    pub fn with_tail_cap(profile: &ConflictProfile, cap_bits: usize) -> Self {
+        assert!(
+            cap_bits <= TAIL_CAP_MAX_BITS,
+            "tail cap of {cap_bits} bits exceeds the {TAIL_CAP_MAX_BITS}-bit limit"
+        );
         let hashed_bits = profile.hashed_bits();
         let mut entries: Vec<(u64, u64)> = profile
             .iter()
@@ -59,19 +122,31 @@ impl DenseProfile {
             .collect();
         entries.sort_unstable_by_key(|&(v, _)| v);
         let total_weight = entries.iter().map(|&(_, w)| w).sum();
-        let flat = (hashed_bits <= FLAT_LOOKUP_MAX_BITS).then(|| {
-            let mut table = vec![0u64; 1usize << hashed_bits];
-            for &(v, w) in &entries {
-                table[v as usize] = w;
+        let popcount_sum: usize = entries.iter().map(|&(v, _)| v.count_ones() as usize).sum();
+        let mean_popcount = popcount_sum.div_ceil(entries.len().max(1));
+
+        let tail_bits = choose_tail_bits(&entries, hashed_bits, cap_bits.min(hashed_bits));
+        let (tail, tail_split) = match tail_bits {
+            Some(bits) => {
+                let split = covered_below(&entries, bits);
+                let mut table = vec![0u64; 1usize << bits];
+                for &(v, w) in &entries[..split] {
+                    table[v as usize] = w;
+                }
+                (table, split)
             }
-            table
-        });
+            None => (Vec::new(), 0),
+        };
+
         DenseProfile {
             hashed_bits,
             capacity_blocks: profile.capacity_blocks(),
             entries,
-            flat,
+            tail,
+            tail_bits: tail_bits.unwrap_or(0),
+            tail_split,
             total_weight,
+            mean_popcount,
         }
     }
 
@@ -93,25 +168,61 @@ impl DenseProfile {
         self.entries.len()
     }
 
-    /// `true` when a flat lookup array is materialized (point lookups are one
-    /// indexed load).
+    /// Mean set-bit count over the distinct recorded vectors, rounded up (0
+    /// for an empty profile). Conflict vectors are XORs of nearby addresses
+    /// and are typically much sparser than random `hashed_bits`-wide words;
+    /// the batch cost model uses this to predict sliced-scan work.
+    #[must_use]
+    pub fn mean_popcount(&self) -> usize {
+        if self.entries.is_empty() {
+            0
+        } else {
+            self.mean_popcount
+        }
+    }
+
+    /// `true` when the dense tail covers the *entire* space, so every point
+    /// lookup is a single indexed load (the pre-hybrid "flat" layout).
     #[must_use]
     pub fn has_flat_lookup(&self) -> bool {
-        self.flat.is_some()
+        !self.tail.is_empty() && self.tail_bits == self.hashed_bits
+    }
+
+    /// `true` when any dense tail is materialized (whole-space or hybrid).
+    #[must_use]
+    pub fn has_dense_tail(&self) -> bool {
+        !self.tail.is_empty()
+    }
+
+    /// Width of the dense tail in bits (0 when no tail is materialized; a
+    /// materialized tail always covers at least one bit).
+    #[must_use]
+    pub fn tail_bits(&self) -> usize {
+        if self.tail.is_empty() {
+            0
+        } else {
+            self.tail_bits
+        }
+    }
+
+    /// Number of recorded entries the dense tail answers (the rest go through
+    /// binary search over the sorted slice above it).
+    #[must_use]
+    pub fn tail_covered(&self) -> usize {
+        self.tail_split
     }
 
     /// The accumulated weight `misses(v)` of a conflict vector's raw bits.
     #[must_use]
     pub fn misses_of(&self, v: u64) -> u64 {
         debug_assert!(self.hashed_bits == 64 || v < (1u64 << self.hashed_bits));
-        match &self.flat {
-            Some(table) => table[v as usize],
-            None => self
-                .entries
-                .binary_search_by_key(&v, |&(vec, _)| vec)
-                .map(|i| self.entries[i].1)
-                .unwrap_or(0),
+        if !self.tail.is_empty() && (v >> self.tail_bits) == 0 {
+            return self.tail[v as usize];
         }
+        self.entries[self.tail_split..]
+            .binary_search_by_key(&v, |&(vec, _)| vec)
+            .map(|i| self.entries[self.tail_split + i].1)
+            .unwrap_or(0)
     }
 
     /// The sorted `(vector, weight)` pairs, ascending by vector.
@@ -130,6 +241,34 @@ impl DenseProfile {
     pub fn total_weight(&self) -> u64 {
         self.total_weight
     }
+}
+
+/// Number of sorted entries with vector `< 2^bits`.
+fn covered_below(entries: &[(u64, u64)], bits: usize) -> usize {
+    if bits >= 64 {
+        return entries.len();
+    }
+    entries.partition_point(|&(v, _)| v < (1u64 << bits))
+}
+
+/// Picks the dense tail's width: the whole space for narrow profiles, else
+/// the smallest width covering most of what the cap could cover — provided
+/// the region is occupied densely enough to be worth materializing.
+fn choose_tail_bits(entries: &[(u64, u64)], hashed_bits: usize, cap: usize) -> Option<usize> {
+    if cap == 0 {
+        return None;
+    }
+    if cap >= hashed_bits {
+        // Narrow profile: whole-space tail, unconditionally (the pre-hybrid
+        // flat behaviour, kept even for empty profiles).
+        return Some(hashed_bits);
+    }
+    let target = covered_below(entries, cap);
+    let bits = (1..=cap)
+        .find(|&t| covered_below(entries, t) * TAIL_COVERAGE_DEN >= target * TAIL_COVERAGE_NUM)?;
+    let covered = covered_below(entries, bits);
+    let occupancy_floor = ((1usize << bits) >> TAIL_MIN_OCCUPANCY_SHIFT).max(TAIL_MIN_ENTRIES);
+    (covered >= occupancy_floor).then_some(bits)
 }
 
 impl From<&ConflictProfile> for DenseProfile {
@@ -154,6 +293,8 @@ mod tests {
         let p = profile(&seq, 10);
         let d = DenseProfile::from_profile(&p);
         assert!(d.has_flat_lookup());
+        assert!(d.has_dense_tail());
+        assert_eq!(d.tail_bits(), 10);
         for v in 0..(1u64 << 10) {
             assert_eq!(d.misses_of(v), p.misses(BitVec::from_u64(v, 10)), "v={v}");
         }
@@ -164,16 +305,60 @@ mod tests {
     }
 
     #[test]
-    fn wide_profiles_fall_back_to_binary_search() {
+    fn wide_profiles_get_no_flat_lookup() {
         let seq: Vec<u64> = (0..100u64).map(|i| (i % 5) << 40).collect();
         let p = ConflictProfile::from_blocks(seq.iter().copied().map(BlockAddr), 48, 64);
         let d = DenseProfile::from_profile(&p);
         assert!(!d.has_flat_lookup());
+        // All mass sits at bit 40 and above: no low-index tail pays off.
+        assert!(!d.has_dense_tail());
         for (v, w) in p.iter() {
             assert_eq!(d.misses_of(v.as_u64()), w);
         }
         assert_eq!(d.misses_of(0x1234), 0);
         assert_eq!(d.total_weight(), p.total_weight());
+    }
+
+    #[test]
+    fn wide_profile_with_hot_low_region_gets_a_hybrid_tail() {
+        // Low-stride conflicts (vectors < 2^8) plus a couple of high outliers.
+        let mut seq = Vec::new();
+        for i in 0..400u64 {
+            seq.push((i % 13) * 0x11); // dense low region
+            seq.push((i % 2) << 40); // two far-apart blocks
+        }
+        let p = ConflictProfile::from_blocks(seq.iter().copied().map(BlockAddr), 48, 64);
+        let d = DenseProfile::from_profile(&p);
+        assert!(!d.has_flat_lookup());
+        assert!(d.has_dense_tail(), "hot low region should be materialized");
+        assert!(d.tail_bits() <= FLAT_LOOKUP_MAX_BITS);
+        assert!(d.tail_covered() > 0);
+        // Every lookup still agrees with the histogram, tail or not.
+        for (v, w) in p.iter() {
+            assert_eq!(d.misses_of(v.as_u64()), w, "v={:#x}", v.as_u64());
+        }
+        assert_eq!(d.misses_of(0x3), 0);
+        assert_eq!(d.misses_of(0x3 << 30), 0);
+    }
+
+    #[test]
+    fn representations_answer_identically() {
+        let seq: Vec<u64> = (0..500u64)
+            .map(|i| (i % 7) * 0x21 + (i % 3) * 0x4000)
+            .collect();
+        let p = profile(&seq, 18);
+        let flat = DenseProfile::from_profile(&p); // whole-space tail
+        let sorted = DenseProfile::with_tail_cap(&p, 0); // no tail
+        let hybrid = DenseProfile::with_tail_cap(&p, 10); // partial tail
+        assert!(flat.has_flat_lookup());
+        assert!(!sorted.has_dense_tail());
+        for v in (0..(1u64 << 18)).step_by(7) {
+            let w = flat.misses_of(v);
+            assert_eq!(sorted.misses_of(v), w, "v={v:#x}");
+            assert_eq!(hybrid.misses_of(v), w, "v={v:#x}");
+        }
+        assert_eq!(flat.entries(), sorted.entries());
+        assert_eq!(flat.entries(), hybrid.entries());
     }
 
     #[test]
@@ -193,5 +378,14 @@ mod tests {
         assert_eq!(d.distinct_vectors(), 0);
         assert_eq!(d.total_weight(), 0);
         assert_eq!(d.misses_of(0x10), 0);
+        // Narrow widths keep the whole-space tail even when empty.
+        assert!(d.has_flat_lookup());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn oversized_tail_cap_panics() {
+        let p = ConflictProfile::from_blocks(std::iter::empty(), 16, 64);
+        let _ = DenseProfile::with_tail_cap(&p, TAIL_CAP_MAX_BITS + 1);
     }
 }

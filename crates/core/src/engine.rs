@@ -27,10 +27,13 @@
 
 use std::sync::Arc;
 
-use gf2::{PackedBasis, Subspace};
+use gf2::{PackedBasis, Subspace, SLICED_LANES};
 
 use crate::search::{Neighborhood, PackedNeighborhood};
-use crate::{ConflictProfile, DenseProfile, EstimationStrategy, FrozenKernel, ShardedMemo};
+use crate::{
+    BatchStrategy, ConflictProfile, DenseProfile, EstimationStrategy, FrozenKernel,
+    NeighborhoodRoute, ShardedMemo,
+};
 
 /// Minimum number of fresh candidates before a batch is split across threads
 /// (below this the spawn overhead dominates).
@@ -55,6 +58,9 @@ pub struct EngineStats {
     pub memo_hits: u64,
     /// Batches that were split across threads.
     pub parallel_batches: u64,
+    /// Transposed 64-lane blocks priced by one histogram scan each (generic
+    /// sliced blocks and neighbourhood coset blocks alike).
+    pub sliced_blocks: u64,
 }
 
 /// Batch evaluator of Eq. 4 (`misses(H) = Σ_{v ∈ N(H)} misses(v)`) over a
@@ -293,7 +299,11 @@ impl<'a> EvalEngine<'a> {
         self.estimate_batch(&packed)
     }
 
-    /// Shared batch core over borrowed packed bases.
+    /// Shared batch core over borrowed packed bases: memo-probe every
+    /// candidate, then price the misses under the kernel's resolved
+    /// [`BatchStrategy`] — per candidate in parallel, or transposed into
+    /// 64-lane sliced blocks with whole blocks as the unit of parallelism —
+    /// and backfill the memo from the batch results.
     fn estimate_batch_refs(&mut self, candidates: &[&PackedBasis]) -> Vec<u64> {
         let mut out = vec![0u64; candidates.len()];
         let mut pending: Vec<usize> = Vec::new();
@@ -310,28 +320,51 @@ impl<'a> EvalEngine<'a> {
             return out;
         }
         let kernel = &*self.kernel;
-        let costs = Self::compute_parallel(&pending, self.threads, &mut self.stats, |&i| {
-            kernel.cost(candidates[i])
-        });
-        self.stats.evaluations += pending.len() as u64;
-        for (i, cost) in pending.into_iter().zip(costs) {
-            out[i] = cost;
-            self.memo.insert(candidates[i], cost);
+        let dims: Vec<usize> = pending.iter().map(|&i| candidates[i].dim()).collect();
+        match kernel.batch_strategy(&dims) {
+            BatchStrategy::PerCandidate => {
+                let costs = Self::map_parallel(&pending, self.threads, &mut self.stats, |&i| {
+                    kernel.cost(candidates[i])
+                });
+                self.stats.evaluations += pending.len() as u64;
+                for (i, cost) in pending.into_iter().zip(costs) {
+                    out[i] = cost;
+                    self.memo.insert(candidates[i], cost);
+                }
+            }
+            BatchStrategy::SlicedScan => {
+                let chunks: Vec<&[usize]> = pending.chunks(SLICED_LANES).collect();
+                let blocks = Self::map_parallel(&chunks, self.threads, &mut self.stats, |chunk| {
+                    let refs: Vec<&PackedBasis> = chunk.iter().map(|&i| candidates[i]).collect();
+                    kernel.cost_batch_sliced(&refs)
+                });
+                self.stats.evaluations += pending.len() as u64;
+                self.stats.sliced_blocks += chunks.len() as u64;
+                for (chunk, costs) in chunks.iter().zip(blocks) {
+                    for (&i, cost) in chunk.iter().zip(costs) {
+                        out[i] = cost;
+                        self.memo.insert(candidates[i], cost);
+                    }
+                }
+            }
         }
         out
     }
 
-    /// Prices a packed neighbourhood, exploiting the one-generator-delta
-    /// structure: each candidate `M ⊕ span(w)` costs its hyperplane's partial
-    /// sum (computed once per hyperplane, memoized) plus a `2^(d−1)`-term
-    /// coset sum, instead of a fresh `2^d`-term walk. This is the
-    /// packed-native path every search step runs on.
+    /// Prices a packed neighbourhood under the kernel's resolved
+    /// [`NeighborhoodRoute`] — the packed-native path every search step runs
+    /// on. All three routes are bit-identical:
     ///
-    /// When the null spaces are large enough that histogram scanning is
-    /// cheaper (the [`EstimationStrategy::Auto`] crossover), the batch falls
-    /// back to plain batch pricing.
+    /// * [`NeighborhoodRoute::SlicedCosets`]: pending candidates are
+    ///   transposed into [`gf2::SlicedCosetBlock`]s over the shared parent
+    ///   and priced by one histogram scan per 64-lane block;
+    /// * [`NeighborhoodRoute::HyperplaneDelta`]: each candidate
+    ///   `M ⊕ span(w)` costs its hyperplane's partial sum (computed once per
+    ///   hyperplane, memoized) plus a `2^(d−1)`-term coset sum;
+    /// * [`NeighborhoodRoute::PerCandidate`]: plain batch pricing.
     ///
-    /// Returns costs aligned with `neighborhood.candidates`.
+    /// Either way the memo is probed first and backfilled with every fresh
+    /// result. Returns costs aligned with `neighborhood.candidates`.
     ///
     /// # Panics
     ///
@@ -342,11 +375,66 @@ impl<'a> EvalEngine<'a> {
             return Vec::new();
         }
         let dim = neighborhood.candidates[0].basis.dim();
-        if !self.kernel.delta_pays(dim) {
-            let refs: Vec<&PackedBasis> = neighborhood.bases().collect();
-            return self.estimate_batch_refs(&refs);
+        match self
+            .kernel
+            .neighborhood_route(dim, neighborhood.candidates.len())
+        {
+            NeighborhoodRoute::SlicedCosets => self.estimate_neighborhood_cosets(neighborhood),
+            NeighborhoodRoute::HyperplaneDelta => self.estimate_neighborhood_delta(neighborhood),
+            NeighborhoodRoute::PerCandidate => {
+                let refs: Vec<&PackedBasis> = neighborhood.bases().collect();
+                self.estimate_batch_refs(&refs)
+            }
         }
+    }
 
+    /// The transposed neighbourhood path: memo misses are packed, 64 lanes at
+    /// a time, into [`gf2::SlicedCosetBlock`]s over the neighbourhood's
+    /// shared parent and priced from one remainder-grouped histogram.
+    fn estimate_neighborhood_cosets(&mut self, neighborhood: &PackedNeighborhood) -> Vec<u64> {
+        let Some(parent) = neighborhood.parent_span() else {
+            return Vec::new();
+        };
+        let mut out = vec![0u64; neighborhood.candidates.len()];
+        let mut pending: Vec<usize> = Vec::new();
+        for (i, candidate) in neighborhood.candidates.iter().enumerate() {
+            self.kernel.check_width(&candidate.basis);
+            if let Some(cost) = self.memo.probe(&candidate.basis) {
+                self.stats.memo_hits += 1;
+                out[i] = cost;
+            } else {
+                pending.push(i);
+            }
+        }
+        if pending.is_empty() {
+            return out;
+        }
+        // One call prices every pending lane: the kernel groups the histogram
+        // by parent remainder once and each 64-lane block then touches only
+        // the entries its cosets select — cheap enough that chunk-level
+        // parallelism would cost more in spawns than it saves.
+        let lanes: Vec<(usize, u64)> = pending
+            .iter()
+            .map(|&i| {
+                let candidate = &neighborhood.candidates[i];
+                (candidate.hyperplane, candidate.direction)
+            })
+            .collect();
+        let costs =
+            self.kernel
+                .cost_neighborhood_sliced(&parent, &neighborhood.hyperplanes, &lanes);
+        self.stats.evaluations += pending.len() as u64;
+        self.stats.sliced_blocks += pending.len().div_ceil(SLICED_LANES) as u64;
+        for (&i, cost) in pending.iter().zip(costs) {
+            out[i] = cost;
+            self.memo.insert(&neighborhood.candidates[i].basis, cost);
+        }
+        out
+    }
+
+    /// The hyperplane-delta neighbourhood path: partial sums per retained
+    /// hyperplane plus a coset sum per pending candidate.
+    fn estimate_neighborhood_delta(&mut self, neighborhood: &PackedNeighborhood) -> Vec<u64> {
         // Partial sums: one support evaluation per referenced hyperplane
         // (memoized, so a hyperplane shared with an earlier step is free).
         let mut hyper: Vec<Option<u64>> = vec![None; neighborhood.hyperplanes.len()];
@@ -379,7 +467,7 @@ impl<'a> EvalEngine<'a> {
             return out;
         }
         let kernel = &*self.kernel;
-        let costs = Self::compute_parallel(
+        let costs = Self::map_parallel(
             &pending,
             self.threads,
             &mut self.stats,
@@ -442,29 +530,32 @@ impl<'a> EvalEngine<'a> {
         cost
     }
 
-    /// Maps `job_cost` over `jobs`, splitting across scoped threads when the
-    /// engine is configured for parallelism and the batch is large enough.
-    fn compute_parallel<J: Sync>(
+    /// Maps `job_cost` over `jobs` in order, splitting across scoped threads
+    /// when the engine is configured for parallelism and the batch is large
+    /// enough. Jobs may be single candidates (costing a `u64`) or whole
+    /// sliced blocks (costing a `Vec<u64>` each).
+    fn map_parallel<J: Sync, R: Send>(
         jobs: &[J],
         threads: usize,
         stats: &mut EngineStats,
-        job_cost: impl Fn(&J) -> u64 + Sync,
-    ) -> Vec<u64> {
+        job_cost: impl Fn(&J) -> R + Sync,
+    ) -> Vec<R> {
         let workers = threads.min(jobs.len());
         if workers <= 1 || jobs.len() < PARALLEL_THRESHOLD {
             return jobs.iter().map(job_cost).collect();
         }
         stats.parallel_batches += 1;
         let chunk = jobs.len().div_ceil(workers);
-        let mut out = vec![0u64; jobs.len()];
         let job_cost = &job_cost;
+        let mut out: Vec<R> = Vec::with_capacity(jobs.len());
         std::thread::scope(|scope| {
-            for (slots, chunk_jobs) in out.chunks_mut(chunk).zip(jobs.chunks(chunk)) {
-                scope.spawn(move || {
-                    for (slot, job) in slots.iter_mut().zip(chunk_jobs) {
-                        *slot = job_cost(job);
-                    }
-                });
+            let handles: Vec<_> = jobs
+                .chunks(chunk)
+                .map(|chunk_jobs| scope.spawn(move || chunk_jobs.iter().map(job_cost).collect()))
+                .collect();
+            for handle in handles {
+                let chunk_out: Vec<R> = handle.join().expect("evaluation worker panicked");
+                out.extend(chunk_out);
             }
         });
         out
@@ -667,5 +758,83 @@ mod tests {
         let profile = mixed_profile();
         let mut engine = EvalEngine::new(&profile);
         let _ = engine.evaluate(&Subspace::full(8));
+    }
+
+    #[test]
+    fn all_three_neighborhood_routes_are_bit_identical() {
+        let profile = mixed_profile();
+        let pool = NeighborPool::UnitsAndPairs.packed_vectors(12, &profile);
+        let parent = gf2::PackedBasis::standard_span(12, 6..12);
+        let nbhd = crate::search::PackedNeighborhood::generate(
+            &parent,
+            FunctionClass::xor_unlimited(),
+            &pool,
+        );
+        assert!(nbhd.candidates.len() > crate::memo::DEFAULT_MEMO_SHARDS);
+        let kernel = crate::FrozenKernel::new(&profile);
+        let reference: Vec<u64> = nbhd
+            .candidates
+            .iter()
+            .map(|c| kernel.cost(&c.basis))
+            .collect();
+        // Each strategy pins a different route (Scan → coset blocks,
+        // Enumerate → hyperplane delta, Auto → whatever the model picks);
+        // every one must reproduce the scalar costs exactly.
+        for strategy in [
+            EstimationStrategy::Auto,
+            EstimationStrategy::EnumerateNullSpace,
+            EstimationStrategy::ScanHistogram,
+        ] {
+            let mut engine = EvalEngine::new(&profile).with_strategy(strategy);
+            assert_eq!(
+                engine.estimate_neighborhood(&nbhd),
+                reference,
+                "{strategy:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn coset_route_counts_blocks_and_backfills_the_memo() {
+        let profile = mixed_profile();
+        let pool = NeighborPool::UnitsAndPairs.packed_vectors(12, &profile);
+        let parent = gf2::PackedBasis::standard_span(12, 6..12);
+        let nbhd = crate::search::PackedNeighborhood::generate(
+            &parent,
+            FunctionClass::xor_unlimited(),
+            &pool,
+        );
+        let mut engine = EvalEngine::new(&profile).with_strategy(EstimationStrategy::ScanHistogram);
+        let first = engine.estimate_neighborhood(&nbhd);
+        let lanes = nbhd.candidates.len() as u64;
+        assert_eq!(engine.stats().evaluations, lanes);
+        assert_eq!(
+            engine.stats().sliced_blocks,
+            lanes.div_ceil(gf2::SLICED_LANES as u64)
+        );
+        // Every block result landed in the memo: the second pass is all hits.
+        assert_eq!(engine.estimate_neighborhood(&nbhd), first);
+        assert_eq!(engine.stats().evaluations, lanes);
+        assert_eq!(engine.stats().memo_hits, lanes);
+    }
+
+    #[test]
+    fn forced_sliced_batches_count_blocks_and_backfill() {
+        let profile = mixed_profile();
+        let candidates: Vec<gf2::PackedBasis> = (2..=9)
+            .map(|m| gf2::PackedBasis::standard_span(12, m..12))
+            .collect();
+        let mut engine = EvalEngine::new(&profile).with_strategy(EstimationStrategy::ScanHistogram);
+        let batch = engine.estimate_batch(&candidates);
+        let fresh: Vec<u64> = candidates
+            .iter()
+            .map(|b| engine.estimate_packed_fresh(b))
+            .collect();
+        assert_eq!(batch, fresh);
+        assert_eq!(engine.stats().sliced_blocks, 1);
+        // Backfilled: re-estimating costs no further evaluations.
+        let evaluations = engine.stats().evaluations;
+        assert_eq!(engine.estimate_batch(&candidates), batch);
+        assert_eq!(engine.stats().evaluations, evaluations);
     }
 }

@@ -10,14 +10,25 @@
 //! algorithms, and a multi-tenant serving layer all share the same kernel per
 //! application instead of re-freezing the histogram per search.
 //!
+//! Pricing comes in two shapes. The scalar path ([`FrozenKernel::cost`])
+//! prices one candidate under its resolved [`EstimationStrategy`]. The batch
+//! path ([`FrozenKernel::cost_batch`] / [`FrozenKernel::cost_batch_sliced`])
+//! transposes up to [`SLICED_LANES`] candidates into a [`SlicedBlock`] and
+//! scans the histogram once, advancing every candidate per entry with a
+//! word-parallel membership mask; [`BatchStrategy`] resolution picks between
+//! the two by batch shape. Both compute the exact Eq. 4 sum, bit-identically.
+//!
 //! Memoization lives next door in [`ShardedMemo`](crate::ShardedMemo); the
 //! kernel itself never caches, so every method here is a pure function of the
 //! frozen histogram.
 
-use gf2::PackedBasis;
+use gf2::{CosetFrame, CosetHistogram, PackedBasis, SlicedBlock, SLICED_LANES};
 
-use crate::estimate::resolve_strategy;
-use crate::{ConflictProfile, DenseProfile, EstimationStrategy};
+use crate::estimate::{resolve_batch_strategy, resolve_neighborhood_route, resolve_strategy};
+use crate::{
+    BatchStrategy, ConflictProfile, DenseProfile, EstimationStrategy, NeighborhoodRoute,
+    XorIndexError,
+};
 
 /// The immutable Eq. 4 pricing core: a frozen [`DenseProfile`] plus the
 /// evaluation strategy, shareable across threads via `Arc`.
@@ -136,6 +147,179 @@ impl FrozenKernel {
                 .sum(),
             EstimationStrategy::Auto => unreachable!("Auto resolved above"),
         }
+    }
+
+    /// Checked width test: `Ok` exactly when `basis` has the profile's hashed
+    /// width, the precondition of every pricing method.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XorIndexError::ProfileMismatch`] on mismatch — the typed
+    /// counterpart of the panicking [`FrozenKernel::check_width`], for
+    /// callers (like a serving layer) that must survive malformed requests.
+    pub fn ensure_width(&self, basis: &PackedBasis) -> Result<(), XorIndexError> {
+        if basis.width() == self.dense.hashed_bits() {
+            Ok(())
+        } else {
+            Err(XorIndexError::ProfileMismatch {
+                profile_bits: self.dense.hashed_bits(),
+                candidate_bits: basis.width(),
+            })
+        }
+    }
+
+    /// Non-panicking [`FrozenKernel::cost`]: prices the candidate, or reports
+    /// the width mismatch as a typed error instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XorIndexError::ProfileMismatch`] when the basis's ambient
+    /// width differs from the profile's hashed width.
+    pub fn try_cost(&self, basis: &PackedBasis) -> Result<u64, XorIndexError> {
+        self.ensure_width(basis)?;
+        Ok(self.cost(basis))
+    }
+
+    /// Prices a batch of candidates, chunking it into blocks of at most
+    /// [`SLICED_LANES`] and resolving each block to the bit-sliced scan or
+    /// the per-candidate path by shape (see [`BatchStrategy`]). Results are
+    /// aligned with `bases` and bit-identical to calling
+    /// [`FrozenKernel::cost`] per candidate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any candidate's ambient width differs from the profile's
+    /// hashed width.
+    #[must_use]
+    pub fn cost_batch(&self, bases: &[&PackedBasis]) -> Vec<u64> {
+        let mut out = Vec::with_capacity(bases.len());
+        for chunk in bases.chunks(SLICED_LANES) {
+            out.extend(self.cost_block(chunk).0);
+        }
+        out
+    }
+
+    /// Prices one block of at most [`SLICED_LANES`] candidates, reporting
+    /// which [`BatchStrategy`] the block resolved to (so callers can count
+    /// sliced work). The building block of [`FrozenKernel::cost_batch`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block is empty, exceeds [`SLICED_LANES`] lanes, or any
+    /// candidate's ambient width differs from the profile's hashed width.
+    #[must_use]
+    pub fn cost_block(&self, chunk: &[&PackedBasis]) -> (Vec<u64>, BatchStrategy) {
+        assert!(
+            chunk.len() <= SLICED_LANES,
+            "a block holds at most {SLICED_LANES} candidates"
+        );
+        let dims: Vec<usize> = chunk.iter().map(|b| b.dim()).collect();
+        let resolved = self.batch_strategy(&dims);
+        let costs = match resolved {
+            BatchStrategy::SlicedScan => self.cost_block_sliced(chunk),
+            BatchStrategy::PerCandidate => chunk.iter().map(|b| self.cost(b)).collect(),
+        };
+        (costs, resolved)
+    }
+
+    /// Forced bit-sliced batch pricing: every chunk of up to [`SLICED_LANES`]
+    /// candidates is transposed into a [`SlicedBlock`] and priced by one
+    /// histogram scan, regardless of what strategy resolution would pick.
+    /// Bit-identical to [`FrozenKernel::cost`] per candidate; useful for
+    /// benchmarking the sliced path and as the batch form of
+    /// [`EstimationStrategy::ScanHistogram`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any candidate's ambient width differs from the profile's
+    /// hashed width.
+    #[must_use]
+    pub fn cost_batch_sliced(&self, bases: &[&PackedBasis]) -> Vec<u64> {
+        let mut out = Vec::with_capacity(bases.len());
+        for chunk in bases.chunks(SLICED_LANES) {
+            out.extend(self.cost_block_sliced(chunk));
+        }
+        out
+    }
+
+    /// One transposed scan over the histogram, pricing a whole block: per
+    /// entry, the block's membership mask says which lanes' null spaces
+    /// contain the vector, and the entry's weight is added to exactly those
+    /// lanes' sums — Eq. 4 for all lanes at once.
+    fn cost_block_sliced(&self, chunk: &[&PackedBasis]) -> Vec<u64> {
+        for basis in chunk {
+            self.check_width(basis);
+        }
+        let block = SlicedBlock::from_bases(chunk.iter().copied());
+        let mut sums = vec![0u64; chunk.len()];
+        let mut scratch = [0u64; SLICED_LANES];
+        for (v, w) in self.dense.iter() {
+            let mut mask = block.member_mask_scratch(v, &mut scratch);
+            while mask != 0 {
+                let lane = mask.trailing_zeros() as usize;
+                mask &= mask - 1;
+                sums[lane] += w;
+            }
+        }
+        sums
+    }
+
+    /// Resolves how a batch of candidates with the given null-space
+    /// dimensions should be priced — the [`BatchStrategy`] the sliced paths
+    /// and [`FrozenKernel::cost_block`] act on, exposed so orchestrating
+    /// callers (the engine) can pick their work partitioning to match.
+    #[must_use]
+    pub fn batch_strategy(&self, dims: &[usize]) -> BatchStrategy {
+        resolve_batch_strategy(
+            self.strategy,
+            self.hashed_bits(),
+            self.dense.mean_popcount(),
+            dims,
+            self.dense.distinct_vectors(),
+        )
+    }
+
+    /// Resolves how a neighbourhood of `lanes` candidates of null-space
+    /// dimension `dim` over one shared parent should be priced: transposed
+    /// coset blocks, hyperplane-delta reuse, or plain per-candidate pricing.
+    #[must_use]
+    pub fn neighborhood_route(&self, dim: usize, lanes: usize) -> NeighborhoodRoute {
+        resolve_neighborhood_route(self.strategy, dim, lanes, self.dense.distinct_vectors())
+    }
+
+    /// Prices a whole neighbourhood of candidates `hyperplanes[h] ⊕
+    /// span(direction)` over one shared `parent` through the coset-sliced
+    /// path. The per-neighbourhood work is hoisted once — hyperplane
+    /// functionals into a [`CosetFrame`], the histogram grouped by parent
+    /// remainder into a [`CosetHistogram`] — then each block of up to
+    /// [`SLICED_LANES`] lanes is stamped and summed from only the entries its
+    /// lanes' cosets select. Results align with `lanes` and are bit-identical
+    /// to [`FrozenKernel::cost`] on each materialized extension.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parent's ambient width differs from the profile's hashed
+    /// width, or if a hyperplane or lane is not a valid hyperplane/direction
+    /// decomposition over the parent (see [`CosetFrame::new`] and
+    /// [`CosetFrame::block`]).
+    #[must_use]
+    pub fn cost_neighborhood_sliced(
+        &self,
+        parent: &PackedBasis,
+        hyperplanes: &[PackedBasis],
+        lanes: &[(usize, u64)],
+    ) -> Vec<u64> {
+        self.check_width(parent);
+        if lanes.is_empty() {
+            return Vec::new();
+        }
+        let frame = CosetFrame::new(parent, hyperplanes);
+        let histogram = CosetHistogram::new(parent, self.dense.iter());
+        let mut out = Vec::with_capacity(lanes.len());
+        for chunk in lanes.chunks(SLICED_LANES) {
+            out.extend(frame.block(chunk).sum_weights(&histogram));
+        }
+        out
     }
 
     /// `true` when the hyperplane-delta decomposition pays off for candidates
@@ -267,5 +451,145 @@ mod tests {
     fn width_mismatch_panics() {
         let kernel = FrozenKernel::new(&mixed_profile());
         let _ = kernel.cost(&PackedBasis::standard_span(8, 0..4));
+    }
+
+    #[test]
+    fn try_cost_reports_width_mismatch_as_a_typed_error() {
+        let kernel = FrozenKernel::new(&mixed_profile());
+        let good = PackedBasis::standard_span(12, 6..12);
+        assert_eq!(kernel.try_cost(&good).unwrap(), kernel.cost(&good));
+        let bad = PackedBasis::standard_span(8, 0..4);
+        assert!(matches!(
+            kernel.try_cost(&bad),
+            Err(crate::XorIndexError::ProfileMismatch {
+                profile_bits: 12,
+                candidate_bits: 8,
+            })
+        ));
+        assert!(kernel.ensure_width(&good).is_ok());
+        assert!(kernel.ensure_width(&bad).is_err());
+    }
+
+    #[test]
+    fn batch_paths_are_bit_identical_under_every_strategy() {
+        let profile = mixed_profile();
+        let bases: Vec<PackedBasis> = (0..=10)
+            .map(|m| PackedBasis::standard_span(12, m..12))
+            .chain((2..=8).map(|m| {
+                HashFunction::conventional(12, m)
+                    .unwrap()
+                    .null_space()
+                    .to_packed()
+            }))
+            .collect();
+        let refs: Vec<&PackedBasis> = bases.iter().collect();
+        for strategy in [
+            EstimationStrategy::Auto,
+            EstimationStrategy::EnumerateNullSpace,
+            EstimationStrategy::ScanHistogram,
+        ] {
+            let kernel = FrozenKernel::new(&profile).with_strategy(strategy);
+            let scalar: Vec<u64> = refs.iter().map(|b| kernel.cost(b)).collect();
+            assert_eq!(kernel.cost_batch(&refs), scalar, "{strategy:?} cost_batch");
+            assert_eq!(
+                kernel.cost_batch_sliced(&refs),
+                scalar,
+                "{strategy:?} cost_batch_sliced"
+            );
+        }
+    }
+
+    #[test]
+    fn cost_block_reports_the_resolved_strategy() {
+        let profile = mixed_profile();
+        let bases: Vec<PackedBasis> = (4..=9)
+            .map(|m| PackedBasis::standard_span(12, m..12))
+            .collect();
+        let refs: Vec<&PackedBasis> = bases.iter().collect();
+        // A single-candidate block never slices, whatever the strategy.
+        let kernel = FrozenKernel::new(&profile).with_strategy(EstimationStrategy::ScanHistogram);
+        assert_eq!(kernel.cost_block(&refs[..1]).1, BatchStrategy::PerCandidate);
+        // Explicit strategies force the matching batch path on multi blocks.
+        assert_eq!(kernel.cost_block(&refs).1, BatchStrategy::SlicedScan);
+        let kernel =
+            FrozenKernel::new(&profile).with_strategy(EstimationStrategy::EnumerateNullSpace);
+        assert_eq!(kernel.cost_block(&refs).1, BatchStrategy::PerCandidate);
+        // Whichever path a block resolves to, the costs are the scalar costs.
+        let kernel = FrozenKernel::new(&profile);
+        let (costs, _) = kernel.cost_block(&refs);
+        let scalar: Vec<u64> = refs.iter().map(|b| kernel.cost(b)).collect();
+        assert_eq!(costs, scalar);
+    }
+
+    #[test]
+    fn cost_neighborhood_sliced_matches_materialized_extensions() {
+        let profile = mixed_profile();
+        let parent = PackedBasis::standard_span(12, 6..12);
+        let hyperplanes: Vec<PackedBasis> = parent.hyperplanes().collect();
+        // Enough lanes to cross a block boundary, including directions inside
+        // the parent (whose candidate degenerates to the parent itself).
+        let mut lanes: Vec<(usize, u64)> = Vec::new();
+        'outer: for (h, hyperplane) in hyperplanes.iter().enumerate() {
+            for v in 1..(1u64 << 12) {
+                if !hyperplane.contains(v) {
+                    lanes.push((h, v));
+                }
+                if lanes.len() == 150 {
+                    break 'outer;
+                }
+            }
+        }
+        for strategy in [EstimationStrategy::Auto, EstimationStrategy::ScanHistogram] {
+            let kernel = FrozenKernel::new(&profile).with_strategy(strategy);
+            let costs = kernel.cost_neighborhood_sliced(&parent, &hyperplanes, &lanes);
+            assert_eq!(costs.len(), lanes.len());
+            for (&(h, d), &cost) in lanes.iter().zip(&costs) {
+                assert_eq!(
+                    cost,
+                    kernel.cost(&hyperplanes[h].extended(d)),
+                    "{strategy:?} lane ({h}, {d:#x})"
+                );
+            }
+            assert!(kernel
+                .cost_neighborhood_sliced(&parent, &hyperplanes, &[])
+                .is_empty());
+        }
+    }
+
+    #[test]
+    fn neighborhood_route_resolves_by_shape() {
+        let profile = mixed_profile();
+        let distinct = profile.distinct_vectors();
+        let kernel = FrozenKernel::new(&profile);
+        // Single-lane neighbourhoods never slice: they fall back on the
+        // scalar resolution — delta when enumeration would win, else plain.
+        for dim in 1..=11 {
+            let expect = if (1u128 << dim) - 1 <= distinct as u128 {
+                NeighborhoodRoute::HyperplaneDelta
+            } else {
+                NeighborhoodRoute::PerCandidate
+            };
+            assert_eq!(kernel.neighborhood_route(dim, 1), expect, "dim={dim}");
+        }
+        // Explicit strategies force their matching route on wide fans.
+        let kernel =
+            FrozenKernel::new(&profile).with_strategy(EstimationStrategy::EnumerateNullSpace);
+        assert_eq!(
+            kernel.neighborhood_route(6, 64),
+            NeighborhoodRoute::HyperplaneDelta
+        );
+        let kernel = FrozenKernel::new(&profile).with_strategy(EstimationStrategy::ScanHistogram);
+        assert_eq!(
+            kernel.neighborhood_route(6, 64),
+            NeighborhoodRoute::SlicedCosets
+        );
+        // Auto amortizes the coset scan over the block: with a full fan the
+        // per-lane cost of one shared histogram pass beats a 2^(dim−1)-term
+        // delta sum at search dimensions.
+        let kernel = FrozenKernel::new(&profile);
+        assert_eq!(
+            kernel.neighborhood_route(6, 64),
+            NeighborhoodRoute::SlicedCosets
+        );
     }
 }

@@ -76,10 +76,10 @@ mod report;
 pub mod hardware;
 pub mod search;
 
-pub use dense::{DenseProfile, FLAT_LOOKUP_MAX_BITS};
+pub use dense::{DenseProfile, FLAT_LOOKUP_MAX_BITS, TAIL_CAP_MAX_BITS};
 pub use engine::{EngineStats, EvalEngine};
 pub use error::XorIndexError;
-pub use estimate::{EstimationStrategy, MissEstimator};
+pub use estimate::{BatchStrategy, EstimationStrategy, MissEstimator, NeighborhoodRoute};
 pub use function_class::FunctionClass;
 pub use hashfn::HashFunction;
 pub use kernel::FrozenKernel;

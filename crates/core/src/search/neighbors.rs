@@ -266,6 +266,32 @@ impl PackedNeighborhood {
         self.candidates.iter().map(|c| &c.basis)
     }
 
+    /// A subspace every retained hyperplane is a hyperplane *of* — the shared
+    /// parent the coset-sliced evaluation path reduces against. `None` for an
+    /// empty neighbourhood.
+    ///
+    /// The parent is reconstructed rather than stored: two distinct
+    /// hyperplanes of it sum to it, and when only one hyperplane was
+    /// retained, any candidate (`hyperplane ⊕ span(direction)`) serves — the
+    /// decomposition identities only need the hyperplanes to sit one
+    /// dimension below the returned span, which that candidate satisfies.
+    #[must_use]
+    pub fn parent_span(&self) -> Option<PackedBasis> {
+        if self.candidates.is_empty() {
+            return None;
+        }
+        if self.hyperplanes.len() >= 2 {
+            let mut parent = self.hyperplanes[0].clone();
+            for &row in self.hyperplanes[1].rows() {
+                parent.insert(row);
+            }
+            debug_assert_eq!(parent.dim(), self.hyperplanes[0].dim() + 1);
+            Some(parent)
+        } else {
+            Some(self.candidates[0].basis.clone())
+        }
+    }
+
     /// Converts to the [`Subspace`]-based boundary view, preserving order and
     /// decomposition. The packed bases are already canonical, so this is pure
     /// unpacking.

@@ -10,8 +10,8 @@ use xorindex::search::{
     SearchOutcome, Searcher,
 };
 use xorindex::{
-    ConflictProfile, DenseProfile, EstimationStrategy, EvalEngine, FunctionClass, HashFunction,
-    MissEstimator,
+    ConflictProfile, DenseProfile, EstimationStrategy, EvalEngine, FrozenKernel, FunctionClass,
+    HashFunction, MissEstimator,
 };
 
 const HASHED_BITS: usize = 10;
@@ -156,6 +156,92 @@ proptest! {
                 profile.misses(gf2::BitVec::from_u64(v, HASHED_BITS)),
                 "vector {}", v
             );
+        }
+    }
+
+    #[test]
+    fn sliced_batch_pricing_is_bit_identical_to_scalar(
+        blocks in trace_strategy(),
+        cache in cache_strategy(),
+        seed in any::<u64>(),
+        tail_cap in 0usize..=HASHED_BITS,
+    ) {
+        let profile = profile_of(&blocks, &cache);
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Candidates of every dimension: random subspaces plus the
+        // conventional chain (the shapes the searches actually price).
+        let mut bases: Vec<gf2::PackedBasis> = (0..12)
+            .map(|i| {
+                gf2::random::random_subspace(&mut rng, HASHED_BITS, i % (HASHED_BITS + 1))
+                    .to_packed()
+            })
+            .collect();
+        bases.extend(
+            (0..HASHED_BITS).map(|m| gf2::PackedBasis::standard_span(HASHED_BITS, m..HASHED_BITS)),
+        );
+        let refs: Vec<&gf2::PackedBasis> = bases.iter().collect();
+        // Both profile representations: the default freeze and an explicitly
+        // capped tail (cap 0 = pure sorted-sparse, no dense tail at all).
+        for dense in [
+            DenseProfile::from_profile(&profile),
+            DenseProfile::with_tail_cap(&profile, tail_cap),
+        ] {
+            for strategy in [
+                EstimationStrategy::Auto,
+                EstimationStrategy::EnumerateNullSpace,
+                EstimationStrategy::ScanHistogram,
+            ] {
+                let kernel = FrozenKernel::from_dense(dense.clone()).with_strategy(strategy);
+                let scalar: Vec<u64> = refs.iter().map(|b| kernel.cost(b)).collect();
+                prop_assert_eq!(
+                    &kernel.cost_batch(&refs), &scalar,
+                    "cost_batch, strategy {:?}, tail {}", strategy, dense.tail_bits()
+                );
+                prop_assert_eq!(
+                    &kernel.cost_batch_sliced(&refs), &scalar,
+                    "cost_batch_sliced, strategy {:?}, tail {}", strategy, dense.tail_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn coset_neighborhood_pricing_is_bit_identical_to_scalar(
+        blocks in trace_strategy(),
+        cache in cache_strategy(),
+    ) {
+        let profile = profile_of(&blocks, &cache);
+        let pool = NeighborPool::UnitsAndPairs.packed_vectors(HASHED_BITS, &profile);
+        for class in [
+            FunctionClass::bit_selecting(),
+            FunctionClass::permutation_based_unlimited(),
+            FunctionClass::xor_unlimited(),
+        ] {
+            let parent = gf2::PackedBasis::standard_span(
+                HASHED_BITS,
+                cache.set_bits()..HASHED_BITS,
+            );
+            let nbhd = PackedNeighborhood::generate(&parent, class, &pool);
+            // Reference: every candidate priced alone, fresh.
+            let kernel = FrozenKernel::new(&profile);
+            let reference: Vec<u64> = nbhd
+                .candidates
+                .iter()
+                .map(|c| kernel.cost(&c.basis))
+                .collect();
+            // Every strategy pins a different neighbourhood route; all three
+            // must reproduce the per-candidate costs exactly.
+            for strategy in [
+                EstimationStrategy::Auto,
+                EstimationStrategy::EnumerateNullSpace,
+                EstimationStrategy::ScanHistogram,
+            ] {
+                let mut engine = EvalEngine::new(&profile).with_strategy(strategy);
+                prop_assert_eq!(
+                    &engine.estimate_neighborhood(&nbhd), &reference,
+                    "class {}, strategy {:?}", class, strategy
+                );
+            }
         }
     }
 

@@ -18,6 +18,15 @@
 //!   for hot-path evaluation: fast reduce/membership, incremental
 //!   extend/replace of one generator, incremental hyperplane enumeration,
 //!   Gray-code coset enumeration, and compact [`CanonicalKey`] map keys;
+//! * [`SlicedBlock`] — up to 64 packed bases transposed into column-wise
+//!   `u64` check planes, so one pass over a vector's set bits answers the
+//!   membership test for every candidate in the block at once;
+//! * [`SlicedCosetBlock`] — the same idea specialized to neighbourhood blocks
+//!   `hyperplane ⊕ span(direction)` over one shared parent, where a single
+//!   parent reduction plus a remainder lookup rejects all 64 lanes at once;
+//!   paired with a [`CosetHistogram`] (entries pre-grouped by parent
+//!   remainder, shared across the neighbourhood's blocks) each block visits
+//!   only the entries its lanes can actually contain;
 //! * [`count`] — Gaussian binomials and the matrix/subspace counting formulas
 //!   quoted in Section 2 of the paper (Eq. 3);
 //! * [`random`] — seeded random generation of vectors, full-rank matrices and
@@ -46,6 +55,7 @@
 mod bitvec;
 mod matrix;
 mod packed;
+mod sliced;
 mod subspace;
 
 pub mod count;
@@ -54,6 +64,7 @@ pub mod random;
 pub use bitvec::{BitVec, SetBits};
 pub use matrix::BitMatrix;
 pub use packed::{hash_key_words, CanonicalKey, PackedBasis, PackedHyperplanes, PackedVectors};
+pub use sliced::{CosetFrame, CosetHistogram, SlicedBlock, SlicedCosetBlock, SLICED_LANES};
 pub use subspace::{Subspace, SubspaceVectors};
 
 /// Errors reported by GF(2) operations.

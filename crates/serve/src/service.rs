@@ -311,20 +311,26 @@ impl IndexService {
             .ok_or(ServeError::UnknownApp(id))
     }
 
+    /// Width validation routed through the kernel's typed check
+    /// ([`FrozenKernel::ensure_width`]), so the serving layer and the pricing
+    /// core agree on what a malformed candidate is.
     fn check_width(app: &Application, basis: &PackedBasis) -> Result<(), ServeError> {
-        let expected = app.profile.hashed_bits();
-        if basis.width() != expected {
-            return Err(ServeError::WidthMismatch {
-                expected,
-                actual: basis.width(),
-            });
-        }
-        Ok(())
+        app.kernel.ensure_width(basis).map_err(|e| match e {
+            XorIndexError::ProfileMismatch {
+                profile_bits,
+                candidate_bits,
+            } => ServeError::WidthMismatch {
+                expected: profile_bits,
+                actual: candidate_bits,
+            },
+            other => ServeError::Search(other),
+        })
     }
 
-    /// Prices one candidate null space for an application: a sharded memo
-    /// probe, then (on a miss) one fresh kernel evaluation. No `Subspace` is
-    /// ever materialized.
+    /// Prices one candidate null space for an application: a typed width
+    /// check ([`FrozenKernel::try_cost`] semantics), a sharded memo probe,
+    /// then (on a miss) one fresh kernel evaluation. No `Subspace` is ever
+    /// materialized.
     ///
     /// # Errors
     ///
@@ -337,7 +343,10 @@ impl IndexService {
 
     /// Prices a batch of candidates, returning costs aligned with `bases`.
     /// The whole batch is width-checked before any pricing happens, so a
-    /// malformed batch is rejected atomically.
+    /// malformed batch is rejected atomically. Memoized candidates answer
+    /// from the memo; the rest are priced together through
+    /// [`FrozenKernel::cost_batch`] — which bit-slices blocks of up to 64
+    /// candidates when the batch shape pays for it — and backfilled.
     ///
     /// # Errors
     ///
@@ -347,10 +356,23 @@ impl IndexService {
         for basis in bases {
             Self::check_width(&app, basis)?;
         }
-        Ok(bases
-            .iter()
-            .map(|basis| app.memo.price(&app.kernel, basis))
-            .collect())
+        let mut out = vec![0u64; bases.len()];
+        let mut pending: Vec<usize> = Vec::new();
+        for (i, basis) in bases.iter().enumerate() {
+            match app.memo.probe(basis) {
+                Some(cost) => out[i] = cost,
+                None => pending.push(i),
+            }
+        }
+        if !pending.is_empty() {
+            let refs: Vec<&PackedBasis> = pending.iter().map(|&i| &bases[i]).collect();
+            let costs = app.kernel.cost_batch(&refs);
+            for (&i, cost) in pending.iter().zip(costs) {
+                app.memo.insert(&bases[i], cost);
+                out[i] = cost;
+            }
+        }
+        Ok(out)
     }
 
     /// Runs a full search for the application's configured class, sharing
