@@ -31,8 +31,8 @@ use gf2::{PackedBasis, Subspace, SLICED_LANES};
 
 use crate::search::{Neighborhood, PackedNeighborhood};
 use crate::{
-    BatchStrategy, ConflictProfile, DenseProfile, EstimationStrategy, FrozenKernel,
-    NeighborhoodRoute, ShardedMemo,
+    BatchStrategy, BoundedCost, ConflictProfile, DenseProfile, EstimationStrategy, FrozenKernel,
+    NeighborhoodRoute, ScaffoldCache, ShardedMemo,
 };
 
 /// Minimum number of fresh candidates before a batch is split across threads
@@ -61,6 +61,15 @@ pub struct EngineStats {
     /// Transposed 64-lane blocks priced by one histogram scan each (generic
     /// sliced blocks and neighbourhood coset blocks alike).
     pub sliced_blocks: u64,
+    /// Coset scaffoldings (frame + grouped histogram) answered from this
+    /// engine's [`ScaffoldCache`].
+    pub scaffold_hits: u64,
+    /// Coset scaffoldings built from the dense profile.
+    pub scaffold_misses: u64,
+    /// Lanes abandoned by bounded pricing because their running sum saturated
+    /// the incumbent bound (reported as [`BoundedCost::AtLeast`], never
+    /// memoized, not counted as evaluations).
+    pub bounded_abandons: u64,
 }
 
 /// Batch evaluator of Eq. 4 (`misses(H) = Σ_{v ∈ N(H)} misses(v)`) over a
@@ -98,6 +107,7 @@ pub struct EvalEngine<'a> {
     profile: &'a ConflictProfile,
     kernel: Arc<FrozenKernel>,
     memo: ShardedMemo,
+    scaffold: ScaffoldCache,
     threads: usize,
     stats: EngineStats,
 }
@@ -139,6 +149,7 @@ impl<'a> EvalEngine<'a> {
             profile,
             kernel,
             memo,
+            scaffold: ScaffoldCache::new(),
             threads: std::thread::available_parallelism()
                 .map(std::num::NonZeroUsize::get)
                 .unwrap_or(1),
@@ -179,6 +190,17 @@ impl<'a> EvalEngine<'a> {
         self
     }
 
+    /// Replaces the coset scaffolding cache with the given handle — the
+    /// sharing entry point: engines (and a serving layer) holding clones of
+    /// one cache pool their per-parent frames and grouped histograms. Also
+    /// the way to resize it: pass
+    /// [`ScaffoldCache::with_capacity`]`(n)`.
+    #[must_use]
+    pub fn with_scaffold_cache(mut self, cache: ScaffoldCache) -> Self {
+        self.scaffold = cache;
+        self
+    }
+
     /// The profile this engine evaluates against.
     #[must_use]
     pub fn profile(&self) -> &ConflictProfile {
@@ -198,6 +220,12 @@ impl<'a> EvalEngine<'a> {
         &self.memo
     }
 
+    /// The coset scaffolding cache handle. Clones share this engine's table.
+    #[must_use]
+    pub fn scaffold_cache(&self) -> &ScaffoldCache {
+        &self.scaffold
+    }
+
     /// The frozen dense view of the histogram.
     #[must_use]
     pub fn dense(&self) -> &DenseProfile {
@@ -211,10 +239,12 @@ impl<'a> EvalEngine<'a> {
         self.stats
     }
 
-    /// Clears the memo table and counters, keeping the frozen kernel. The
-    /// memo clear affects every handle sharing the table.
+    /// Clears the memo table, the scaffolding cache and the counters, keeping
+    /// the frozen kernel. The memo and scaffold clears affect every handle
+    /// sharing those tables.
     pub fn reset(&mut self) {
         self.memo.clear();
+        self.scaffold.clear();
         self.stats = EngineStats::default();
     }
 
@@ -409,10 +439,11 @@ impl<'a> EvalEngine<'a> {
         if pending.is_empty() {
             return out;
         }
-        // One call prices every pending lane: the kernel groups the histogram
-        // by parent remainder once and each 64-lane block then touches only
-        // the entries its cosets select — cheap enough that chunk-level
-        // parallelism would cost more in spawns than it saves.
+        // The scaffolding — hyperplane functionals and the remainder-grouped
+        // histogram — is cached per parent and shared read-only, so the
+        // 64-lane blocks are independent units of work: each touches only the
+        // entries its cosets select, and chunks stamp on scoped threads.
+        let scaffold = self.cached_scaffold(&parent, &neighborhood.hyperplanes);
         let lanes: Vec<(usize, u64)> = pending
             .iter()
             .map(|&i| {
@@ -420,16 +451,162 @@ impl<'a> EvalEngine<'a> {
                 (candidate.hyperplane, candidate.direction)
             })
             .collect();
-        let costs =
-            self.kernel
-                .cost_neighborhood_sliced(&parent, &neighborhood.hyperplanes, &lanes);
+        let chunks: Vec<&[(usize, u64)]> = lanes.chunks(SLICED_LANES).collect();
+        let frame = &*scaffold.frame;
+        let histogram = &*scaffold.histogram;
+        let blocks = Self::map_parallel(&chunks, self.threads, &mut self.stats, |chunk| {
+            frame.block(chunk).sum_weights(histogram)
+        });
         self.stats.evaluations += pending.len() as u64;
-        self.stats.sliced_blocks += pending.len().div_ceil(SLICED_LANES) as u64;
-        for (&i, cost) in pending.iter().zip(costs) {
+        self.stats.sliced_blocks += chunks.len() as u64;
+        for (&i, cost) in pending.iter().zip(blocks.into_iter().flatten()) {
             out[i] = cost;
             self.memo.insert(&neighborhood.candidates[i].basis, cost);
         }
         out
+    }
+
+    /// Checks the coset scaffolding for `parent` out of the cache (building
+    /// it on a miss) and folds the outcome into this engine's counters.
+    fn cached_scaffold(
+        &mut self,
+        parent: &PackedBasis,
+        hyperplanes: &[PackedBasis],
+    ) -> crate::scaffold::Scaffold {
+        let scaffold = self.scaffold.scaffold(&self.kernel, parent, hyperplanes);
+        if scaffold.cached {
+            self.stats.scaffold_hits += 1;
+        } else {
+            self.stats.scaffold_misses += 1;
+        }
+        scaffold
+    }
+
+    /// [`EvalEngine::estimate_neighborhood`] under an incumbent bound — the
+    /// form a best-improvement search step wants: per lane, either the exact
+    /// cost (memo hit, or priced below the bound) or
+    /// [`BoundedCost::AtLeast`]`(bound)` for a lane whose running sum
+    /// saturated the incumbent and was abandoned mid-scan.
+    ///
+    /// Exact lanes are bit-identical to the unbounded path and are backfilled
+    /// into the memo; abandoned lanes are never memoized, so memoization
+    /// stays bit-correct. Only the coset-sliced route can abandon lanes; the
+    /// delta and per-candidate routes price exactly and wrap the results in
+    /// [`BoundedCost::Exact`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a candidate's ambient width differs from the profile's
+    /// hashed width.
+    pub fn estimate_neighborhood_bounded(
+        &mut self,
+        neighborhood: &PackedNeighborhood,
+        bound: u64,
+    ) -> Vec<BoundedCost> {
+        if neighborhood.candidates.is_empty() {
+            return Vec::new();
+        }
+        let dim = neighborhood.candidates[0].basis.dim();
+        match self
+            .kernel
+            .neighborhood_route(dim, neighborhood.candidates.len())
+        {
+            NeighborhoodRoute::SlicedCosets => {
+                self.estimate_neighborhood_cosets_bounded(neighborhood, bound)
+            }
+            NeighborhoodRoute::HyperplaneDelta | NeighborhoodRoute::PerCandidate => self
+                .estimate_neighborhood(neighborhood)
+                .into_iter()
+                .map(BoundedCost::Exact)
+                .collect(),
+        }
+    }
+
+    /// The bounded coset route: identical memo probing and block chunking to
+    /// [`EvalEngine::estimate_neighborhood_cosets`], but each block scans
+    /// under the bound and abandons once every live lane has saturated.
+    fn estimate_neighborhood_cosets_bounded(
+        &mut self,
+        neighborhood: &PackedNeighborhood,
+        bound: u64,
+    ) -> Vec<BoundedCost> {
+        let Some(parent) = neighborhood.parent_span() else {
+            return Vec::new();
+        };
+        let mut out = vec![BoundedCost::AtLeast(bound); neighborhood.candidates.len()];
+        let mut pending: Vec<usize> = Vec::new();
+        for (i, candidate) in neighborhood.candidates.iter().enumerate() {
+            self.kernel.check_width(&candidate.basis);
+            if let Some(cost) = self.memo.probe(&candidate.basis) {
+                // A memo hit is exact whatever the bound.
+                self.stats.memo_hits += 1;
+                out[i] = BoundedCost::Exact(cost);
+            } else {
+                pending.push(i);
+            }
+        }
+        if pending.is_empty() {
+            return out;
+        }
+        let scaffold = self.cached_scaffold(&parent, &neighborhood.hyperplanes);
+        let lanes: Vec<(usize, u64)> = pending
+            .iter()
+            .map(|&i| {
+                let candidate = &neighborhood.candidates[i];
+                (candidate.hyperplane, candidate.direction)
+            })
+            .collect();
+        let chunks: Vec<&[(usize, u64)]> = lanes.chunks(SLICED_LANES).collect();
+        let frame = &*scaffold.frame;
+        let histogram = &*scaffold.histogram;
+        let blocks = Self::map_parallel(&chunks, self.threads, &mut self.stats, |chunk| {
+            frame.block(chunk).sum_weights_bounded(histogram, bound)
+        });
+        self.stats.sliced_blocks += chunks.len() as u64;
+        let mut offset = 0usize;
+        for (sums, saturated) in blocks {
+            for (j, sum) in sums.into_iter().enumerate() {
+                let i = pending[offset + j];
+                if saturated & (1u64 << j) == 0 {
+                    self.stats.evaluations += 1;
+                    out[i] = BoundedCost::Exact(sum);
+                    self.memo.insert(&neighborhood.candidates[i].basis, sum);
+                } else {
+                    self.stats.bounded_abandons += 1;
+                    out[i] = BoundedCost::AtLeast(bound);
+                }
+            }
+            offset += SLICED_LANES;
+        }
+        out
+    }
+
+    /// [`EvalEngine::estimate_packed`] under an incumbent bound: a memo hit
+    /// answers exactly whatever the bound; a fresh evaluation scans under the
+    /// bound and abandons with [`BoundedCost::AtLeast`] once the running sum
+    /// saturates it. Only exact results are memoized.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the basis's ambient width differs from the profile's hashed
+    /// width.
+    pub fn estimate_packed_bounded(&mut self, basis: &PackedBasis, bound: u64) -> BoundedCost {
+        self.kernel.check_width(basis);
+        if let Some(cost) = self.memo.probe(basis) {
+            self.stats.memo_hits += 1;
+            return BoundedCost::Exact(cost);
+        }
+        match self.kernel.cost_bounded(basis, bound) {
+            BoundedCost::Exact(cost) => {
+                self.stats.evaluations += 1;
+                self.memo.insert(basis, cost);
+                BoundedCost::Exact(cost)
+            }
+            abandoned => {
+                self.stats.bounded_abandons += 1;
+                abandoned
+            }
+        }
     }
 
     /// The hyperplane-delta neighbourhood path: partial sums per retained
@@ -816,6 +993,159 @@ mod tests {
         assert_eq!(engine.estimate_neighborhood(&nbhd), first);
         assert_eq!(engine.stats().evaluations, lanes);
         assert_eq!(engine.stats().memo_hits, lanes);
+    }
+
+    #[test]
+    fn threaded_sliced_coset_route_is_bit_identical_and_actually_splits() {
+        let profile = mixed_profile();
+        let pool = NeighborPool::UnitsAndPairs.packed_vectors(12, &profile);
+        let parent = gf2::PackedBasis::standard_span(12, 6..12);
+        let nbhd = crate::search::PackedNeighborhood::generate(
+            &parent,
+            FunctionClass::xor_unlimited(),
+            &pool,
+        );
+        // Enough candidates that the sliced route has ≥ PARALLEL_THRESHOLD
+        // 64-lane chunks to split across workers.
+        assert!(nbhd.candidates.len() >= PARALLEL_THRESHOLD * gf2::SLICED_LANES);
+        let mut sequential = EvalEngine::new(&profile)
+            .with_strategy(EstimationStrategy::ScanHistogram)
+            .with_threads(1);
+        let mut parallel = EvalEngine::new(&profile)
+            .with_strategy(EstimationStrategy::ScanHistogram)
+            .with_threads(4);
+        let reference = sequential.estimate_neighborhood(&nbhd);
+        assert_eq!(parallel.estimate_neighborhood(&nbhd), reference);
+        // The parallel engine really split the sliced route: it counted the
+        // same blocks but spawned at least one parallel batch, which the
+        // sequential engine never does.
+        let chunks = (nbhd.candidates.len() as u64).div_ceil(gf2::SLICED_LANES as u64);
+        assert_eq!(sequential.stats().sliced_blocks, chunks);
+        assert_eq!(parallel.stats().sliced_blocks, chunks);
+        assert_eq!(sequential.stats().parallel_batches, 0);
+        assert_eq!(parallel.stats().parallel_batches, 1);
+    }
+
+    #[test]
+    fn bounded_neighborhood_is_exact_below_and_at_least_above() {
+        let profile = mixed_profile();
+        let pool = NeighborPool::UnitsAndPairs.packed_vectors(12, &profile);
+        let parent = gf2::PackedBasis::standard_span(12, 6..12);
+        let nbhd = crate::search::PackedNeighborhood::generate(
+            &parent,
+            FunctionClass::xor_unlimited(),
+            &pool,
+        );
+        let mut exact_engine =
+            EvalEngine::new(&profile).with_strategy(EstimationStrategy::ScanHistogram);
+        let exact = exact_engine.estimate_neighborhood(&nbhd);
+        let lo = *exact.iter().min().unwrap();
+        let hi = *exact.iter().max().unwrap();
+        for bound in [lo, lo + (hi - lo) / 2, hi + 1] {
+            let mut engine =
+                EvalEngine::new(&profile).with_strategy(EstimationStrategy::ScanHistogram);
+            let bounded = engine.estimate_neighborhood_bounded(&nbhd, bound);
+            let mut abandons = 0u64;
+            for (lane, (&true_cost, &got)) in exact.iter().zip(&bounded).enumerate() {
+                match got {
+                    BoundedCost::Exact(cost) => {
+                        assert_eq!(cost, true_cost, "bound={bound} lane={lane}")
+                    }
+                    BoundedCost::AtLeast(b) => {
+                        assert_eq!(b, bound);
+                        assert!(true_cost >= bound, "bound={bound} lane={lane}");
+                        abandons += 1;
+                    }
+                }
+            }
+            assert_eq!(engine.stats().bounded_abandons, abandons);
+            assert_eq!(
+                engine.stats().evaluations,
+                exact.len() as u64 - abandons,
+                "only exact lanes count as evaluations"
+            );
+            // Only exact lanes were memoized; a second bounded pass answers
+            // them from the memo and re-abandons the rest.
+            let again = engine.estimate_neighborhood_bounded(&nbhd, bound);
+            assert_eq!(again, bounded);
+            assert_eq!(engine.stats().memo_hits, exact.len() as u64 - abandons);
+        }
+    }
+
+    #[test]
+    fn bounded_single_candidate_pricing_memoizes_only_exact_results() {
+        let profile = mixed_profile();
+        let mut engine = EvalEngine::new(&profile);
+        let ns = HashFunction::conventional(12, 6)
+            .unwrap()
+            .null_space()
+            .to_packed();
+        let exact = engine.estimate_packed_fresh(&ns);
+        // Below the bound: exact, memoized.
+        assert_eq!(
+            engine.estimate_packed_bounded(&ns, exact + 1),
+            BoundedCost::Exact(exact)
+        );
+        assert_eq!(engine.stats().evaluations, 1);
+        // A memo hit answers exactly even under a tighter bound.
+        assert_eq!(
+            engine.estimate_packed_bounded(&ns, exact),
+            BoundedCost::Exact(exact)
+        );
+        assert_eq!(engine.stats().memo_hits, 1);
+        // A fresh candidate under a saturating bound abandons and stays
+        // unmemoized.
+        let other = HashFunction::conventional(12, 5)
+            .unwrap()
+            .null_space()
+            .to_packed();
+        let other_exact = engine.estimate_packed_fresh(&other);
+        if other_exact > 0 {
+            assert_eq!(
+                engine.estimate_packed_bounded(&other, other_exact),
+                BoundedCost::AtLeast(other_exact)
+            );
+            assert_eq!(engine.stats().bounded_abandons, 1);
+            assert!(engine.memo().probe(&other).is_none());
+        }
+    }
+
+    #[test]
+    fn scaffold_cache_hits_across_neighborhood_revisits() {
+        let profile = mixed_profile();
+        let pool = NeighborPool::UnitsAndPairs.packed_vectors(12, &profile);
+        let parent = gf2::PackedBasis::standard_span(12, 6..12);
+        let nbhd = crate::search::PackedNeighborhood::generate(
+            &parent,
+            FunctionClass::xor_unlimited(),
+            &pool,
+        );
+        let mut engine = EvalEngine::new(&profile)
+            .with_strategy(EstimationStrategy::ScanHistogram)
+            .with_memo_capacity(1);
+        // With the memo effectively disabled, each pass re-prices the lanes —
+        // but the scaffolding is built once and reused.
+        let first = engine.estimate_neighborhood(&nbhd);
+        assert_eq!(engine.estimate_neighborhood(&nbhd), first);
+        assert_eq!(engine.stats().scaffold_misses, 1);
+        assert!(engine.stats().scaffold_hits >= 1);
+        let cache_stats = engine.scaffold_cache().stats();
+        assert_eq!(cache_stats.misses, 1);
+        assert_eq!(cache_stats.entries, 1);
+        // Engines sharing the cache handle pool scaffolding.
+        let mut shared = EvalEngine::from_parts(
+            &profile,
+            Arc::clone(engine.kernel()),
+            ShardedMemo::with_capacity(1),
+        )
+        .with_strategy(EstimationStrategy::ScanHistogram)
+        .with_scaffold_cache(engine.scaffold_cache().clone());
+        assert_eq!(shared.estimate_neighborhood(&nbhd), first);
+        assert_eq!(shared.stats().scaffold_misses, 0);
+        assert_eq!(shared.stats().scaffold_hits, 1);
+        // Reset clears the shared table.
+        engine.reset();
+        assert_eq!(engine.scaffold_cache().stats().entries, 0);
     }
 
     #[test]

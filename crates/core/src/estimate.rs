@@ -91,6 +91,43 @@ pub enum NeighborhoodRoute {
     PerCandidate,
 }
 
+/// An Eq. 4 price under an incumbent bound: either the exact miss count, or
+/// the verdict that the candidate costs at least the bound — all a
+/// best-improvement search ever needs from a lane it will discard.
+///
+/// Produced by the bounded pricing surfaces
+/// ([`FrozenKernel::cost_neighborhood_bounded`](crate::FrozenKernel::cost_neighborhood_bounded),
+/// [`EvalEngine::estimate_neighborhood_bounded`](crate::EvalEngine::estimate_neighborhood_bounded)):
+/// a lane whose running histogram sum saturates the bound is abandoned early
+/// instead of being priced to completion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BoundedCost {
+    /// The exact Eq. 4 miss count — bit-identical to the unbounded path.
+    Exact(u64),
+    /// The candidate's true cost is `≥` the carried bound; the exact value
+    /// was not computed.
+    AtLeast(u64),
+}
+
+impl BoundedCost {
+    /// The exact cost, when one was computed.
+    #[must_use]
+    pub fn exact(self) -> Option<u64> {
+        match self {
+            BoundedCost::Exact(cost) => Some(cost),
+            BoundedCost::AtLeast(_) => None,
+        }
+    }
+
+    /// A lower bound on the true cost, whichever variant this is.
+    #[must_use]
+    pub fn lower_bound(self) -> u64 {
+        match self {
+            BoundedCost::Exact(cost) | BoundedCost::AtLeast(cost) => cost,
+        }
+    }
+}
+
 /// Cost-model weight of one dense-table point lookup relative to one `u64`
 /// ALU operation, used when comparing a `2^dim`-lookup enumeration against
 /// the bit-sliced scan's word arithmetic. Calibrated on the susan@4KB

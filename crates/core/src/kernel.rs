@@ -26,8 +26,8 @@ use gf2::{CosetFrame, CosetHistogram, PackedBasis, SlicedBlock, SLICED_LANES};
 
 use crate::estimate::{resolve_batch_strategy, resolve_neighborhood_route, resolve_strategy};
 use crate::{
-    BatchStrategy, ConflictProfile, DenseProfile, EstimationStrategy, NeighborhoodRoute,
-    XorIndexError,
+    BatchStrategy, BoundedCost, ConflictProfile, DenseProfile, EstimationStrategy,
+    NeighborhoodRoute, XorIndexError,
 };
 
 /// The immutable Eq. 4 pricing core: a frozen [`DenseProfile`] plus the
@@ -313,13 +313,112 @@ impl FrozenKernel {
         if lanes.is_empty() {
             return Vec::new();
         }
-        let frame = CosetFrame::new(parent, hyperplanes);
-        let histogram = CosetHistogram::new(parent, self.dense.iter());
+        let (frame, histogram) = self.neighborhood_scaffold(parent, hyperplanes);
         let mut out = Vec::with_capacity(lanes.len());
         for chunk in lanes.chunks(SLICED_LANES) {
             out.extend(frame.block(chunk).sum_weights(&histogram));
         }
         out
+    }
+
+    /// Builds the per-neighbourhood scaffolding the coset-sliced paths share:
+    /// the [`CosetFrame`] of hyperplane functionals and the [`CosetHistogram`]
+    /// grouping of the whole dense profile by parent remainder.
+    ///
+    /// [`FrozenKernel::cost_neighborhood_sliced`] builds this internally per
+    /// call; orchestrating callers (the engine's scaffold cache, parallel
+    /// block stamping) build it once here and then stamp and sum blocks
+    /// themselves via [`CosetFrame::block`] and
+    /// [`gf2::SlicedCosetBlock::sum_weights`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parent's ambient width differs from the profile's hashed
+    /// width, or if a hyperplane is not a hyperplane of the parent.
+    #[must_use]
+    pub fn neighborhood_scaffold(
+        &self,
+        parent: &PackedBasis,
+        hyperplanes: &[PackedBasis],
+    ) -> (CosetFrame, CosetHistogram) {
+        self.check_width(parent);
+        (
+            CosetFrame::new(parent, hyperplanes),
+            CosetHistogram::new(parent, self.dense.iter()),
+        )
+    }
+
+    /// [`FrozenKernel::cost_neighborhood_sliced`] under an incumbent bound:
+    /// lanes whose running sum saturates `bound` are abandoned
+    /// ([`BoundedCost::AtLeast`]) and whole blocks stop scanning once every
+    /// lane has saturated. Lanes with true cost below the bound are priced
+    /// exactly, bit-identical to the unbounded path.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`FrozenKernel::cost_neighborhood_sliced`].
+    #[must_use]
+    pub fn cost_neighborhood_bounded(
+        &self,
+        parent: &PackedBasis,
+        hyperplanes: &[PackedBasis],
+        lanes: &[(usize, u64)],
+        bound: u64,
+    ) -> Vec<BoundedCost> {
+        self.check_width(parent);
+        if lanes.is_empty() {
+            return Vec::new();
+        }
+        let (frame, histogram) = self.neighborhood_scaffold(parent, hyperplanes);
+        let mut out = Vec::with_capacity(lanes.len());
+        for chunk in lanes.chunks(SLICED_LANES) {
+            let (sums, saturated) = frame.block(chunk).sum_weights_bounded(&histogram, bound);
+            out.extend(sums.iter().enumerate().map(|(j, &sum)| {
+                if saturated & (1u64 << j) == 0 {
+                    BoundedCost::Exact(sum)
+                } else {
+                    BoundedCost::AtLeast(bound)
+                }
+            }));
+        }
+        out
+    }
+
+    /// [`FrozenKernel::cost`] under an incumbent bound: the scan abandons as
+    /// soon as the running sum saturates `bound`, returning
+    /// [`BoundedCost::AtLeast`] instead of the exact count. A candidate whose
+    /// true cost is below the bound is priced exactly (the running sum is
+    /// monotone, so it never saturates early).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the basis's ambient width differs from the profile's hashed
+    /// width.
+    #[must_use]
+    pub fn cost_bounded(&self, basis: &PackedBasis, bound: u64) -> BoundedCost {
+        self.check_width(basis);
+        let mut sum = 0u64;
+        let saturated =
+            match resolve_strategy(self.strategy, basis.dim(), self.dense.distinct_vectors()) {
+                EstimationStrategy::EnumerateNullSpace => basis.vectors().any(|v| {
+                    sum += self.dense.misses_of(v);
+                    sum >= bound
+                }),
+                EstimationStrategy::ScanHistogram => self
+                    .dense
+                    .iter()
+                    .filter(|&(v, _)| basis.contains(v))
+                    .any(|(_, w)| {
+                        sum += w;
+                        sum >= bound
+                    }),
+                EstimationStrategy::Auto => unreachable!("Auto resolved above"),
+            };
+        if saturated {
+            BoundedCost::AtLeast(bound)
+        } else {
+            BoundedCost::Exact(sum)
+        }
     }
 
     /// `true` when the hyperplane-delta decomposition pays off for candidates
@@ -554,6 +653,106 @@ mod tests {
                 .cost_neighborhood_sliced(&parent, &hyperplanes, &[])
                 .is_empty());
         }
+    }
+
+    #[test]
+    fn bounded_neighborhood_is_exact_below_the_bound_and_at_least_above() {
+        let profile = mixed_profile();
+        let kernel = FrozenKernel::new(&profile);
+        let parent = PackedBasis::standard_span(12, 6..12);
+        let hyperplanes: Vec<PackedBasis> = parent.hyperplanes().collect();
+        let mut lanes: Vec<(usize, u64)> = Vec::new();
+        'outer: for (h, hyperplane) in hyperplanes.iter().enumerate() {
+            for v in 1..(1u64 << 12) {
+                if !hyperplane.contains(v) {
+                    lanes.push((h, v));
+                }
+                if lanes.len() == 150 {
+                    break 'outer;
+                }
+            }
+        }
+        let exact = kernel.cost_neighborhood_sliced(&parent, &hyperplanes, &lanes);
+        let lo = *exact.iter().min().unwrap();
+        let hi = *exact.iter().max().unwrap();
+        for bound in [0, lo, lo + (hi - lo) / 2, hi + 1] {
+            let bounded = kernel.cost_neighborhood_bounded(&parent, &hyperplanes, &lanes, bound);
+            assert_eq!(bounded.len(), exact.len());
+            for (lane, (&true_cost, &got)) in exact.iter().zip(&bounded).enumerate() {
+                match got {
+                    BoundedCost::Exact(cost) => {
+                        assert_eq!(cost, true_cost, "bound={bound} lane={lane}")
+                    }
+                    BoundedCost::AtLeast(b) => {
+                        assert_eq!(b, bound);
+                        assert!(true_cost >= bound, "bound={bound} lane={lane}");
+                    }
+                }
+            }
+        }
+        // Above every cost the bounded path is the exact path, lane for lane.
+        let bounded = kernel.cost_neighborhood_bounded(&parent, &hyperplanes, &lanes, hi + 1);
+        let unwrapped: Vec<u64> = bounded.iter().map(|c| c.exact().unwrap()).collect();
+        assert_eq!(unwrapped, exact);
+        assert!(kernel
+            .cost_neighborhood_bounded(&parent, &hyperplanes, &[], 10)
+            .is_empty());
+    }
+
+    #[test]
+    fn bounded_scalar_cost_matches_under_every_strategy() {
+        let profile = mixed_profile();
+        for strategy in [
+            EstimationStrategy::Auto,
+            EstimationStrategy::EnumerateNullSpace,
+            EstimationStrategy::ScanHistogram,
+        ] {
+            let kernel = FrozenKernel::new(&profile).with_strategy(strategy);
+            for m in 2..=8 {
+                let ns = PackedBasis::standard_span(12, m..12);
+                let exact = kernel.cost(&ns);
+                assert_eq!(
+                    kernel.cost_bounded(&ns, exact + 1),
+                    BoundedCost::Exact(exact),
+                    "{strategy:?} m={m}"
+                );
+                assert_eq!(kernel.cost_bounded(&ns, exact + 1).lower_bound(), exact);
+                if exact > 0 {
+                    assert_eq!(
+                        kernel.cost_bounded(&ns, exact),
+                        BoundedCost::AtLeast(exact),
+                        "{strategy:?} m={m}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn neighborhood_scaffold_prices_like_the_one_shot_path() {
+        let profile = mixed_profile();
+        let kernel = FrozenKernel::new(&profile);
+        let parent = PackedBasis::standard_span(12, 6..12);
+        let hyperplanes: Vec<PackedBasis> = parent.hyperplanes().collect();
+        let lanes: Vec<(usize, u64)> = hyperplanes
+            .iter()
+            .enumerate()
+            .map(|(h, hyperplane)| {
+                let d = (1..(1u64 << 12))
+                    .find(|&v| !hyperplane.contains(v))
+                    .unwrap();
+                (h, d)
+            })
+            .collect();
+        let (frame, histogram) = kernel.neighborhood_scaffold(&parent, &hyperplanes);
+        let via_scaffold: Vec<u64> = lanes
+            .chunks(SLICED_LANES)
+            .flat_map(|chunk| frame.block(chunk).sum_weights(&histogram))
+            .collect();
+        assert_eq!(
+            via_scaffold,
+            kernel.cost_neighborhood_sliced(&parent, &hyperplanes, &lanes)
+        );
     }
 
     #[test]

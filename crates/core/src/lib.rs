@@ -72,6 +72,7 @@ mod memo;
 mod optimizer;
 mod profile;
 mod report;
+mod scaffold;
 
 pub mod hardware;
 pub mod search;
@@ -79,7 +80,9 @@ pub mod search;
 pub use dense::{DenseProfile, FLAT_LOOKUP_MAX_BITS, TAIL_CAP_MAX_BITS};
 pub use engine::{EngineStats, EvalEngine};
 pub use error::XorIndexError;
-pub use estimate::{BatchStrategy, EstimationStrategy, MissEstimator, NeighborhoodRoute};
+pub use estimate::{
+    BatchStrategy, BoundedCost, EstimationStrategy, MissEstimator, NeighborhoodRoute,
+};
 pub use function_class::FunctionClass;
 pub use hashfn::HashFunction;
 pub use kernel::FrozenKernel;
@@ -87,6 +90,7 @@ pub use memo::{MemoShardStats, MemoStats, ShardedMemo, DEFAULT_MEMO_SHARDS};
 pub use optimizer::{OptimizationOutcome, Optimizer, OptimizerBuilder};
 pub use profile::{ConflictProfile, ProfileSummary};
 pub use report::{EvaluationReport, ReportRow};
+pub use scaffold::{Scaffold, ScaffoldCache, ScaffoldStats, DEFAULT_SCAFFOLD_CAPACITY};
 pub use search::{SearchAlgorithm, SearchOutcome};
 
 #[cfg(test)]
@@ -103,5 +107,7 @@ mod lib_tests {
         assert_send_sync::<XorIndexError>();
         assert_send_sync::<FrozenKernel>();
         assert_send_sync::<ShardedMemo>();
+        assert_send_sync::<ScaffoldCache>();
+        assert_send_sync::<BoundedCost>();
     }
 }

@@ -10,7 +10,7 @@ use rand::{Rng, SeedableRng};
 
 use crate::search::neighbors::PackedNeighborhood;
 use crate::search::{SearchOutcome, Searcher};
-use crate::{HashFunction, XorIndexError};
+use crate::{BoundedCost, HashFunction, XorIndexError};
 
 impl Searcher<'_> {
     /// Simulated annealing from the conventional function.
@@ -64,7 +64,22 @@ impl Searcher<'_> {
             let candidate = &nbhd.candidates[pick].basis;
             // Memoized: revisiting a proposal from an earlier iteration (or
             // the reverse of an accepted move) costs a table lookup.
-            let cost = engine.estimate_packed(candidate);
+            let cost = if self.bounded() {
+                // Any proposal pricier than `current + ⌈800·T⌉` is rejected
+                // with probability exactly 0: Δ/T ≥ 800 drives exp(−Δ/T) to
+                // 0.0 in f64 (it underflows below ~exp(−745)), and the true
+                // cost of an abandoned lane is at least the bound, so its
+                // acceptance probability is 0.0 too. Substituting the lower
+                // bound therefore makes the same decision and consumes the
+                // same single RNG draw as pricing the proposal exactly.
+                let bound = current_cost.saturating_add((800.0 * temperature).ceil() as u64);
+                match engine.estimate_packed_bounded(candidate, bound) {
+                    BoundedCost::Exact(cost) => cost,
+                    BoundedCost::AtLeast(bound) => bound,
+                }
+            } else {
+                engine.estimate_packed(candidate)
+            };
             let delta = cost as f64 - current_cost as f64;
             let accept = delta <= 0.0 || rng.random::<f64>() < (-delta / temperature).exp();
             if accept {
@@ -143,6 +158,29 @@ mod tests {
         let b = run(1);
         assert_eq!(a.function, b.function);
         assert_eq!(a.estimated_misses, b.estimated_misses);
+    }
+
+    #[test]
+    fn bounded_annealing_reproduces_the_unbounded_trajectory() {
+        let p = profile();
+        for seed in [0u64, 7, 42] {
+            let run = |bounded: bool| {
+                Searcher::new(&p, FunctionClass::xor_unlimited(), 6)
+                    .unwrap()
+                    .with_bounded_pricing(bounded)
+                    .run(SearchAlgorithm::Annealing {
+                        iterations: 80,
+                        initial_temperature: 30.0,
+                        seed,
+                    })
+                    .unwrap()
+            };
+            let bounded = run(true);
+            let unbounded = run(false);
+            assert_eq!(bounded.function, unbounded.function, "seed {seed}");
+            assert_eq!(bounded.estimated_misses, unbounded.estimated_misses);
+            assert_eq!(bounded.steps, unbounded.steps, "seed {seed}");
+        }
     }
 
     #[test]

@@ -71,22 +71,43 @@ impl Searcher<'_> {
             // Evaluate the whole neighbourhood in one engine batch, cheapest
             // check first: the engine prices every candidate, the (more
             // expensive) fan-in admissibility check runs only on candidates
-            // that would be taken.
+            // that would be taken. With bounded pricing the incumbent is
+            // passed down so the engine can abandon any lane whose running
+            // sum saturates `best_cost` — such a lane's true cost is at
+            // least the incumbent, so it could never be moved to anyway.
             let nbhd = PackedNeighborhood::generate(&current, class, &pool);
-            let costs = engine.estimate_neighborhood(&nbhd);
-            let mut order: Vec<usize> = (0..nbhd.candidates.len()).collect();
-            order.sort_by_key(|&i| costs[i]);
+            let mut below: Vec<(u64, usize)> = Vec::new();
+            if self.bounded() {
+                for (i, cost) in engine
+                    .estimate_neighborhood_bounded(&nbhd, best_cost)
+                    .into_iter()
+                    .enumerate()
+                {
+                    if let Some(exact) = cost.exact() {
+                        if exact < best_cost {
+                            below.push((exact, i));
+                        }
+                    }
+                }
+            } else {
+                for (i, &cost) in engine.estimate_neighborhood(&nbhd).iter().enumerate() {
+                    if cost < best_cost {
+                        below.push((cost, i));
+                    }
+                }
+            }
+            // Sorting (cost, index) tuples reproduces the tie order of a
+            // stable sort on cost alone, so bounded and unbounded climbs
+            // visit candidates identically.
+            below.sort_unstable();
 
             let mut moved = false;
-            for i in order {
-                if costs[i] >= best_cost {
-                    break; // sorted: nothing better remains
-                }
+            for (cost, i) in below {
                 let basis = &nbhd.candidates[i].basis;
                 match HashFunction::from_null_space(&basis.to_subspace(), class) {
                     Ok(function) => {
                         current = basis.clone();
-                        best_cost = costs[i];
+                        best_cost = cost;
                         best_function = function;
                         steps += 1;
                         moved = true;
@@ -220,6 +241,32 @@ mod tests {
             .with_pool(NeighborPool::Units);
         let outcome = searcher.run(SearchAlgorithm::HillClimb).unwrap();
         assert!(outcome.estimated_misses < outcome.baseline_estimate);
+    }
+
+    #[test]
+    fn bounded_and_unbounded_climbs_take_the_same_path() {
+        let profile = multi_stride_profile();
+        for class in [
+            FunctionClass::bit_selecting(),
+            FunctionClass::permutation_based(2),
+            FunctionClass::xor_unlimited(),
+        ] {
+            let run = |bounded: bool| {
+                Searcher::new(&profile, class, 6)
+                    .unwrap()
+                    .with_bounded_pricing(bounded)
+                    .run(SearchAlgorithm::HillClimb)
+                    .unwrap()
+            };
+            let bounded = run(true);
+            let unbounded = run(false);
+            assert_eq!(bounded.function, unbounded.function);
+            assert_eq!(bounded.estimated_misses, unbounded.estimated_misses);
+            assert_eq!(bounded.baseline_estimate, unbounded.baseline_estimate);
+            assert_eq!(bounded.steps, unbounded.steps);
+            // Bounded pricing may abandon lanes; it must never evaluate more.
+            assert!(bounded.evaluations <= unbounded.evaluations);
+        }
     }
 
     #[test]

@@ -40,7 +40,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::{
     ConflictProfile, EstimationStrategy, EvalEngine, FrozenKernel, FunctionClass, HashFunction,
-    MissEstimator, ShardedMemo, XorIndexError,
+    MissEstimator, ScaffoldCache, ShardedMemo, XorIndexError,
 };
 
 pub use neighbors::{
@@ -135,6 +135,8 @@ pub struct Searcher<'a> {
     kernel: Option<Arc<FrozenKernel>>,
     memo: Option<ShardedMemo>,
     memo_capacity: Option<usize>,
+    scaffold: Option<ScaffoldCache>,
+    bounded: bool,
 }
 
 impl<'a> Searcher<'a> {
@@ -167,6 +169,8 @@ impl<'a> Searcher<'a> {
             kernel: None,
             memo: None,
             memo_capacity: None,
+            scaffold: None,
+            bounded: true,
         })
     }
 
@@ -227,6 +231,36 @@ impl<'a> Searcher<'a> {
         self
     }
 
+    /// Pools coset scaffolding (hyperplane frames and remainder-grouped
+    /// histograms) through an existing [`ScaffoldCache`] handle instead of a
+    /// fresh private cache — the sharing entry point for callers running many
+    /// searches against one application (the serving layer shares each
+    /// application's cache between its searches this way).
+    #[must_use]
+    pub fn with_scaffold_cache(mut self, cache: ScaffoldCache) -> Self {
+        self.scaffold = Some(cache);
+        self
+    }
+
+    /// Enables or disables incumbent-bounded neighbourhood pricing
+    /// (default: **on**). When on, the algorithms pass their incumbent cost
+    /// as a bound so the engine can abandon lanes that saturate it
+    /// mid-scan; search outcomes (function, estimate, steps) are identical
+    /// either way, but the bounded run performs fewer full evaluations, so
+    /// [`SearchOutcome::evaluations`] may differ. Turn it off to reproduce
+    /// historical evaluation counts exactly.
+    #[must_use]
+    pub fn with_bounded_pricing(mut self, bounded: bool) -> Self {
+        self.bounded = bounded;
+        self
+    }
+
+    /// Whether incumbent-bounded neighbourhood pricing is enabled.
+    #[must_use]
+    pub(crate) fn bounded(&self) -> bool {
+        self.bounded
+    }
+
     /// The function class being searched.
     #[must_use]
     pub fn class(&self) -> FunctionClass {
@@ -285,6 +319,9 @@ impl<'a> Searcher<'a> {
         let mut engine = EvalEngine::from_parts(self.profile, kernel, memo);
         if let Some(threads) = self.threads {
             engine = engine.with_threads(threads);
+        }
+        if let Some(cache) = &self.scaffold {
+            engine = engine.with_scaffold_cache(cache.clone());
         }
         engine
     }

@@ -60,7 +60,11 @@ impl Searcher<'_> {
             for (sel, cost) in selections.into_iter().zip(costs) {
                 // Strictly-less keeps the lexicographically first tie, as the
                 // pre-engine sequential enumeration did.
-                if best.as_ref().is_none_or(|(best_cost, _)| cost < *best_cost) {
+                let improves = match &best {
+                    Some((best_cost, _)) => cost < *best_cost,
+                    None => true,
+                };
+                if improves {
                     best = Some((cost, sel));
                 }
             }

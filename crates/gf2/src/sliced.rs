@@ -201,6 +201,60 @@ impl SlicedBlock {
         self.member_mask_scratch(v, &mut scratch)
     }
 
+    /// Sums entry weights into every lane at once: lane `j` of the result is
+    /// `Σ w` over the entries `(v, w)` with `v` in lane `j`'s subspace —
+    /// Eq. 4 for the whole block in one sweep.
+    #[must_use]
+    pub fn sum_weights(&self, entries: impl IntoIterator<Item = (u64, u64)>) -> Vec<u64> {
+        let mut scratch = [0u64; SLICED_LANES];
+        let mut sums = vec![0u64; self.lanes];
+        for (v, w) in entries {
+            let mut mask = self.member_mask_scratch(v, &mut scratch);
+            while mask != 0 {
+                let lane = mask.trailing_zeros() as usize;
+                mask &= mask - 1;
+                sums[lane] += w;
+            }
+        }
+        sums
+    }
+
+    /// [`SlicedBlock::sum_weights`] with an incumbent bound: a lane whose
+    /// running sum reaches `bound` is *saturated* — it stops accumulating, and
+    /// once every lane is saturated the sweep abandons the remaining entries.
+    ///
+    /// Returns `(sums, saturated)` where bit `j` of `saturated` marks lane
+    /// `j` as saturated. An unsaturated lane's sum is its exact Eq. 4 cost
+    /// (running sums are monotone, so a lane with true cost `< bound` never
+    /// saturates); a saturated lane's true cost is `≥ bound`.
+    #[must_use]
+    pub fn sum_weights_bounded(
+        &self,
+        entries: impl IntoIterator<Item = (u64, u64)>,
+        bound: u64,
+    ) -> (Vec<u64>, u64) {
+        let mut scratch = [0u64; SLICED_LANES];
+        let mut sums = vec![0u64; self.lanes];
+        let mut saturated = if bound == 0 { self.lane_mask } else { 0 };
+        if saturated != self.lane_mask {
+            for (v, w) in entries {
+                let mut mask = self.member_mask_scratch(v, &mut scratch) & !saturated;
+                while mask != 0 {
+                    let lane = mask.trailing_zeros() as usize;
+                    mask &= mask - 1;
+                    sums[lane] += w;
+                    if sums[lane] >= bound {
+                        saturated |= 1u64 << lane;
+                    }
+                }
+                if saturated == self.lane_mask {
+                    break;
+                }
+            }
+        }
+        (sums, saturated)
+    }
+
     /// [`SlicedBlock::member_mask`] with a caller-owned scratch buffer, for
     /// hot loops testing many vectors against one block: only the block's
     /// `checks` planes of the scratch are touched per call, instead of
@@ -415,6 +469,67 @@ impl SlicedCosetBlock {
             }
         }
         sums
+    }
+
+    /// [`SlicedCosetBlock::sum_weights`] with an incumbent bound: a lane
+    /// whose running sum reaches `bound` is *saturated* — it stops
+    /// accumulating, and once every lane is saturated the scan abandons the
+    /// remaining entries (checked per entry in the in-parent pass and per
+    /// coset group).
+    ///
+    /// Returns `(sums, saturated)` where bit `j` of `saturated` marks lane
+    /// `j` as saturated. An unsaturated lane's sum is its exact Eq. 4 cost
+    /// (running sums are monotone, so a lane with true cost `< bound` never
+    /// saturates); a saturated lane's true cost is `≥ bound`.
+    #[must_use]
+    pub fn sum_weights_bounded(&self, histogram: &CosetHistogram, bound: u64) -> (Vec<u64>, u64) {
+        debug_assert_eq!(
+            self.rows, histogram.rows,
+            "histogram was grouped over a different parent"
+        );
+        let mut sums = vec![0u64; self.lanes];
+        let mut saturated = if bound == 0 { self.lane_mask } else { 0 };
+        let rho0 = self.coset_lane_mask(0);
+        if saturated != self.lane_mask {
+            for &(c, w) in &histogram.in_parent {
+                let parity = self.parity_word(c);
+                let mut mask = ((!parity & self.lane_mask)
+                    | (rho0 & !(parity ^ self.direction_parity)))
+                    & !saturated;
+                while mask != 0 {
+                    let lane = mask.trailing_zeros() as usize;
+                    mask &= mask - 1;
+                    sums[lane] += w;
+                    if sums[lane] >= bound {
+                        saturated |= 1u64 << lane;
+                    }
+                }
+                if saturated == self.lane_mask {
+                    return (sums, saturated);
+                }
+            }
+        }
+        for &(rho, rho_lanes) in &self.cosets {
+            if rho == 0 || rho_lanes & !saturated == 0 {
+                continue;
+            }
+            for &(c, w) in histogram.coset_group(rho) {
+                let mut mask =
+                    rho_lanes & !(self.parity_word(c) ^ self.direction_parity) & !saturated;
+                while mask != 0 {
+                    let lane = mask.trailing_zeros() as usize;
+                    mask &= mask - 1;
+                    sums[lane] += w;
+                    if sums[lane] >= bound {
+                        saturated |= 1u64 << lane;
+                    }
+                }
+                if saturated == self.lane_mask {
+                    return (sums, saturated);
+                }
+            }
+        }
+        (sums, saturated)
     }
 
     /// XOR of the `alpha` planes selected by the set bits of a coordinate
@@ -974,6 +1089,87 @@ mod tests {
                 }
             }
             assert_eq!(block.sum_weights(&histogram), expect, "dim={dim}");
+        }
+    }
+
+    #[test]
+    fn bounded_sum_weights_is_exact_below_the_bound_and_saturated_above() {
+        let mut rng = StdRng::seed_from_u64(0xB0D);
+        let width = 10;
+        for dim in 2..=5 {
+            let parent = random::random_subspace(&mut rng, width, dim).to_packed();
+            let hyperplanes: Vec<PackedBasis> = parent.hyperplanes().collect();
+            let lanes: Vec<(usize, u64)> = (0..hyperplanes.len())
+                .flat_map(|h| {
+                    let hyperplane = &hyperplanes[h];
+                    (1..(1u64 << width))
+                        .filter(move |&v| !hyperplane.contains(v))
+                        .take(3)
+                        .map(move |d| (h, d))
+                })
+                .take(SLICED_LANES)
+                .collect();
+            let frame = CosetFrame::new(&parent, &hyperplanes);
+            let block = frame.block(&lanes);
+            let entries: Vec<(u64, u64)> = (0..(1u64 << width)).map(|v| (v, v % 7 + 1)).collect();
+            let histogram = CosetHistogram::new(&parent, entries.iter().copied());
+            let exact = block.sum_weights(&histogram);
+            let lo = *exact.iter().min().unwrap();
+            let hi = *exact.iter().max().unwrap();
+            // Bounds straddling the cost range, plus the degenerate extremes.
+            for bound in [0, lo, lo + 1, lo + (hi - lo) / 2, hi, hi + 1] {
+                let (sums, saturated) = block.sum_weights_bounded(&histogram, bound);
+                for (lane, &true_cost) in exact.iter().enumerate() {
+                    if saturated & (1u64 << lane) == 0 {
+                        assert_eq!(sums[lane], true_cost, "dim={dim} bound={bound} lane={lane}");
+                        assert!(true_cost < bound);
+                    } else {
+                        assert!(true_cost >= bound, "dim={dim} bound={bound} lane={lane}");
+                        assert!(sums[lane] >= bound || bound == 0);
+                    }
+                }
+            }
+            // A bound above every cost completes exactly.
+            let (sums, saturated) = block.sum_weights_bounded(&histogram, hi + 1);
+            assert_eq!(sums, exact);
+            assert_eq!(saturated, 0);
+            // A zero bound abandons immediately with every lane saturated.
+            let (sums, saturated) = block.sum_weights_bounded(&histogram, 0);
+            assert_eq!(sums, vec![0u64; block.lanes()]);
+            assert_eq!(saturated, block.lane_mask());
+        }
+    }
+
+    #[test]
+    fn generic_block_sum_weights_matches_member_mask_sweep_and_bounds() {
+        let mut rng = StdRng::seed_from_u64(0x6E4E);
+        let width = 9;
+        let bases: Vec<PackedBasis> = (0..23)
+            .map(|i| random::random_subspace(&mut rng, width, 1 + i % width).to_packed())
+            .collect();
+        let block = SlicedBlock::from_bases(bases.iter());
+        let entries: Vec<(u64, u64)> = (0..(1u64 << width)).map(|v| (v, v % 5 + 1)).collect();
+        let mut expect = vec![0u64; bases.len()];
+        for &(v, w) in &entries {
+            let mut mask = block.member_mask(v);
+            while mask != 0 {
+                let lane = mask.trailing_zeros() as usize;
+                mask &= mask - 1;
+                expect[lane] += w;
+            }
+        }
+        let exact = block.sum_weights(entries.iter().copied());
+        assert_eq!(exact, expect);
+        let hi = *exact.iter().max().unwrap();
+        for bound in [0, 1, hi / 2, hi, hi + 1] {
+            let (sums, saturated) = block.sum_weights_bounded(entries.iter().copied(), bound);
+            for (lane, &true_cost) in exact.iter().enumerate() {
+                if saturated & (1u64 << lane) == 0 {
+                    assert_eq!(sums[lane], true_cost, "bound={bound} lane={lane}");
+                } else {
+                    assert!(true_cost >= bound, "bound={bound} lane={lane}");
+                }
+            }
         }
     }
 

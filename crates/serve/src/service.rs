@@ -7,8 +7,8 @@ use cache_sim::CacheConfig;
 use gf2::PackedBasis;
 use xorindex::search::{NeighborPool, Searcher};
 use xorindex::{
-    ConflictProfile, FrozenKernel, FunctionClass, MemoStats, SearchAlgorithm, SearchOutcome,
-    ShardedMemo, XorIndexError,
+    BoundedCost, ConflictProfile, FrozenKernel, FunctionClass, MemoStats, ScaffoldCache,
+    ScaffoldStats, SearchAlgorithm, SearchOutcome, ShardedMemo, XorIndexError,
 };
 
 /// Opaque handle identifying a registered application.
@@ -150,6 +150,7 @@ struct Application {
     pool: NeighborPool,
     kernel: Arc<FrozenKernel>,
     memo: ShardedMemo,
+    scaffold: ScaffoldCache,
 }
 
 /// A request to the serving layer. Pricing requests carry [`PackedBasis`]
@@ -169,6 +170,17 @@ pub enum Request {
         app: AppId,
         /// The candidates' packed null-space bases.
         bases: Vec<PackedBasis>,
+    },
+    /// Price a batch under an incumbent bound: candidates whose running Eq. 4
+    /// sum saturates the bound are abandoned and reported as
+    /// [`BoundedCost::AtLeast`] instead of being summed to completion.
+    PriceBatchBounded {
+        /// The application whose profile prices the candidates.
+        app: AppId,
+        /// The candidates' packed null-space bases.
+        bases: Vec<PackedBasis>,
+        /// The incumbent: candidates costing at least this are abandoned.
+        bound: u64,
     },
     /// Run a full design-space search for the application's function class,
     /// sharing the application's kernel and memo.
@@ -199,6 +211,9 @@ pub enum Response {
     Price(u64),
     /// The estimated conflict misses of a batch, aligned with the request.
     Prices(Vec<u64>),
+    /// Incumbent-bounded batch prices, aligned with the request: exact for
+    /// candidates below the bound, `AtLeast(bound)` for abandoned ones.
+    BoundedPrices(Vec<BoundedCost>),
     /// The outcome of a search.
     Search(SearchOutcome),
     /// Serving statistics.
@@ -224,6 +239,10 @@ pub struct AppStats {
     pub memo: MemoStats,
     /// Per-shard hit/miss/entry counters, in shard order.
     pub shards: Vec<xorindex::MemoShardStats>,
+    /// Coset-scaffolding cache counters (see [`ScaffoldCache::stats`]): how
+    /// often this application's searches reused a cached hyperplane frame +
+    /// remainder histogram instead of rebuilding them.
+    pub scaffold: ScaffoldStats,
 }
 
 /// The multi-tenant registry: one frozen kernel + sharded memo per
@@ -274,6 +293,7 @@ impl IndexService {
             pool: registration.pool,
             kernel,
             memo,
+            scaffold: ScaffoldCache::new(),
         };
         let mut apps = self.apps.write().expect("app registry lock poisoned");
         apps.push(Arc::new(app));
@@ -375,6 +395,43 @@ impl IndexService {
         Ok(out)
     }
 
+    /// Prices a batch under an incumbent bound. Memoized candidates always
+    /// answer exactly (the memo already holds their full cost); the rest go
+    /// through [`FrozenKernel::cost_bounded`], which abandons a candidate the
+    /// moment its running sum saturates the bound. Only exact prices are
+    /// backfilled into the memo — an abandoned candidate's lower bound is
+    /// never cached, so a later unbounded request still prices it fully.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownApp`] / [`ServeError::WidthMismatch`].
+    pub fn price_batch_bounded(
+        &self,
+        app: AppId,
+        bases: &[PackedBasis],
+        bound: u64,
+    ) -> Result<Vec<BoundedCost>, ServeError> {
+        let app = self.app(app)?;
+        for basis in bases {
+            Self::check_width(&app, basis)?;
+        }
+        let mut out = Vec::with_capacity(bases.len());
+        for basis in bases {
+            let cost = match app.memo.probe(basis) {
+                Some(cost) => BoundedCost::Exact(cost),
+                None => {
+                    let cost = app.kernel.cost_bounded(basis, bound);
+                    if let BoundedCost::Exact(exact) = cost {
+                        app.memo.insert(basis, exact);
+                    }
+                    cost
+                }
+            };
+            out.push(cost);
+        }
+        Ok(out)
+    }
+
     /// Runs a full search for the application's configured class, sharing
     /// the application's kernel and memo — so a search warms the same cache
     /// candidate pricing answers from, and vice versa.
@@ -395,6 +452,7 @@ impl IndexService {
             .with_pool(app.pool.clone())
             .with_kernel(Arc::clone(&app.kernel))
             .with_memo(app.memo.clone())
+            .with_scaffold_cache(app.scaffold.clone())
             .with_threads(1);
         Ok(searcher.run(algorithm)?)
     }
@@ -413,6 +471,7 @@ impl IndexService {
             distinct_vectors: app.kernel.dense().distinct_vectors(),
             memo: app.memo.stats(),
             shards: app.memo.shard_stats(),
+            scaffold: app.scaffold.stats(),
         })
     }
 
@@ -438,6 +497,9 @@ impl IndexService {
             Request::PriceBatch { app, bases } => {
                 self.price_batch(app, &bases).map(Response::Prices)
             }
+            Request::PriceBatchBounded { app, bases, bound } => self
+                .price_batch_bounded(app, &bases, bound)
+                .map(Response::BoundedPrices),
             Request::RunSearch { app, algorithm } => {
                 self.run_search(app, algorithm).map(Response::Search)
             }
@@ -573,6 +635,76 @@ mod tests {
         let hits_before = service.stats(app).unwrap().memo.hits;
         let _ = service.price_candidate(app, &winner).unwrap();
         assert_eq!(service.stats(app).unwrap().memo.hits, hits_before + 1);
+    }
+
+    #[test]
+    fn bounded_batches_are_exact_below_the_bound_and_memoize_only_exacts() {
+        let p = profile(12);
+        let service = IndexService::new();
+        let app = service
+            .register(Registration::new(p.clone(), CacheConfig::paper_cache(1)))
+            .unwrap();
+        let candidates: Vec<PackedBasis> = (1..=8)
+            .map(|m| PackedBasis::standard_span(12, m..12))
+            .collect();
+        let exact = service.price_batch(app, &candidates).unwrap();
+        service.evict(app).unwrap();
+        let bound = exact.iter().copied().max().unwrap() / 2 + 1;
+        let bounded = service
+            .price_batch_bounded(app, &candidates, bound)
+            .unwrap();
+        let mut abandoned = 0usize;
+        for (cost, &truth) in bounded.iter().zip(&exact) {
+            match *cost {
+                BoundedCost::Exact(c) => assert_eq!(c, truth),
+                BoundedCost::AtLeast(b) => {
+                    assert_eq!(b, bound);
+                    assert!(truth >= bound);
+                    abandoned += 1;
+                }
+            }
+        }
+        assert!(abandoned > 0, "bound {bound} should abandon something");
+        // Only the exact prices were cached.
+        assert_eq!(
+            service.stats(app).unwrap().memo.entries,
+            candidates.len() - abandoned
+        );
+        // The abandoned candidates still price fully (and correctly) later.
+        assert_eq!(service.price_batch(app, &candidates).unwrap(), exact);
+    }
+
+    #[test]
+    fn searches_reuse_the_applications_scaffold_cache() {
+        // A tiny cache leaves a 10-dimensional null space, where delta
+        // enumeration is hopeless and the engine routes neighbourhoods
+        // through the coset slices — the path that uses the scaffold cache.
+        let tiny = CacheConfig::builder()
+            .size_bytes(16)
+            .block_bytes(4)
+            .associativity(1)
+            .build()
+            .unwrap();
+        let service = IndexService::new();
+        let app = service
+            .register(
+                Registration::new(profile(12), tiny).with_class(FunctionClass::xor_unlimited()),
+            )
+            .unwrap();
+        let before = service.stats(app).unwrap().scaffold;
+        assert_eq!((before.hits, before.misses, before.entries), (0, 0, 0));
+        let first = service.run_search(app, SearchAlgorithm::HillClimb).unwrap();
+        let after_first = service.stats(app).unwrap().scaffold;
+        assert!(after_first.misses > 0, "search should build scaffolds");
+        // Dropping the memo forces the second (identical) search to re-price
+        // every neighbourhood — but every scaffold it needs is already
+        // cached, so misses stay flat while hits climb.
+        service.evict(app).unwrap();
+        let second = service.run_search(app, SearchAlgorithm::HillClimb).unwrap();
+        let after_second = service.stats(app).unwrap().scaffold;
+        assert_eq!(first.function, second.function);
+        assert_eq!(after_second.misses, after_first.misses);
+        assert!(after_second.hits > after_first.hits);
     }
 
     #[test]

@@ -9,7 +9,7 @@ use std::sync::Arc;
 use cache_sim::{BlockAddr, CacheConfig};
 use gf2::PackedBasis;
 use xorindex::search::{NeighborPool, PackedNeighborhood};
-use xorindex::{ConflictProfile, EvalEngine, FunctionClass, SearchAlgorithm};
+use xorindex::{BoundedCost, ConflictProfile, EvalEngine, FunctionClass, SearchAlgorithm};
 use xorindex_serve::{IndexService, Registration, Request, Response, WorkerPool};
 
 const HASHED_BITS: usize = 12;
@@ -143,6 +143,72 @@ fn concurrent_serving_is_bit_identical_and_fully_accounted() {
     // and the overwhelming majority of requests must have been memo hits.
     assert!(stats.memo.misses >= candidates.len() as u64);
     assert!(stats.memo.hits > total_requests / 2);
+}
+
+#[test]
+fn concurrent_bounded_batches_agree_with_an_unbounded_single_threaded_engine() {
+    let profile = stress_profile();
+    let cache = CacheConfig::paper_cache(1);
+    let candidates = candidate_set(&profile, cache.set_bits());
+
+    // The oracle prices everything exactly, single-threaded and unbounded.
+    let mut oracle = EvalEngine::new(&profile).with_threads(1);
+    let expected: Vec<u64> = candidates
+        .iter()
+        .map(|c| oracle.estimate_packed(c))
+        .collect();
+    let max_cost = expected.iter().copied().max().unwrap();
+
+    let service = Arc::new(IndexService::new());
+    let app = service
+        .register(
+            Registration::new(profile.clone(), cache).with_class(FunctionClass::xor_unlimited()),
+        )
+        .unwrap();
+    let pool = WorkerPool::new(Arc::clone(&service), 4, 32);
+
+    // Clients race bounded batches with *different* bounds over the shared
+    // memo. The memo only ever holds exact costs, so a probe hit answers
+    // `Exact` even for a candidate another client's tighter bound would
+    // abandon — the contract is per-variant: every `Exact` must equal the
+    // oracle bit for bit, every `AtLeast` must carry the request's own bound
+    // and undershoot the oracle's true cost.
+    let bounds = [1, max_cost / 4 + 1, max_cost / 2 + 1, max_cost + 1];
+    std::thread::scope(|scope| {
+        for (client, &bound) in bounds.iter().enumerate() {
+            let pool = &pool;
+            let candidates = &candidates;
+            let expected = &expected;
+            scope.spawn(move || {
+                let chunk = 32;
+                for start in (0..candidates.len()).step_by(chunk) {
+                    let start = (start + client * 3 * chunk) % candidates.len();
+                    let end = (start + chunk).min(candidates.len());
+                    let bases = candidates[start..end].to_vec();
+                    match pool.call(Request::PriceBatchBounded { app, bases, bound }) {
+                        Response::BoundedPrices(costs) => {
+                            for (cost, &truth) in costs.iter().zip(&expected[start..end]) {
+                                match *cost {
+                                    BoundedCost::Exact(c) => assert_eq!(c, truth),
+                                    BoundedCost::AtLeast(b) => {
+                                        assert_eq!(b, bound);
+                                        assert!(truth >= bound);
+                                    }
+                                }
+                            }
+                        }
+                        other => panic!("unexpected {other:?}"),
+                    }
+                }
+            });
+        }
+    });
+
+    // Abandoned candidates were never memoized, so a final unbounded batch
+    // still reproduces the oracle exactly.
+    assert_eq!(service.price_batch(app, &candidates).unwrap(), expected);
+    let stats = service.stats(app).unwrap();
+    assert_eq!(stats.memo.entries, candidates.len());
 }
 
 #[test]
