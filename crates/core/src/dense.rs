@@ -29,7 +29,7 @@
 //! oblivious to which representation it is handed — all three (full tail,
 //! hybrid tail, pure sorted) answer bit-identically.
 
-use crate::ConflictProfile;
+use crate::{ConflictProfile, XorIndexError};
 
 /// Widest `hashed_bits` for which [`DenseProfile::from_profile`] covers the
 /// *entire* space with the dense tail (the old "flat lookup" behaviour), and
@@ -148,6 +148,89 @@ impl DenseProfile {
             total_weight,
             mean_popcount,
         }
+    }
+
+    /// Reconstructs a dense profile from its serialized parts — the
+    /// deserialization counterpart of [`DenseProfile::entries`] /
+    /// [`DenseProfile::tail_bits`], used by snapshot restore. A profile
+    /// rebuilt from its own parts is bit-identical (`==`) to the original:
+    /// the dense tail, split point and derived statistics are recomputed from
+    /// the entries, which fully determine them given `tail_bits`.
+    ///
+    /// `tail_bits = 0` means no dense tail (the pure sorted layout); any
+    /// other value materializes a `2^tail_bits`-slot tail exactly as the
+    /// freezing constructors would have.
+    ///
+    /// # Errors
+    ///
+    /// [`XorIndexError::MalformedProfile`] when the parts violate the frozen
+    /// representation's invariants: entries must be strictly ascending by
+    /// vector with non-zero vectors and weights inside the hashed width, and
+    /// `tail_bits` must fit both the width and [`TAIL_CAP_MAX_BITS`].
+    pub fn from_parts(
+        hashed_bits: usize,
+        capacity_blocks: usize,
+        tail_bits: usize,
+        entries: Vec<(u64, u64)>,
+    ) -> Result<Self, XorIndexError> {
+        let malformed = |reason: String| XorIndexError::MalformedProfile { reason };
+        if !(1..=64).contains(&hashed_bits) {
+            return Err(malformed(format!(
+                "hashed_bits {hashed_bits} not in 1..=64"
+            )));
+        }
+        if capacity_blocks == 0 {
+            return Err(malformed("capacity_blocks is zero".to_string()));
+        }
+        if tail_bits > hashed_bits || tail_bits > TAIL_CAP_MAX_BITS {
+            return Err(malformed(format!(
+                "tail of {tail_bits} bits cannot cover a {hashed_bits}-bit profile \
+                 (cap {TAIL_CAP_MAX_BITS})"
+            )));
+        }
+        let mut last: Option<u64> = None;
+        for &(v, w) in &entries {
+            if v == 0 {
+                return Err(malformed("zero conflict vector recorded".to_string()));
+            }
+            if hashed_bits < 64 && v >> hashed_bits != 0 {
+                return Err(malformed(format!(
+                    "vector {v:#x} outside the {hashed_bits}-bit hashed space"
+                )));
+            }
+            if w == 0 {
+                return Err(malformed(format!("vector {v:#x} has zero weight")));
+            }
+            if last.is_some_and(|prev| prev >= v) {
+                return Err(malformed(
+                    "entries not strictly ascending by vector".to_string(),
+                ));
+            }
+            last = Some(v);
+        }
+        let total_weight = entries.iter().map(|&(_, w)| w).sum();
+        let popcount_sum: usize = entries.iter().map(|&(v, _)| v.count_ones() as usize).sum();
+        let mean_popcount = popcount_sum.div_ceil(entries.len().max(1));
+        let (tail, tail_split) = if tail_bits > 0 {
+            let split = covered_below(&entries, tail_bits);
+            let mut table = vec![0u64; 1usize << tail_bits];
+            for &(v, w) in &entries[..split] {
+                table[v as usize] = w;
+            }
+            (table, split)
+        } else {
+            (Vec::new(), 0)
+        };
+        Ok(DenseProfile {
+            hashed_bits,
+            capacity_blocks,
+            entries,
+            tail,
+            tail_bits,
+            tail_split,
+            total_weight,
+            mean_popcount,
+        })
     }
 
     /// Number of hashed address bits `n`.
@@ -380,6 +463,52 @@ mod tests {
         assert_eq!(d.misses_of(0x10), 0);
         // Narrow widths keep the whole-space tail even when empty.
         assert!(d.has_flat_lookup());
+    }
+
+    #[test]
+    fn from_parts_rebuilds_every_layout_bit_identically() {
+        let seq: Vec<u64> = (0..500u64)
+            .map(|i| (i % 7) * 0x21 + (i % 3) * 0x4000)
+            .collect();
+        let p = profile(&seq, 18);
+        for original in [
+            DenseProfile::from_profile(&p),      // whole-space tail
+            DenseProfile::with_tail_cap(&p, 0),  // no tail
+            DenseProfile::with_tail_cap(&p, 10), // hybrid tail
+        ] {
+            let rebuilt = DenseProfile::from_parts(
+                original.hashed_bits(),
+                original.capacity_blocks(),
+                original.tail_bits(),
+                original.entries().to_vec(),
+            )
+            .expect("own parts are valid");
+            assert_eq!(rebuilt, original);
+        }
+        // The empty flat profile round-trips too.
+        let empty =
+            DenseProfile::from_profile(&ConflictProfile::from_blocks(std::iter::empty(), 16, 64));
+        assert_eq!(
+            DenseProfile::from_parts(16, 64, empty.tail_bits(), Vec::new()).unwrap(),
+            empty
+        );
+    }
+
+    #[test]
+    fn from_parts_rejects_malformed_data() {
+        use crate::XorIndexError;
+        let bad = |r: Result<DenseProfile, XorIndexError>| {
+            assert!(matches!(r, Err(XorIndexError::MalformedProfile { .. })));
+        };
+        bad(DenseProfile::from_parts(0, 64, 0, vec![]));
+        bad(DenseProfile::from_parts(12, 0, 0, vec![]));
+        bad(DenseProfile::from_parts(12, 64, 13, vec![])); // tail wider than space
+        bad(DenseProfile::from_parts(40, 64, 31, vec![])); // tail above the cap
+        bad(DenseProfile::from_parts(12, 64, 0, vec![(0, 5)])); // zero vector
+        bad(DenseProfile::from_parts(12, 64, 0, vec![(1 << 12, 5)])); // outside width
+        bad(DenseProfile::from_parts(12, 64, 0, vec![(3, 0)])); // zero weight
+        bad(DenseProfile::from_parts(12, 64, 0, vec![(7, 1), (3, 1)])); // unsorted
+        bad(DenseProfile::from_parts(12, 64, 0, vec![(3, 1), (3, 2)])); // duplicate
     }
 
     #[test]

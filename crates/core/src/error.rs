@@ -37,6 +37,12 @@ pub enum XorIndexError {
         /// Hashed bits of the candidate.
         candidate_bits: usize,
     },
+    /// Serialized profile data failed validation on reconstruction (snapshot
+    /// restore, wire decode).
+    MalformedProfile {
+        /// Human-readable description of the violated invariant.
+        reason: String,
+    },
 }
 
 impl fmt::Display for XorIndexError {
@@ -69,6 +75,9 @@ impl fmt::Display for XorIndexError {
                 f,
                 "profile hashes {profile_bits} bits but the candidate hashes {candidate_bits}"
             ),
+            XorIndexError::MalformedProfile { reason } => {
+                write!(f, "serialized profile data is malformed: {reason}")
+            }
         }
     }
 }
@@ -110,6 +119,9 @@ mod tests {
             XorIndexError::ProfileMismatch {
                 profile_bits: 16,
                 candidate_bits: 12,
+            },
+            XorIndexError::MalformedProfile {
+                reason: "entries not sorted".to_string(),
             },
         ];
         for e in errors {

@@ -110,6 +110,57 @@ impl ConflictProfile {
         }
     }
 
+    /// Reconstructs a profile from a recorded `misses(v)` histogram — the
+    /// restore path of the serving layer's kernel snapshots, where the
+    /// original trace is no longer available. Entries with zero weight or a
+    /// zero vector are dropped, exactly as profiling itself would never have
+    /// recorded them; duplicate vectors accumulate.
+    ///
+    /// The [`ProfileSummary`] of a rebuilt profile reflects only what the
+    /// histogram retains: `conflict_vectors` (and `profiled`) carry the total
+    /// recorded weight, while the trace-level counters (`references`,
+    /// `compulsory`, `capacity`) are zero because the snapshot does not keep
+    /// the trace. Everything search and estimation consume — the histogram,
+    /// widths, and capacity — is reconstructed exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hashed_bits` is 0 or larger than 64, `capacity_blocks` is
+    /// 0, or a vector has bits outside the hashed width
+    /// ([`BitVec::from_u64`]'s contract).
+    #[must_use]
+    pub fn from_histogram<I>(entries: I, hashed_bits: usize, capacity_blocks: usize) -> Self
+    where
+        I: IntoIterator<Item = (u64, u64)>,
+    {
+        assert!(
+            (1..=64).contains(&hashed_bits),
+            "hashed_bits must be in 1..=64"
+        );
+        assert!(capacity_blocks > 0, "cache capacity must be positive");
+        let mut histogram: HashMap<BitVec, u64> = HashMap::new();
+        let mut total = 0u64;
+        for (v, w) in entries {
+            if v == 0 || w == 0 {
+                continue;
+            }
+            *histogram
+                .entry(BitVec::from_u64(v, hashed_bits))
+                .or_insert(0) += w;
+            total += w;
+        }
+        ConflictProfile {
+            hashed_bits,
+            capacity_blocks,
+            histogram,
+            summary: ProfileSummary {
+                profiled: total,
+                conflict_vectors: total,
+                ..ProfileSummary::default()
+            },
+        }
+    }
+
     /// Number of hashed address bits `n`.
     #[must_use]
     pub fn hashed_bits(&self) -> usize {
@@ -212,6 +263,33 @@ mod tests {
         assert_eq!(p.summary().profiled, 8);
         assert_eq!(p.summary().references, 10);
         assert_eq!(p.total_weight(), 8);
+    }
+
+    #[test]
+    fn from_histogram_rebuilds_the_recorded_state() {
+        let trace: Vec<BlockAddr> = (0..200u64)
+            .map(|i| BlockAddr((i % 3) * 0x40 + (i % 5) * 0x900))
+            .collect();
+        let original = ConflictProfile::from_blocks(trace, 13, 64);
+        let rebuilt =
+            ConflictProfile::from_histogram(original.iter().map(|(v, w)| (v.as_u64(), w)), 13, 64);
+        // Histogram, geometry and totals are exact…
+        assert_eq!(rebuilt.hashed_bits(), 13);
+        assert_eq!(rebuilt.capacity_blocks(), 64);
+        assert_eq!(rebuilt.distinct_vectors(), original.distinct_vectors());
+        assert_eq!(rebuilt.total_weight(), original.total_weight());
+        for (v, w) in original.iter() {
+            assert_eq!(rebuilt.misses(v), w);
+        }
+        assert_eq!(rebuilt.heaviest(5), original.heaviest(5));
+        // …while the trace-level summary counters record only what the
+        // histogram retains.
+        assert_eq!(rebuilt.summary().conflict_vectors, original.total_weight());
+        assert_eq!(rebuilt.summary().references, 0);
+        // Zero vectors and zero weights are dropped; duplicates accumulate.
+        let p = ConflictProfile::from_histogram([(0, 9), (5, 0), (3, 2), (3, 4)], 8, 16);
+        assert_eq!(p.distinct_vectors(), 1);
+        assert_eq!(p.misses_of(3), 6);
     }
 
     #[test]

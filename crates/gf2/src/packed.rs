@@ -26,7 +26,7 @@
 //! [`Subspace`], and [`PackedBasis::canonical_key`] yields a compact boxed
 //! word slice suitable as a hash-map key for memoization.
 
-use crate::{BitVec, Subspace};
+use crate::{BitVec, Gf2Error, Subspace};
 
 /// A subspace of GF(2)^width (width ≤ 64) as a packed reduced-row-echelon
 /// basis of `u64` words.
@@ -171,6 +171,62 @@ impl PackedBasis {
             out.insert(1u64 << bit);
         }
         out
+    }
+
+    /// Reconstructs a basis from rows that are already in canonical RREF
+    /// form — the deserialization counterpart of [`PackedBasis::rows`].
+    ///
+    /// The rows are *validated*, not re-eliminated: each must be non-zero and
+    /// lie inside the ambient width, leading (pivot) bits must be strictly
+    /// decreasing, and every pivot bit must be zero in all other rows. The
+    /// row vector is taken over as the basis storage, so deserializing a
+    /// candidate costs no allocation beyond the vector the caller already
+    /// read its words into.
+    ///
+    /// # Errors
+    ///
+    /// [`Gf2Error::UnsupportedWidth`] for a width outside `1..=64`, and
+    /// [`Gf2Error::Impossible`] when the rows are not a canonical RREF basis.
+    pub fn try_from_rows(width: usize, rows: Vec<u64>) -> Result<Self, Gf2Error> {
+        if width == 0 || width > BitVec::MAX_WIDTH {
+            return Err(Gf2Error::UnsupportedWidth(width));
+        }
+        let mask = if width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << width) - 1
+        };
+        let mut pivot_mask = 0u64;
+        let mut last_pivot = u32::MAX;
+        for &row in &rows {
+            if row == 0 {
+                return Err(Gf2Error::Impossible("zero basis row".to_string()));
+            }
+            if row & !mask != 0 {
+                return Err(Gf2Error::Impossible(format!(
+                    "row {row:#x} has bits outside GF(2)^{width}"
+                )));
+            }
+            let pivot = 63 - row.leading_zeros();
+            if last_pivot != u32::MAX && pivot >= last_pivot {
+                return Err(Gf2Error::Impossible(
+                    "rows not sorted by strictly decreasing pivot".to_string(),
+                ));
+            }
+            last_pivot = pivot;
+            pivot_mask |= 1u64 << pivot;
+        }
+        // RREF: below its own leading 1, a row may only have 1s at non-pivot
+        // columns. One masked check per row covers all pairs at once.
+        for &row in &rows {
+            let own_pivot = 1u64 << (63 - row.leading_zeros());
+            if row & (pivot_mask ^ own_pivot) != 0 {
+                return Err(Gf2Error::Impossible(
+                    "row has a 1 in another row's pivot column".to_string(),
+                ));
+            }
+        }
+        Ok(PackedBasis { rows, width })
     }
 
     /// Packs the canonical basis of a [`Subspace`].
@@ -826,6 +882,58 @@ mod tests {
         for w in bases.windows(2) {
             assert!(w[0] <= w[1]);
             assert_eq!(w[0] == w[1], w[0].cmp(&w[1]).is_eq());
+        }
+    }
+
+    #[test]
+    fn try_from_rows_roundtrips_canonical_rows_and_rejects_everything_else() {
+        // Round trip: any basis's own rows reconstruct it exactly.
+        for basis in [
+            PackedBasis::trivial(9),
+            PackedBasis::standard_span(9, [0usize, 3, 7]),
+            {
+                let mut b = PackedBasis::trivial(9);
+                b.insert(0b1_0110_0001);
+                b.insert(0b0_0101_0011);
+                b.insert(0b0_0000_0111);
+                b
+            },
+        ] {
+            let rebuilt = PackedBasis::try_from_rows(basis.width(), basis.rows().to_vec())
+                .expect("canonical rows");
+            assert_eq!(rebuilt, basis);
+        }
+        // Width 64 is the edge the mask arithmetic must survive.
+        let wide = PackedBasis::standard_span(64, [63usize, 0]);
+        assert_eq!(
+            PackedBasis::try_from_rows(64, wide.rows().to_vec()).unwrap(),
+            wide
+        );
+
+        assert!(matches!(
+            PackedBasis::try_from_rows(0, vec![]),
+            Err(Gf2Error::UnsupportedWidth(0))
+        ));
+        assert!(matches!(
+            PackedBasis::try_from_rows(65, vec![]),
+            Err(Gf2Error::UnsupportedWidth(65))
+        ));
+        // Zero row, out-of-width bits, unsorted pivots, duplicate pivots,
+        // and a dirty pivot column are each rejected.
+        for rows in [
+            vec![0u64],
+            vec![0b1_0000_0000u64],
+            vec![0b0001u64, 0b0110],
+            vec![0b0110u64, 0b0101],
+            vec![0b1100u64, 0b0110],
+        ] {
+            assert!(
+                matches!(
+                    PackedBasis::try_from_rows(8, rows.clone()),
+                    Err(Gf2Error::Impossible(_))
+                ),
+                "rows {rows:?} should be rejected"
+            );
         }
     }
 

@@ -23,6 +23,20 @@
 //!   channel of request envelopes; each reply arrives on a per-request
 //!   [`PendingResponse`]. Because the kernel is immutable and the memo is
 //!   sharded, workers scale with cores instead of serializing on one engine.
+//! * the wire codec — a length-prefixed binary encoding
+//!   of the request/response enums ([`encode_request`], [`split_frame`],
+//!   [`decode_server_frame`], …). Total on malformed input: every bad
+//!   payload decodes to a typed [`WireError`], never a panic.
+//! * [`TcpServer`] / [`Client`] — the protocol over TCP with request
+//!   pipelining and per-connection backpressure: a slow client stalls only
+//!   itself, never the shared worker pool. [`TcpServer::wire_stats`] counts
+//!   connections, frames, bytes, decode errors and pipeline depth.
+//! * snapshot/restore — [`IndexService::snapshot`] serializes every
+//!   application's frozen dense profile and registry metadata into a
+//!   versioned, checksummed image; [`IndexService::restore`] rebuilds a
+//!   bit-identical service from it, so a restarted server comes back warm
+//!   without re-profiling (memo and scaffold caches restart cold — they
+//!   are performance state, not pricing state).
 //!
 //! Correctness is pinned by the crate's stress test: every concurrent answer
 //! is bit-identical to a fresh single-threaded
@@ -58,8 +72,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod server;
 mod service;
+mod snapshot;
+mod wire;
 mod worker;
 
-pub use service::{AppId, AppStats, IndexService, Registration, Request, Response, ServeError};
+pub use server::{Client, ClientError, ServerConfig, TcpServer};
+pub use service::{
+    AppId, AppStats, EvictCounts, IndexService, Registration, Request, Response, ServeError,
+};
+pub use snapshot::{SnapshotError, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
+pub use wire::{
+    decode_client_frame, decode_server_frame, encode_request, encode_response,
+    encode_server_stats_request, encode_server_stats_response, split_frame, ClientFrame,
+    ServerFrame, WireError, WireStats, FRAME_HEADER_BYTES, MAX_FRAME_BYTES, WIRE_VERSION,
+};
 pub use worker::{PendingResponse, RejectedRequest, WorkerPool};

@@ -1,0 +1,645 @@
+//! A pipelined TCP front end for the serving layer.
+//!
+//! [`TcpServer`] binds a `std::net` listener and serves the binary protocol
+//! in [`wire`](crate::wire) over any number of connections at once. The
+//! threading shape per connection is one *reader* and one *writer*, joined
+//! by a bounded channel whose capacity is the connection's in-flight cap:
+//!
+//! ```text
+//! socket ──► reader ──decode──► WorkerPool::submit ──► PendingResponse ─┐
+//!               │                  (shared, bounded)                    │
+//!               └───── sync_channel(max_in_flight) ────► writer ──► socket
+//! ```
+//!
+//! * **Pipelining** — the reader keeps decoding and submitting while earlier
+//!   requests are still being priced; the writer emits responses in request
+//!   order (the channel is FIFO), echoing each request's id.
+//! * **Backpressure** — a slow client stalls only itself. Its writer blocks
+//!   on the socket, its channel fills, its reader stops reading (so TCP
+//!   pushes back on the client), and — crucially — the worker pool is never
+//!   involved: workers park finished answers in per-request
+//!   [`PendingResponse`] slots and move on, so one stuck connection cannot
+//!   starve the others. The channel capacity bounds how many parked answers
+//!   a connection can hold.
+//! * **Decode errors** — a well-framed payload that fails to decode is
+//!   answered in-stream with `Response::Error(ServeError::Wire(..))` and the
+//!   connection keeps serving (length prefixes keep the stream synchronized).
+//!   A forged length prefix ([`WireError::OversizedFrame`]) means framing
+//!   itself cannot be trusted: the server answers once and closes.
+//!
+//! [`Client`] is the matching blocking client: `call` for request/response,
+//! `send`/`flush`/`recv` for explicit pipelining, and
+//! [`Client::call_pipelined`] for a sliding window of a chosen depth.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TryRecvError, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::service::{IndexService, Request, Response, ServeError};
+use crate::wire::{self, ClientFrame, ServerFrame, WireError, WireStats};
+use crate::worker::{PendingResponse, WorkerPool};
+
+/// How long blocking socket reads wait before re-checking the shutdown flag.
+const READ_POLL: Duration = Duration::from_millis(100);
+/// Cap on a single blocking socket write, so shutdown cannot hang forever
+/// behind a dead peer.
+const WRITE_TIMEOUT: Duration = Duration::from_secs(30);
+/// Reader-side retry interval while its connection's response channel is
+/// full (backpressure engaged).
+const FULL_RETRY: Duration = Duration::from_millis(1);
+/// Coalesce encoded responses up to this many bytes before writing.
+const WRITE_COALESCE_BYTES: usize = 64 * 1024;
+
+/// Sizing knobs for a [`TcpServer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Worker threads pricing requests (shared by all connections).
+    pub workers: usize,
+    /// Capacity of the worker pool's request queue.
+    pub queue_capacity: usize,
+    /// Per-connection in-flight cap: how many submitted-but-unwritten
+    /// responses one connection may hold before its reader stops reading.
+    pub max_in_flight: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 4,
+            queue_capacity: 64,
+            max_in_flight: 64,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    connections: AtomicU64,
+    frames_in: AtomicU64,
+    frames_out: AtomicU64,
+    bytes_in: AtomicU64,
+    bytes_out: AtomicU64,
+    decode_errors: AtomicU64,
+    max_pipeline_depth: AtomicU64,
+}
+
+impl Counters {
+    fn snapshot(&self) -> WireStats {
+        WireStats {
+            connections: self.connections.load(Ordering::Relaxed),
+            frames_in: self.frames_in.load(Ordering::Relaxed),
+            frames_out: self.frames_out.load(Ordering::Relaxed),
+            bytes_in: self.bytes_in.load(Ordering::Relaxed),
+            bytes_out: self.bytes_out.load(Ordering::Relaxed),
+            decode_errors: self.decode_errors.load(Ordering::Relaxed),
+            max_pipeline_depth: self.max_pipeline_depth.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// One queued unit of writer work, in request order.
+enum WriterItem {
+    /// An answer still being computed by the worker pool.
+    Pending { id: u64, response: PendingResponse },
+    /// An answer the reader produced itself (decode errors, submit failures).
+    Ready { id: u64, response: Response },
+    /// The wire-level server-stats control frame, materialized at write time
+    /// so the counters are as fresh as possible.
+    Stats { id: u64 },
+}
+
+/// A TCP server speaking the binary wire protocol on top of an
+/// [`IndexService`] and its own [`WorkerPool`].
+///
+/// Dropping the server stops accepting, disconnects the listener, and joins
+/// every connection thread; in-flight requests are answered first (the
+/// worker pool drains on drop).
+#[derive(Debug)]
+pub struct TcpServer {
+    service: Arc<IndexService>,
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    counters: Arc<Counters>,
+    accept_handle: Option<JoinHandle<()>>,
+    connections: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl TcpServer {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts serving.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error from binding the listener.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        service: Arc<IndexService>,
+        config: ServerConfig,
+    ) -> io::Result<TcpServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let pool = Arc::new(WorkerPool::new(
+            Arc::clone(&service),
+            config.workers,
+            config.queue_capacity,
+        ));
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let counters = Arc::new(Counters::default());
+        let connections = Arc::new(Mutex::new(Vec::new()));
+
+        let accept_handle = {
+            let shutdown = Arc::clone(&shutdown);
+            let counters = Arc::clone(&counters);
+            let connections = Arc::clone(&connections);
+            std::thread::Builder::new()
+                .name("xorindex-accept".to_string())
+                .spawn(move || {
+                    for stream in listener.incoming() {
+                        if shutdown.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        let Ok(stream) = stream else { continue };
+                        counters.connections.fetch_add(1, Ordering::Relaxed);
+                        match Self::spawn_connection(
+                            stream,
+                            &pool,
+                            &shutdown,
+                            &counters,
+                            config.max_in_flight,
+                        ) {
+                            Ok(handles) => {
+                                let mut conns =
+                                    connections.lock().expect("connection registry poisoned");
+                                conns.extend(handles);
+                            }
+                            Err(_) => continue,
+                        }
+                    }
+                })
+                .expect("spawning the accept thread failed")
+        };
+
+        Ok(TcpServer {
+            service,
+            local_addr,
+            shutdown,
+            counters,
+            accept_handle: Some(accept_handle),
+            connections,
+        })
+    }
+
+    /// The bound address (with the concrete port when bound to port 0).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The service this server prices through — for registering applications
+    /// or snapshotting it around a restart.
+    #[must_use]
+    pub fn service(&self) -> &Arc<IndexService> {
+        &self.service
+    }
+
+    /// A point-in-time snapshot of the wire-level counters.
+    #[must_use]
+    pub fn wire_stats(&self) -> WireStats {
+        self.counters.snapshot()
+    }
+
+    fn spawn_connection(
+        stream: TcpStream,
+        pool: &Arc<WorkerPool>,
+        shutdown: &Arc<AtomicBool>,
+        counters: &Arc<Counters>,
+        max_in_flight: usize,
+    ) -> io::Result<[JoinHandle<()>; 2]> {
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(READ_POLL))?;
+        stream.set_write_timeout(Some(WRITE_TIMEOUT))?;
+        let write_half = stream.try_clone()?;
+        let (tx, rx) = std::sync::mpsc::sync_channel::<WriterItem>(max_in_flight.max(1));
+        let depth = Arc::new(AtomicU64::new(0));
+
+        let reader = {
+            let pool = Arc::clone(pool);
+            let shutdown = Arc::clone(shutdown);
+            let counters = Arc::clone(counters);
+            let depth = Arc::clone(&depth);
+            std::thread::Builder::new()
+                .name("xorindex-conn-reader".to_string())
+                .spawn(move || {
+                    Self::reader_loop(stream, &pool, &tx, &shutdown, &counters, &depth);
+                })?
+        };
+        let writer = {
+            let counters = Arc::clone(counters);
+            std::thread::Builder::new()
+                .name("xorindex-conn-writer".to_string())
+                .spawn(move || {
+                    Self::writer_loop(write_half, &rx, &counters, &depth);
+                })?
+        };
+        Ok([reader, writer])
+    }
+
+    /// Sends to the writer channel, engaging backpressure when it is full
+    /// but still honouring shutdown. Returns `false` when the connection is
+    /// going away.
+    fn send_item(tx: &SyncSender<WriterItem>, shutdown: &AtomicBool, item: WriterItem) -> bool {
+        let mut item = Some(item);
+        loop {
+            match tx.try_send(item.take().expect("item is always refilled")) {
+                Ok(()) => return true,
+                Err(TrySendError::Full(bounced)) => {
+                    if shutdown.load(Ordering::Relaxed) {
+                        return false;
+                    }
+                    item = Some(bounced);
+                    std::thread::sleep(FULL_RETRY);
+                }
+                Err(TrySendError::Disconnected(_)) => return false,
+            }
+        }
+    }
+
+    fn reader_loop(
+        mut stream: TcpStream,
+        pool: &WorkerPool,
+        tx: &SyncSender<WriterItem>,
+        shutdown: &AtomicBool,
+        counters: &Counters,
+        depth: &AtomicU64,
+    ) {
+        let mut buf: Vec<u8> = Vec::with_capacity(16 * 1024);
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            // Drain every complete frame already buffered.
+            loop {
+                let (decoded, consumed) = match wire::split_frame(&buf) {
+                    Ok(None) => break,
+                    Ok(Some((payload, consumed))) => (wire::decode_client_frame(payload), consumed),
+                    Err(e) => {
+                        // The length prefix itself is corrupt: answer once
+                        // and close, since resynchronization is impossible.
+                        counters.decode_errors.fetch_add(1, Ordering::Relaxed);
+                        let id =
+                            wire::frame_request_id(&buf[wire::FRAME_HEADER_BYTES.min(buf.len())..])
+                                .unwrap_or(0);
+                        let _ = Self::send_item(
+                            tx,
+                            shutdown,
+                            WriterItem::Ready {
+                                id,
+                                response: Response::Error(ServeError::Wire(e)),
+                            },
+                        );
+                        return;
+                    }
+                };
+                counters.frames_in.fetch_add(1, Ordering::Relaxed);
+                let item = match decoded {
+                    Ok((id, ClientFrame::Request(request))) => match pool.submit(request) {
+                        Ok(response) => WriterItem::Pending { id, response },
+                        Err(e) => WriterItem::Ready {
+                            id,
+                            response: Response::Error(e),
+                        },
+                    },
+                    Ok((id, ClientFrame::ServerStats)) => WriterItem::Stats { id },
+                    Err(e) => {
+                        counters.decode_errors.fetch_add(1, Ordering::Relaxed);
+                        let id = wire::frame_request_id(&buf[wire::FRAME_HEADER_BYTES..consumed])
+                            .unwrap_or(0);
+                        WriterItem::Ready {
+                            id,
+                            response: Response::Error(ServeError::Wire(e)),
+                        }
+                    }
+                };
+                buf.drain(..consumed);
+                let in_flight = depth.fetch_add(1, Ordering::Relaxed) + 1;
+                counters
+                    .max_pipeline_depth
+                    .fetch_max(in_flight, Ordering::Relaxed);
+                if !Self::send_item(tx, shutdown, item) {
+                    return;
+                }
+            }
+            if shutdown.load(Ordering::Relaxed) {
+                return;
+            }
+            match stream.read(&mut chunk) {
+                Ok(0) => return, // EOF: client closed its half.
+                Ok(n) => {
+                    counters.bytes_in.fetch_add(n as u64, Ordering::Relaxed);
+                    buf.extend_from_slice(&chunk[..n]);
+                }
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut => {}
+                Err(_) => return,
+            }
+        }
+    }
+
+    fn writer_loop(
+        mut stream: TcpStream,
+        rx: &Receiver<WriterItem>,
+        counters: &Counters,
+        depth: &AtomicU64,
+    ) {
+        let mut out: Vec<u8> = Vec::with_capacity(WRITE_COALESCE_BYTES);
+        loop {
+            let item = match rx.try_recv() {
+                Ok(item) => item,
+                Err(TryRecvError::Empty) => {
+                    // Nothing queued: flush what we coalesced, then block.
+                    if !Self::flush(&mut stream, &mut out, counters) {
+                        return;
+                    }
+                    match rx.recv() {
+                        Ok(item) => item,
+                        Err(_) => return, // Reader is gone and queue is dry.
+                    }
+                }
+                Err(TryRecvError::Disconnected) => {
+                    let _ = Self::flush(&mut stream, &mut out, counters);
+                    return;
+                }
+            };
+            match item {
+                WriterItem::Pending { id, response } => {
+                    wire::encode_response(id, &response.wait(), &mut out);
+                }
+                WriterItem::Ready { id, response } => {
+                    wire::encode_response(id, &response, &mut out);
+                }
+                WriterItem::Stats { id } => {
+                    wire::encode_server_stats_response(id, &counters.snapshot(), &mut out);
+                }
+            }
+            counters.frames_out.fetch_add(1, Ordering::Relaxed);
+            depth.fetch_sub(1, Ordering::Relaxed);
+            if out.len() >= WRITE_COALESCE_BYTES && !Self::flush(&mut stream, &mut out, counters) {
+                return;
+            }
+        }
+    }
+
+    /// Writes and clears the coalescing buffer; `false` on a dead socket.
+    fn flush(stream: &mut TcpStream, out: &mut Vec<u8>, counters: &Counters) -> bool {
+        if out.is_empty() {
+            return true;
+        }
+        let ok = stream.write_all(out).and_then(|()| stream.flush()).is_ok();
+        if ok {
+            counters
+                .bytes_out
+                .fetch_add(out.len() as u64, Ordering::Relaxed);
+        }
+        out.clear();
+        ok
+    }
+}
+
+impl Drop for TcpServer {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        // Wake the accept thread with a throwaway connection.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+        let handles = {
+            let mut conns = self
+                .connections
+                .lock()
+                .expect("connection registry poisoned");
+            std::mem::take(&mut *conns)
+        };
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Errors a [`Client`] can hit.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The socket failed.
+    Io(io::Error),
+    /// A server frame could not be decoded.
+    Wire(WireError),
+    /// The conversation itself went wrong (response id out of order, a
+    /// server-stats frame where an API response was expected, …).
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "socket error: {e}"),
+            ClientError::Wire(e) => write!(f, "undecodable server frame: {e}"),
+            ClientError::Protocol(reason) => write!(f, "protocol violation: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Io(e) => Some(e),
+            ClientError::Wire(e) => Some(e),
+            ClientError::Protocol(_) => None,
+        }
+    }
+}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        ClientError::Wire(e)
+    }
+}
+
+/// A blocking client for the binary wire protocol.
+///
+/// [`Client::call`] is plain request/response. For pipelining, either use
+/// [`Client::call_pipelined`] (sliding window, answers realigned for you) or
+/// drive [`Client::send`] / [`Client::flush`] / [`Client::recv`] directly.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+    /// Encoded-but-unflushed request frames.
+    out: Vec<u8>,
+    /// Bytes read off the socket that do not yet form a complete frame.
+    input: Vec<u8>,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connects to a server.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error from connecting.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            stream,
+            out: Vec::new(),
+            input: Vec::new(),
+            next_id: 1,
+        })
+    }
+
+    fn fresh_id(&mut self) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    /// The underlying socket — for diagnostics and tests that need to put
+    /// raw bytes on the wire past the codec (e.g. to probe the server's
+    /// malformed-frame handling). Normal use goes through [`Client::call`].
+    #[must_use]
+    pub fn raw_stream(&mut self) -> &mut TcpStream {
+        &mut self.stream
+    }
+
+    /// Encodes a request into the output buffer without touching the socket,
+    /// returning the id the server will echo. Call [`Client::flush`] to put
+    /// it on the wire.
+    pub fn send(&mut self, request: &Request) -> u64 {
+        let id = self.fresh_id();
+        wire::encode_request(id, request, &mut self.out);
+        id
+    }
+
+    /// Encodes the wire-level server-stats control request, returning its id.
+    pub fn send_server_stats(&mut self) -> u64 {
+        let id = self.fresh_id();
+        wire::encode_server_stats_request(id, &mut self.out);
+        id
+    }
+
+    /// Writes every buffered frame to the socket.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`] on socket failure.
+    pub fn flush(&mut self) -> Result<(), ClientError> {
+        if !self.out.is_empty() {
+            self.stream.write_all(&self.out)?;
+            self.out.clear();
+            self.stream.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Reads the next server frame off the socket (blocking).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`] / [`ClientError::Wire`].
+    pub fn recv(&mut self) -> Result<(u64, ServerFrame), ClientError> {
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            if let Some((payload, consumed)) = wire::split_frame(&self.input)? {
+                let decoded = wire::decode_server_frame(payload)?;
+                self.input.drain(..consumed);
+                return Ok(decoded);
+            }
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(ClientError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                )));
+            }
+            self.input.extend_from_slice(&chunk[..n]);
+        }
+    }
+
+    /// Receives the next frame and checks it is the API response to `id`.
+    fn recv_response(&mut self, id: u64) -> Result<Response, ClientError> {
+        match self.recv()? {
+            (got, ServerFrame::Response(response)) if got == id => Ok(response),
+            (got, ServerFrame::Response(_)) => Err(ClientError::Protocol(format!(
+                "expected response id {id}, got {got}"
+            ))),
+            (_, ServerFrame::ServerStats(_)) => Err(ClientError::Protocol(
+                "expected an API response, got server stats".to_string(),
+            )),
+        }
+    }
+
+    /// One blocking request/response round trip.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] on socket, decode, or correlation failures. A server-
+    /// side failure is *not* a `ClientError`: it arrives as
+    /// [`Response::Error`].
+    pub fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
+        let id = self.send(request);
+        self.flush()?;
+        self.recv_response(id)
+    }
+
+    /// Fetches the server's wire-level counters.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] on socket, decode, or correlation failures.
+    pub fn server_stats(&mut self) -> Result<WireStats, ClientError> {
+        let id = self.send_server_stats();
+        self.flush()?;
+        match self.recv()? {
+            (got, ServerFrame::ServerStats(stats)) if got == id => Ok(stats),
+            (got, _) => Err(ClientError::Protocol(format!(
+                "expected server stats for id {id}, got frame id {got}"
+            ))),
+        }
+    }
+
+    /// Runs `requests` through a sliding pipeline window of `depth`
+    /// outstanding requests, returning responses aligned with the input.
+    /// `depth` of 1 degenerates to sequential [`Client::call`]s.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] on socket, decode, or correlation failures.
+    pub fn call_pipelined(
+        &mut self,
+        requests: &[Request],
+        depth: usize,
+    ) -> Result<Vec<Response>, ClientError> {
+        let depth = depth.max(1);
+        let mut ids = std::collections::VecDeque::with_capacity(depth);
+        let mut responses = Vec::with_capacity(requests.len());
+        for request in requests {
+            if ids.len() == depth {
+                let id = ids.pop_front().expect("window is non-empty");
+                responses.push(self.recv_response(id)?);
+            }
+            ids.push_back(self.send(request));
+            self.flush()?;
+        }
+        while let Some(id) = ids.pop_front() {
+            responses.push(self.recv_response(id)?);
+        }
+        Ok(responses)
+    }
+}

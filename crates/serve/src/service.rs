@@ -15,6 +15,23 @@ use xorindex::{
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct AppId(usize);
 
+impl AppId {
+    /// The raw registration index, as carried on the wire and in snapshots.
+    /// Only meaningful to the service that issued it.
+    #[must_use]
+    pub fn raw(self) -> u64 {
+        self.0 as u64
+    }
+
+    /// Rebuilds a handle from its wire representation. No validation happens
+    /// here: an id that names no registered application fails any request
+    /// with [`ServeError::UnknownApp`].
+    #[must_use]
+    pub fn from_raw(raw: u64) -> AppId {
+        AppId(raw as usize)
+    }
+}
+
 impl fmt::Display for AppId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "app#{}", self.0)
@@ -49,6 +66,10 @@ pub enum ServeError {
     QueueFull,
     /// The worker pool shut down before answering.
     Disconnected,
+    /// A frame on the binary wire protocol could not be decoded (see
+    /// [`WireError`](crate::WireError)). Carried as a response variant so TCP
+    /// clients get a typed answer instead of a dropped connection.
+    Wire(crate::WireError),
 }
 
 impl fmt::Display for ServeError {
@@ -68,6 +89,7 @@ impl fmt::Display for ServeError {
             ServeError::Search(e) => write!(f, "search failed: {e}"),
             ServeError::QueueFull => write!(f, "request queue is full"),
             ServeError::Disconnected => write!(f, "worker pool shut down"),
+            ServeError::Wire(e) => write!(f, "wire protocol error: {e}"),
         }
     }
 }
@@ -76,6 +98,7 @@ impl std::error::Error for ServeError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ServeError::Search(e) => Some(e),
+            ServeError::Wire(e) => Some(e),
             _ => None,
         }
     }
@@ -84,6 +107,12 @@ impl std::error::Error for ServeError {
 impl From<XorIndexError> for ServeError {
     fn from(e: XorIndexError) -> Self {
         ServeError::Search(e)
+    }
+}
+
+impl From<crate::WireError> for ServeError {
+    fn from(e: crate::WireError) -> Self {
+        ServeError::Wire(e)
     }
 }
 
@@ -141,16 +170,17 @@ impl Registration {
 }
 
 /// One registered application: its owned profile plus the shared pricing
-/// state every request routes through.
+/// state every request routes through. `pub(crate)` so the snapshot module
+/// can serialize and rebuild it without widening the public API.
 #[derive(Debug)]
-struct Application {
-    profile: ConflictProfile,
-    cache: CacheConfig,
-    class: FunctionClass,
-    pool: NeighborPool,
-    kernel: Arc<FrozenKernel>,
-    memo: ShardedMemo,
-    scaffold: ScaffoldCache,
+pub(crate) struct Application {
+    pub(crate) profile: ConflictProfile,
+    pub(crate) cache: CacheConfig,
+    pub(crate) class: FunctionClass,
+    pub(crate) pool: NeighborPool,
+    pub(crate) kernel: Arc<FrozenKernel>,
+    pub(crate) memo: ShardedMemo,
+    pub(crate) scaffold: ScaffoldCache,
 }
 
 /// A request to the serving layer. Pricing requests carry [`PackedBasis`]
@@ -218,10 +248,40 @@ pub enum Response {
     Search(SearchOutcome),
     /// Serving statistics.
     Stats(AppStats),
-    /// The number of memo entries dropped by an eviction.
-    Evicted(usize),
+    /// The entry counts dropped by an eviction.
+    Evicted(EvictCounts),
     /// The request failed.
     Error(ServeError),
+}
+
+/// What one [`Request::Evict`] dropped: eviction clears *both* caches an
+/// application prices through, so a re-profiled application recomputes
+/// everything instead of mixing stale scaffolding with fresh costs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EvictCounts {
+    /// Memoized candidate costs dropped from the sharded memo.
+    pub memo: usize,
+    /// Hyperplane frames + remainder histograms dropped from the scaffold
+    /// cache.
+    pub scaffold: usize,
+}
+
+impl EvictCounts {
+    /// Total entries dropped across both caches.
+    #[must_use]
+    pub fn total(self) -> usize {
+        self.memo + self.scaffold
+    }
+}
+
+impl fmt::Display for EvictCounts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} memo entries + {} scaffolds",
+            self.memo, self.scaffold
+        )
+    }
 }
 
 /// A snapshot of one application's serving state.
@@ -475,14 +535,48 @@ impl IndexService {
         })
     }
 
-    /// Clears the application's memo, returning the number of entries
-    /// dropped.
+    /// Clears the application's memo *and* its scaffold cache, returning how
+    /// many entries each dropped. This is what [`Request::Evict`] runs:
+    /// after a re-profile both derived caches are stale, so both go.
     ///
     /// # Errors
     ///
     /// [`ServeError::UnknownApp`] for an unregistered id.
-    pub fn evict(&self, app: AppId) -> Result<usize, ServeError> {
+    pub fn evict(&self, app: AppId) -> Result<EvictCounts, ServeError> {
+        let app = self.app(app)?;
+        Ok(EvictCounts {
+            memo: app.memo.clear(),
+            scaffold: app.scaffold.clear(),
+        })
+    }
+
+    /// Clears only the memoized costs, keeping the scaffold cache warm —
+    /// the surgical variant for forcing re-pricing (benchmarks, cache-reuse
+    /// experiments) without discarding still-valid coset scaffolding.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownApp`] for an unregistered id.
+    pub fn evict_memo(&self, app: AppId) -> Result<usize, ServeError> {
         Ok(self.app(app)?.memo.clear())
+    }
+
+    /// A point-in-time copy of the registry, in registration order — what
+    /// the snapshot writer iterates.
+    pub(crate) fn applications(&self) -> Vec<Arc<Application>> {
+        self.apps
+            .read()
+            .expect("app registry lock poisoned")
+            .clone()
+    }
+
+    /// Installs a fully rebuilt application (snapshot restore), returning
+    /// its handle. Restores happen in snapshot order, so handles match the
+    /// service that wrote the snapshot.
+    pub(crate) fn install(&self, app: Application) -> AppId {
+        let mut apps = self.apps.write().expect("app registry lock poisoned");
+        apps.push(Arc::new(app));
+        AppId(apps.len() - 1)
     }
 
     /// Dispatches one typed request — the entry point the worker pool
@@ -577,7 +671,7 @@ mod tests {
         assert!(stats.distinct_vectors > 0);
         // Eviction forces recomputation but not different answers.
         let dropped = service.evict(app).unwrap();
-        assert_eq!(dropped, candidates.len());
+        assert_eq!(dropped.memo, candidates.len());
         assert_eq!(service.price_batch(app, &candidates).unwrap(), batch);
     }
 
@@ -696,15 +790,59 @@ mod tests {
         let first = service.run_search(app, SearchAlgorithm::HillClimb).unwrap();
         let after_first = service.stats(app).unwrap().scaffold;
         assert!(after_first.misses > 0, "search should build scaffolds");
-        // Dropping the memo forces the second (identical) search to re-price
-        // every neighbourhood — but every scaffold it needs is already
-        // cached, so misses stay flat while hits climb.
-        service.evict(app).unwrap();
+        // Dropping only the memo (`evict_memo`, not the full `evict`, which
+        // would discard the scaffolds too) forces the second (identical)
+        // search to re-price every neighbourhood — but every scaffold it
+        // needs is already cached, so misses stay flat while hits climb.
+        service.evict_memo(app).unwrap();
         let second = service.run_search(app, SearchAlgorithm::HillClimb).unwrap();
         let after_second = service.stats(app).unwrap().scaffold;
         assert_eq!(first.function, second.function);
         assert_eq!(after_second.misses, after_first.misses);
         assert!(after_second.hits > after_first.hits);
+    }
+
+    #[test]
+    fn evict_clears_both_the_memo_and_the_scaffold_cache() {
+        // Same tiny geometry as the scaffold-reuse test: a search is the
+        // only way to populate the scaffold cache.
+        let tiny = CacheConfig::builder()
+            .size_bytes(16)
+            .block_bytes(4)
+            .associativity(1)
+            .build()
+            .unwrap();
+        let service = IndexService::new();
+        let app = service
+            .register(
+                Registration::new(profile(12), tiny).with_class(FunctionClass::xor_unlimited()),
+            )
+            .unwrap();
+        service.run_search(app, SearchAlgorithm::HillClimb).unwrap();
+        let stats = service.stats(app).unwrap();
+        assert!(stats.memo.entries > 0);
+        assert!(stats.scaffold.entries > 0);
+        // Evict through the request protocol: both caches empty, counts
+        // reported per cache.
+        let response = service.handle(Request::Evict { app });
+        let Response::Evicted(counts) = response else {
+            panic!("expected Evicted, got {response:?}");
+        };
+        assert_eq!(counts.memo, stats.memo.entries);
+        assert_eq!(counts.scaffold, stats.scaffold.entries);
+        assert_eq!(counts.total(), counts.memo + counts.scaffold);
+        let after = service.stats(app).unwrap();
+        assert_eq!(after.memo.entries, 0);
+        // Regression: eviction resets the scaffold stats, not just the memo.
+        assert_eq!(
+            (
+                after.scaffold.entries,
+                after.scaffold.hits,
+                after.scaffold.misses,
+                after.scaffold.evictions
+            ),
+            (0, 0, 0, 0)
+        );
     }
 
     #[test]

@@ -1,0 +1,152 @@
+//! A pipelined TCP client for the binary wire protocol.
+//!
+//! Pointed at a running `tcp_server` example (the default address matches
+//! its default), it discovers the first application's geometry through a
+//! `Stats` request, prices a batch of candidate null spaces at pipeline
+//! depths 1 and 8, and prints the round-trip contrast plus the server's
+//! wire counters.
+//!
+//! With no server running it demonstrates the whole lifecycle in-process
+//! instead: register → price over loopback → snapshot → restart the server
+//! → price warm, asserting the restarted answers are bit-identical.
+//!
+//! Run with (optionally `<addr>` as an argument):
+//!
+//! ```text
+//! cargo run --release --example tcp_client
+//! ```
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use xorindex_repro::prelude::*;
+use xorindex_repro::xorindex_serve::{self, AppId, Client, Registration, ServerConfig, TcpServer};
+
+/// Candidate null spaces for an application serving `hashed_bits` with
+/// `set_bits` set-index bits: conventional indexing with one low set bit
+/// swapped for each higher address bit in turn.
+fn candidates(hashed_bits: usize, set_bits: usize) -> Vec<gf2::PackedBasis> {
+    (set_bits..hashed_bits)
+        .map(|high_bit| {
+            let excluded = (set_bits..hashed_bits).map(|b| if b == high_bit { 0 } else { b });
+            gf2::PackedBasis::standard_span(hashed_bits, excluded)
+        })
+        .collect()
+}
+
+/// Prices candidates for the server's first application at depths 1 and 8.
+fn drive(client: &mut Client) {
+    let app = AppId::from_raw(0);
+    let stats = match client.call(&Request::Stats { app }).expect("stats call") {
+        Response::Stats(stats) => stats,
+        other => panic!("unexpected {other:?}"),
+    };
+    println!(
+        "{app}: {} hashed bits, {} set bits, {} distinct conflict vectors",
+        stats.hashed_bits, stats.set_bits, stats.distinct_vectors
+    );
+
+    let requests: Vec<Request> = candidates(stats.hashed_bits, stats.set_bits)
+        .into_iter()
+        .map(|basis| Request::PriceCandidate { app, basis })
+        .collect();
+
+    let start = Instant::now();
+    let sequential = client.call_pipelined(&requests, 1).expect("depth-1 run");
+    let depth1 = start.elapsed();
+    let start = Instant::now();
+    let pipelined = client.call_pipelined(&requests, 8).expect("depth-8 run");
+    let depth8 = start.elapsed();
+    assert_eq!(sequential, pipelined, "depth must not change answers");
+
+    for (request, response) in requests.iter().zip(&pipelined) {
+        let Request::PriceCandidate { basis, .. } = request else {
+            unreachable!()
+        };
+        let Response::Price(cost) = response else {
+            panic!("unexpected {response:?}")
+        };
+        println!(
+            "  dim-{} candidate -> {cost:6} estimated misses",
+            basis.dim()
+        );
+    }
+    println!(
+        "{} requests: depth 1 in {depth1:?}, depth 8 in {depth8:?}",
+        requests.len()
+    );
+
+    let wire = client.server_stats().expect("server stats");
+    println!(
+        "server wire counters: {} frames in / {} out, max pipeline depth {}",
+        wire.frames_in, wire.frames_out, wire.max_pipeline_depth
+    );
+}
+
+/// The full lifecycle in one process: register → price over loopback →
+/// snapshot → restart the server → price warm and bit-identically.
+fn lifecycle_demo() {
+    let cache = CacheConfig::paper_cache(1);
+    let ping_pong = (0..4000u64).map(|i| BlockAddr((i % 2) * 256));
+    let profile = ConflictProfile::from_blocks(ping_pong, 16, cache.num_blocks() as usize);
+
+    let service = Arc::new(xorindex_serve::IndexService::new());
+    let app = service
+        .register(Registration::new(profile, cache))
+        .expect("valid geometry");
+    let requests: Vec<Request> = candidates(16, cache.set_bits())
+        .into_iter()
+        .map(|basis| Request::PriceCandidate { app, basis })
+        .collect();
+    let snapshot_path =
+        std::env::temp_dir().join(format!("xorindex_client_demo_{}.bin", std::process::id()));
+
+    // Generation one: price everything, snapshot, shut the server down.
+    let first = {
+        let server = TcpServer::bind("127.0.0.1:0", Arc::clone(&service), ServerConfig::default())
+            .expect("ephemeral loopback bind");
+        let mut client = Client::connect(server.local_addr()).expect("loopback connect");
+        let responses = client.call_pipelined(&requests, 8).expect("pipelined run");
+        server
+            .service()
+            .snapshot_to(&snapshot_path)
+            .expect("write the snapshot");
+        println!(
+            "generation 1: priced {} candidates, snapshot at {}",
+            responses.len(),
+            snapshot_path.display()
+        );
+        responses
+    };
+
+    // Generation two: restore from disk — no re-profiling — and re-price.
+    let restored = Arc::new(
+        xorindex_serve::IndexService::restore_from(&snapshot_path).expect("readable snapshot"),
+    );
+    std::fs::remove_file(&snapshot_path).expect("remove the demo snapshot");
+    let server = TcpServer::bind("127.0.0.1:0", restored, ServerConfig::default())
+        .expect("ephemeral loopback bind");
+    let mut client = Client::connect(server.local_addr()).expect("loopback connect");
+    let second = client.call_pipelined(&requests, 8).expect("pipelined run");
+    assert_eq!(first, second, "restored answers must be bit-identical");
+    println!(
+        "generation 2: restored server priced all {} candidates bit-identically",
+        second.len()
+    );
+}
+
+fn main() {
+    let addr = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "127.0.0.1:7401".to_string());
+    match Client::connect(addr.as_str()) {
+        Ok(mut client) => {
+            println!("connected to {addr}");
+            drive(&mut client);
+        }
+        Err(_) => {
+            println!("no server at {addr}; running the snapshot lifecycle in-process instead");
+            lifecycle_demo();
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! A standalone TCP index server with snapshot/restore across restarts.
+//!
+//! First run: registers two demo applications (a strided loop and a
+//! ping-pong pattern), serves the binary wire protocol on loopback for a
+//! few seconds, then snapshots the registry to a file in the system temp
+//! directory. Second run: restores from that snapshot — no re-profiling,
+//! no kernel re-freezing — and serves the same applications warm, with the
+//! same `AppId`s.
+//!
+//! Run with (optionally `<addr>` and `<seconds>` as arguments):
+//!
+//! ```text
+//! cargo run --release --example tcp_server
+//! # ...and while it serves, from another terminal:
+//! cargo run --release --example tcp_client
+//! ```
+
+use std::sync::Arc;
+
+use xorindex_repro::prelude::*;
+use xorindex_repro::xorindex_serve::{self, Registration, ServerConfig, TcpServer};
+
+/// Registers the demo applications: a strided loop and a ping-pong access
+/// pattern, both profiled at 16 hashed bits for the paper's 1 KB cache.
+fn fresh_service() -> xorindex_serve::IndexService {
+    let cache = CacheConfig::paper_cache(1);
+    let service = xorindex_serve::IndexService::new();
+
+    let strided = memtrace::generators::StridedGenerator::new(0x4_0000, 1024, 16, 200).generate();
+    let loop_app = service
+        .register(Registration::new(
+            ConflictProfile::from_blocks(
+                strided.data_block_addresses(cache.block_bits()),
+                16,
+                cache.num_blocks() as usize,
+            ),
+            cache,
+        ))
+        .expect("valid geometry");
+
+    let ping_pong = (0..4000u64).map(|i| BlockAddr((i % 2) * 256));
+    let pong_app = service
+        .register(
+            Registration::new(
+                ConflictProfile::from_blocks(ping_pong, 16, cache.num_blocks() as usize),
+                cache,
+            )
+            .with_class(FunctionClass::xor_unlimited()),
+        )
+        .expect("valid geometry");
+
+    println!("registered {loop_app} (strided loop) and {pong_app} (ping-pong)");
+    service
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let addr = args.next().unwrap_or_else(|| "127.0.0.1:7401".to_string());
+    let seconds: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(15);
+    let snapshot_path = std::env::temp_dir().join("xorindex_demo_snapshot.bin");
+
+    // Restart path: rehydrate the registry from the previous run's snapshot.
+    let service = if snapshot_path.exists() {
+        match xorindex_serve::IndexService::restore_from(&snapshot_path) {
+            Ok(restored) => {
+                println!(
+                    "restored {} applications from {} — serving warm, same AppIds",
+                    restored.len(),
+                    snapshot_path.display()
+                );
+                Arc::new(restored)
+            }
+            Err(e) => {
+                println!(
+                    "snapshot at {} unusable ({e}); registering fresh",
+                    snapshot_path.display()
+                );
+                Arc::new(fresh_service())
+            }
+        }
+    } else {
+        Arc::new(fresh_service())
+    };
+
+    let server = TcpServer::bind(addr.as_str(), Arc::clone(&service), ServerConfig::default())
+        .expect("bind the requested address");
+    println!(
+        "serving the binary wire protocol on {} for {seconds}s — \
+         run `cargo run --release --example tcp_client` now",
+        server.local_addr()
+    );
+    std::thread::sleep(std::time::Duration::from_secs(seconds));
+
+    // Report what the wire saw, then persist the registry for the next run.
+    let wire = server.wire_stats();
+    println!(
+        "served {} connections: {} frames in / {} frames out, \
+         {} bytes in / {} bytes out, max pipeline depth {}, {} decode errors",
+        wire.connections,
+        wire.frames_in,
+        wire.frames_out,
+        wire.bytes_in,
+        wire.bytes_out,
+        wire.max_pipeline_depth,
+        wire.decode_errors
+    );
+    service
+        .snapshot_to(&snapshot_path)
+        .expect("write the snapshot");
+    println!(
+        "snapshot written to {} — restart this example to restore it",
+        snapshot_path.display()
+    );
+}

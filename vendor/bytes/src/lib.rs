@@ -2,8 +2,13 @@
 //!
 //! Provides [`Bytes`], [`BytesMut`] and the [`Buf`]/[`BufMut`] traits with
 //! the cursor-style big-endian accessors this workspace's binary trace codec
-//! uses. `Bytes` is a cheaply cloneable shared buffer backed by an
-//! `Arc<[u8]>`; reads advance an internal cursor like the upstream crate.
+//! and wire protocol use. `Bytes` is a cheaply cloneable shared buffer backed
+//! by an `Arc<[u8]>`; reads advance an internal cursor like the upstream
+//! crate. As upstream, [`Buf`] is also implemented for `&[u8]` (the cursor is
+//! the slice itself) and [`BufMut`] for `Vec<u8>`, and the non-panicking
+//! `try_get_*` accessors return [`TryGetError`] on underflow instead of
+//! panicking — the surface a network decoder needs to reject malformed input
+//! as data, not as a crash.
 
 use std::ops::{Bound, Deref, RangeBounds};
 use std::sync::Arc;
@@ -162,22 +167,122 @@ impl AsRef<[u8]> for BytesMut {
     }
 }
 
+/// Error returned by the non-panicking `try_get_*` reads: the buffer held
+/// fewer bytes than the read needed. Mirrors upstream's `TryGetError`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TryGetError {
+    /// Bytes the read required.
+    pub requested: usize,
+    /// Bytes that were actually available.
+    pub available: usize,
+}
+
+impl std::fmt::Display for TryGetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "tried to read {} bytes but only {} were available",
+            self.requested, self.available
+        )
+    }
+}
+
+impl std::error::Error for TryGetError {}
+
 /// Cursor-style big-endian reads, mirroring `bytes::Buf`.
 pub trait Buf {
     /// Bytes left to read.
     fn remaining(&self) -> usize;
 
+    /// Borrows the remaining bytes without advancing the cursor.
+    fn chunk(&self) -> &[u8];
+
+    /// Advances the cursor past `n` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics when fewer than `n` bytes remain.
+    fn advance(&mut self, n: usize);
+
     /// Reads the next `n` bytes into an owned [`Bytes`].
-    fn copy_to_bytes(&mut self, n: usize) -> Bytes;
+    fn copy_to_bytes(&mut self, n: usize) -> Bytes {
+        assert!(n <= self.remaining(), "buffer underflow");
+        let out = Bytes::from(self.chunk()[..n].to_vec());
+        self.advance(n);
+        out
+    }
 
     /// Reads one byte.
-    fn get_u8(&mut self) -> u8;
+    fn get_u8(&mut self) -> u8 {
+        self.try_get_u8().expect("buffer underflow")
+    }
+
+    /// Reads a big-endian `u16`.
+    fn get_u16(&mut self) -> u16 {
+        self.try_get_u16().expect("buffer underflow")
+    }
 
     /// Reads a big-endian `u32`.
-    fn get_u32(&mut self) -> u32;
+    fn get_u32(&mut self) -> u32 {
+        self.try_get_u32().expect("buffer underflow")
+    }
 
     /// Reads a big-endian `u64`.
-    fn get_u64(&mut self) -> u64;
+    fn get_u64(&mut self) -> u64 {
+        self.try_get_u64().expect("buffer underflow")
+    }
+
+    /// Reads one byte, or reports how short the buffer is.
+    ///
+    /// # Errors
+    ///
+    /// [`TryGetError`] when the buffer is empty; the cursor does not move.
+    fn try_get_u8(&mut self) -> Result<u8, TryGetError> {
+        let b = try_bytes::<1>(self)?;
+        Ok(b[0])
+    }
+
+    /// Reads a big-endian `u16`, or reports how short the buffer is.
+    ///
+    /// # Errors
+    ///
+    /// [`TryGetError`] on underflow; the cursor does not move.
+    fn try_get_u16(&mut self) -> Result<u16, TryGetError> {
+        Ok(u16::from_be_bytes(try_bytes::<2>(self)?))
+    }
+
+    /// Reads a big-endian `u32`, or reports how short the buffer is.
+    ///
+    /// # Errors
+    ///
+    /// [`TryGetError`] on underflow; the cursor does not move.
+    fn try_get_u32(&mut self) -> Result<u32, TryGetError> {
+        Ok(u32::from_be_bytes(try_bytes::<4>(self)?))
+    }
+
+    /// Reads a big-endian `u64`, or reports how short the buffer is.
+    ///
+    /// # Errors
+    ///
+    /// [`TryGetError`] on underflow; the cursor does not move.
+    fn try_get_u64(&mut self) -> Result<u64, TryGetError> {
+        Ok(u64::from_be_bytes(try_bytes::<8>(self)?))
+    }
+}
+
+/// Reads `N` bytes off the front of `buf`, leaving the cursor untouched when
+/// fewer remain.
+fn try_bytes<const N: usize>(buf: &mut (impl Buf + ?Sized)) -> Result<[u8; N], TryGetError> {
+    if buf.remaining() < N {
+        return Err(TryGetError {
+            requested: N,
+            available: buf.remaining(),
+        });
+    }
+    let mut out = [0u8; N];
+    out.copy_from_slice(&buf.chunk()[..N]);
+    buf.advance(N);
+    Ok(out)
 }
 
 impl Buf for Bytes {
@@ -185,20 +290,33 @@ impl Buf for Bytes {
         self.len()
     }
 
+    fn chunk(&self) -> &[u8] {
+        self.as_ref()
+    }
+
+    fn advance(&mut self, n: usize) {
+        let _ = self.take(n);
+    }
+
     fn copy_to_bytes(&mut self, n: usize) -> Bytes {
         Bytes::from(self.take(n).to_vec())
     }
+}
 
-    fn get_u8(&mut self) -> u8 {
-        self.take(1)[0]
+/// The upstream crate's zero-copy decode surface: a plain byte slice is a
+/// cursor over itself, advancing by re-slicing (no copy, no allocation).
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
     }
 
-    fn get_u32(&mut self) -> u32 {
-        u32::from_be_bytes(self.take(4).try_into().expect("4 bytes"))
+    fn chunk(&self) -> &[u8] {
+        self
     }
 
-    fn get_u64(&mut self) -> u64 {
-        u64::from_be_bytes(self.take(8).try_into().expect("8 bytes"))
+    fn advance(&mut self, n: usize) {
+        assert!(n <= self.len(), "buffer underflow");
+        *self = &self[n..];
     }
 }
 
@@ -208,30 +326,37 @@ pub trait BufMut {
     fn put_slice(&mut self, src: &[u8]);
 
     /// Appends one byte.
-    fn put_u8(&mut self, v: u8);
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a big-endian `u16`.
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
 
     /// Appends a big-endian `u32`.
-    fn put_u32(&mut self, v: u32);
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
 
     /// Appends a big-endian `u64`.
-    fn put_u64(&mut self, v: u64);
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
 }
 
 impl BufMut for BytesMut {
     fn put_slice(&mut self, src: &[u8]) {
         self.data.extend_from_slice(src);
     }
+}
 
-    fn put_u8(&mut self, v: u8) {
-        self.data.push(v);
-    }
-
-    fn put_u32(&mut self, v: u32) {
-        self.data.extend_from_slice(&v.to_be_bytes());
-    }
-
-    fn put_u64(&mut self, v: u64) {
-        self.data.extend_from_slice(&v.to_be_bytes());
+/// The upstream crate's encode surface for plain vectors: appends go straight
+/// into the `Vec`'s storage.
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
     }
 }
 
@@ -269,5 +394,68 @@ mod tests {
     fn underflow_panics() {
         let mut b = Bytes::from(vec![1]);
         let _ = b.get_u32();
+    }
+
+    #[test]
+    fn slice_cursor_and_vec_builder_roundtrip() {
+        let mut out: Vec<u8> = Vec::new();
+        out.put_u16(0x0102);
+        out.put_u8(9);
+        out.put_u64(u64::MAX - 1);
+        out.put_slice(&[0xAA]);
+        let mut cursor: &[u8] = &out;
+        assert_eq!(cursor.remaining(), 12);
+        assert_eq!(cursor.get_u16(), 0x0102);
+        assert_eq!(cursor.get_u8(), 9);
+        assert_eq!(cursor.get_u64(), u64::MAX - 1);
+        assert_eq!(cursor.chunk(), &[0xAA]);
+        cursor.advance(1);
+        assert!(cursor.is_empty());
+        // The cursor advanced over the original slice without copying it.
+        assert_eq!(out.len(), 12);
+    }
+
+    #[test]
+    fn try_get_reports_underflow_without_advancing() {
+        let mut cursor: &[u8] = &[1, 2, 3];
+        assert_eq!(
+            cursor.try_get_u32(),
+            Err(TryGetError {
+                requested: 4,
+                available: 3,
+            })
+        );
+        // The failed read left the cursor in place; a fitting read succeeds.
+        assert_eq!(cursor.try_get_u16(), Ok(0x0102));
+        assert_eq!(cursor.try_get_u8(), Ok(3));
+        assert_eq!(
+            cursor.try_get_u8(),
+            Err(TryGetError {
+                requested: 1,
+                available: 0,
+            })
+        );
+        assert!(!TryGetError {
+            requested: 8,
+            available: 0,
+        }
+        .to_string()
+        .is_empty());
+    }
+
+    #[test]
+    fn bytes_cursor_supports_the_extended_surface() {
+        let mut buf = BytesMut::new();
+        buf.put_u16(7);
+        let mut b = buf.freeze();
+        assert_eq!(b.chunk(), &[0, 7]);
+        assert_eq!(b.try_get_u16(), Ok(7));
+        assert_eq!(
+            b.try_get_u64(),
+            Err(TryGetError {
+                requested: 8,
+                available: 0,
+            })
+        );
     }
 }
