@@ -1,0 +1,86 @@
+//! Bench for the optimize→verify loop: what trace-replay verification costs
+//! on top of the estimate-only search, and how fast the replayer chews
+//! through retained block accesses.
+//!
+//! Three measurements on susan @ 4 KB (the paper's cell):
+//!
+//! * `estimate_only` — `run_search` alone: pick by Eq. 4 estimate, no
+//!   simulation (the pre-verification serving path);
+//! * `verified_top3` — `optimize_verified` with `top_k = 3`: the same
+//!   search plus three trace replays, a baseline replay and the estimator
+//!   audit — the full verified pick;
+//! * `replay/accesses_N` — one `TraceReplayer::replay` of the conventional
+//!   function over the N retained accesses; ns/iter ÷ N is the per-access
+//!   replay cost, so replayed-accesses/sec falls out of the JSON directly.
+//!
+//! Both optimize benches evict the application's memo every iteration so
+//! the searches pay identical (cold) pricing costs and the measured gap is
+//! the verification work itself.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use xorindex::{FunctionClass, HashFunction, SearchAlgorithm};
+use xorindex_bench::prepare_data;
+use xorindex_serve::{IndexService, Registration};
+use xorindex_verify::TraceReplayer;
+
+fn bench_verify_loop(c: &mut Criterion) {
+    let prepared = prepare_data("susan", 4);
+    let trace = Arc::new(prepared.blocks.clone());
+    let service = Arc::new(IndexService::new());
+    let app = service
+        .register(
+            Registration::new(prepared.profile.clone(), prepared.cache)
+                .with_class(FunctionClass::xor_unlimited())
+                .with_shared_trace(Arc::clone(&trace)),
+        )
+        .expect("valid geometry");
+
+    let mut group = c.benchmark_group("verify_loop");
+    group.sample_size(10);
+
+    group.bench_function("estimate_only", |b| {
+        b.iter(|| {
+            service.evict(app).expect("registered app");
+            black_box(
+                service
+                    .run_search(app, SearchAlgorithm::HillClimb)
+                    .expect("search succeeds"),
+            )
+        })
+    });
+
+    group.bench_function("verified_top3", |b| {
+        b.iter(|| {
+            service.evict(app).expect("registered app");
+            black_box(
+                service
+                    .optimize_verified(app, SearchAlgorithm::HillClimb, 3)
+                    .expect("verified optimization succeeds"),
+            )
+        })
+    });
+
+    // Raw replay throughput: the access count is in the bench id, so
+    // ns/iter ÷ accesses gives the per-access cost.
+    let replayer = TraceReplayer::new(prepared.cache, Arc::clone(&trace));
+    let conventional =
+        HashFunction::conventional(prepared.profile.hashed_bits(), prepared.cache.set_bits())
+            .expect("valid geometry");
+    group.bench_with_input(
+        BenchmarkId::new("replay", format!("accesses_{}", trace.len())),
+        &trace.len(),
+        |b, _| b.iter(|| black_box(replayer.replay(&conventional).expect("geometry matches"))),
+    );
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().measurement_time(std::time::Duration::from_millis(600)).warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench_verify_loop
+}
+criterion_main!(benches);

@@ -5,8 +5,8 @@ use rand::SeedableRng;
 
 use crate::replacement::{CacheSet, SetAccess};
 use crate::{
-    Address, BlockAddr, CacheConfig, CacheError, CacheStats, IndexFunction, MissClassifier,
-    ReplacementPolicy,
+    Address, BlockAddr, CacheConfig, CacheError, CacheStats, IndexFunction, MissClass,
+    MissClassifier, ReplacementPolicy,
 };
 
 /// Outcome of a single cache access.
@@ -62,6 +62,7 @@ pub struct Cache {
     rng: StdRng,
     stats: CacheStats,
     classifier: Option<MissClassifier>,
+    set_conflicts: Option<Vec<u64>>,
 }
 
 impl Cache {
@@ -115,6 +116,7 @@ impl Cache {
             rng: StdRng::seed_from_u64(0x5EED),
             stats: CacheStats::new(),
             classifier: None,
+            set_conflicts: None,
         })
     }
 
@@ -132,6 +134,22 @@ impl Cache {
     #[must_use]
     pub fn with_classification(mut self) -> Self {
         self.classifier = Some(MissClassifier::new(self.config.num_blocks() as usize));
+        self
+    }
+
+    /// Enables a per-set conflict-miss breakdown on top of 3C classification
+    /// (implies [`Cache::with_classification`]).
+    ///
+    /// Each conflict miss is attributed to the set the missing block indexed
+    /// into, so a verification report can localize *where* an index function
+    /// still collides. The per-set counters always sum to the aggregate
+    /// [`CacheStats::conflict_misses`] counter.
+    #[must_use]
+    pub fn with_set_conflict_tracking(mut self) -> Self {
+        if self.classifier.is_none() {
+            self.classifier = Some(MissClassifier::new(self.config.num_blocks() as usize));
+        }
+        self.set_conflicts = Some(vec![0; self.config.num_sets() as usize]);
         self
     }
 
@@ -157,6 +175,28 @@ impl Cache {
     #[must_use]
     pub fn stats(&self) -> &CacheStats {
         &self.stats
+    }
+
+    /// Per-set conflict-miss counters, or `None` when
+    /// [`Cache::with_set_conflict_tracking`] was not enabled.
+    #[must_use]
+    pub fn set_conflicts(&self) -> Option<&[u64]> {
+        self.set_conflicts.as_deref()
+    }
+
+    /// The sets that still collide, as `(set index, conflict misses)` pairs in
+    /// ascending set order with zero entries skipped. Empty when tracking is
+    /// off or nothing conflicted.
+    #[must_use]
+    pub fn nonzero_set_conflicts(&self) -> Vec<(u32, u64)> {
+        self.set_conflicts
+            .as_deref()
+            .unwrap_or(&[])
+            .iter()
+            .enumerate()
+            .filter(|&(_, &count)| count != 0)
+            .map(|(set, &count)| (set as u32, count))
+            .collect()
     }
 
     /// `true` when the block is currently resident.
@@ -196,14 +236,15 @@ impl Cache {
                 self.stats.record_hit();
                 AccessOutcome::Hit
             }
-            SetAccess::MissFilled => {
+            outcome @ (SetAccess::MissFilled | SetAccess::MissEvicted(_)) => {
+                let class = reuse.map(MissClassifier::classify_miss);
+                if class == Some(MissClass::Conflict) {
+                    if let Some(counters) = &mut self.set_conflicts {
+                        counters[set] += 1;
+                    }
+                }
                 self.stats
-                    .record_miss(reuse.map(MissClassifier::classify_miss), false);
-                AccessOutcome::Miss
-            }
-            SetAccess::MissEvicted(_) => {
-                self.stats
-                    .record_miss(reuse.map(MissClassifier::classify_miss), true);
+                    .record_miss(class, matches!(outcome, SetAccess::MissEvicted(_)));
                 AccessOutcome::Miss
             }
         }
@@ -256,6 +297,9 @@ impl Cache {
         self.stats = CacheStats::new();
         if let Some(c) = &mut self.classifier {
             c.reset();
+        }
+        if let Some(counters) = &mut self.set_conflicts {
+            counters.fill(0);
         }
     }
 }
@@ -327,6 +371,64 @@ mod tests {
         assert!(stats.compulsory_misses >= 8); // 8 distinct blocks
         assert!(stats.conflict_misses >= 2); // the 0/4 ping-pong
         assert_eq!(stats.accesses, 11);
+    }
+
+    #[test]
+    fn per_set_conflicts_sum_to_the_aggregate_counter() {
+        let config = CacheConfig::builder()
+            .size_bytes(16)
+            .block_bytes(4)
+            .associativity(1)
+            .build()
+            .unwrap();
+        let mut cache =
+            Cache::new(config, ModuloIndex::for_config(&config)).with_set_conflict_tracking();
+        // Blocks 0 and 4 ping-pong in set 0; blocks 1 and 5 in set 1.
+        let trace: Vec<u64> = vec![0, 4, 0, 4, 0, 1, 5, 1, 5, 1];
+        let stats = cache.simulate_blocks(trace.into_iter().map(BlockAddr));
+        assert!(stats.conflict_misses > 0, "the ping-pongs must conflict");
+        let per_set = cache.set_conflicts().expect("tracking enabled");
+        assert_eq!(per_set.len(), config.num_sets() as usize);
+        assert_eq!(per_set.iter().sum::<u64>(), stats.conflict_misses);
+        // Only sets 0 and 1 were ever indexed, so only they may conflict.
+        assert!(per_set[2..].iter().all(|&c| c == 0));
+        let nonzero = cache.nonzero_set_conflicts();
+        assert_eq!(
+            nonzero.iter().map(|&(_, c)| c).sum::<u64>(),
+            stats.conflict_misses
+        );
+        assert!(nonzero.iter().all(|&(set, _)| set < 2));
+        // Windows are sorted and deduplicated by construction.
+        assert!(nonzero.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn set_conflict_tracking_implies_classification_and_resets() {
+        let config = CacheConfig::builder()
+            .size_bytes(16)
+            .block_bytes(4)
+            .associativity(1)
+            .build()
+            .unwrap();
+        let mut cache =
+            Cache::new(config, ModuloIndex::for_config(&config)).with_set_conflict_tracking();
+        let trace: Vec<u64> = vec![0, 4, 0, 4];
+        let stats = cache.simulate_blocks(trace.into_iter().map(BlockAddr));
+        // Tracking turned classification on even without with_classification().
+        assert_eq!(stats.classified_misses(), stats.misses);
+        assert!(!cache.nonzero_set_conflicts().is_empty());
+        cache.reset();
+        assert!(cache.nonzero_set_conflicts().is_empty());
+        assert_eq!(cache.set_conflicts().unwrap().iter().sum::<u64>(), 0);
+    }
+
+    #[test]
+    fn untracked_cache_reports_no_per_set_counters() {
+        let config = dm_1kb();
+        let mut cache = Cache::new(config, ModuloIndex::for_config(&config));
+        cache.access_block(BlockAddr(0));
+        assert!(cache.set_conflicts().is_none());
+        assert!(cache.nonzero_set_conflicts().is_empty());
     }
 
     #[test]

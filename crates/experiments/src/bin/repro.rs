@@ -9,12 +9,13 @@
 use std::env;
 use std::process::ExitCode;
 
-use experiments::{design_space, general_vs_permutation, table1, table2, table3};
+use experiments::{design_space, general_vs_permutation, sweep, table1, table2, table3};
 use experiments::{ExperimentConfig, TraceSide};
 use workloads::Scale;
 
 const USAGE: &str = "\
 usage: repro <command> [--scale tiny|small|reference] [--quick] [--threads N]
+                       [--json PATH]
 
 commands:
   design-space     Section 2 design-space size figures (Eq. 3)
@@ -23,24 +24,43 @@ commands:
   table2-data      Table 2, data caches
   table2-instr     Table 2, instruction caches
   table3           Table 3: PowerStone, optimal bit-select vs XOR vs FA
-  all              everything above, in order
+  sweep            design-space sweep through the serving layer's
+                   optimize->verify loop (simulated misses + estimator audit)
+  all              everything above except sweep, in order
 
 options:
   --scale SCALE    workload input scale (default: small)
-  --quick          tiny inputs, 12 hashed bits, 1 KB cache only (smoke test)
+  --quick          tiny inputs, 12 hashed bits, 1 KB cache only (smoke test);
+                   for sweep: the 2-workload x 2-geometry smoke grid
   --threads N      worker threads for each search's evaluation engine
                    (default 1: the experiments already fan out across
                    workloads; results are bit-identical at any setting)
+  --json PATH      (sweep only) also write the report as JSON to PATH
 ";
 
-fn parse_config(args: &[String]) -> Result<ExperimentConfig, String> {
+/// Parsed CLI options: the classic experiment configuration plus the
+/// sweep-specific extras.
+struct CliOptions {
+    config: ExperimentConfig,
+    quick: bool,
+    scale_override: Option<Scale>,
+    json: Option<String>,
+}
+
+fn parse_config(args: &[String]) -> Result<CliOptions, String> {
     let mut quick = false;
     let mut scale = None;
     let mut threads = None;
+    let mut json = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--quick" => quick = true,
+            "--json" => {
+                i += 1;
+                let value = args.get(i).ok_or("--json needs a path")?;
+                json = Some(value.clone());
+            }
             "--scale" => {
                 i += 1;
                 let value = args.get(i).ok_or("--scale needs a value")?;
@@ -79,10 +99,35 @@ fn parse_config(args: &[String]) -> Result<ExperimentConfig, String> {
     if let Some(threads) = threads {
         config.search_threads = threads;
     }
-    Ok(config)
+    Ok(CliOptions {
+        config,
+        quick,
+        scale_override: scale,
+        json,
+    })
 }
 
-fn run(command: &str, config: &ExperimentConfig) -> Result<(), String> {
+fn run_sweep(options: &CliOptions) -> Result<(), String> {
+    let mut config = if options.quick {
+        sweep::SweepConfig::quick()
+    } else {
+        sweep::SweepConfig::default_grid()
+    };
+    if let Some(scale) = options.scale_override {
+        config.scale = scale;
+    }
+    let report = sweep::run(&config)?;
+    print!("{}", sweep::render(&report));
+    if let Some(path) = &options.json {
+        std::fs::write(path, sweep::render_json(&report))
+            .map_err(|e| format!("writing {path:?}: {e}"))?;
+        eprintln!("wrote JSON report to {path}");
+    }
+    Ok(())
+}
+
+fn run(command: &str, options: &CliOptions) -> Result<(), String> {
+    let config = &options.config;
     match command {
         "design-space" => {
             println!("{}", design_space::render(&design_space::paper_rows()));
@@ -110,6 +155,7 @@ fn run(command: &str, config: &ExperimentConfig) -> Result<(), String> {
             let table = table3::compute(config, size);
             println!("{}", table3::render(&table));
         }
+        "sweep" => run_sweep(options)?,
         "all" => {
             for cmd in [
                 "design-space",
@@ -119,7 +165,7 @@ fn run(command: &str, config: &ExperimentConfig) -> Result<(), String> {
                 "table2-instr",
                 "table3",
             ] {
-                run(cmd, config)?;
+                run(cmd, options)?;
             }
         }
         other => return Err(format!("unknown command {other:?}\n{USAGE}")),
@@ -133,14 +179,14 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
-    let config = match parse_config(&args[1..]) {
+    let options = match parse_config(&args[1..]) {
         Ok(c) => c,
         Err(e) => {
             eprintln!("error: {e}\n{USAGE}");
             return ExitCode::FAILURE;
         }
     };
-    match run(command, &config) {
+    match run(command, &options) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");

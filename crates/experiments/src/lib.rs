@@ -16,7 +16,11 @@
 //!   16 KB;
 //! * [`table3`] — Table 3: PowerStone, 4 KB data cache — optimal bit-selecting
 //!   vs heuristic bit-selecting vs permutation-based XOR functions vs a
-//!   fully-associative cache.
+//!   fully-associative cache;
+//! * [`sweep`] — the design-space sweep: a (workload × cache geometry ×
+//!   function class) grid pushed through the serving layer's
+//!   optimize→verify loop, reporting *simulated* miss counts and the
+//!   estimator audit per cell.
 //!
 //! The numbers come from the re-implemented workloads of the [`workloads`]
 //! crate rather than the original ARM binaries, so absolute values differ from
@@ -36,6 +40,7 @@
 
 pub mod design_space;
 pub mod general_vs_permutation;
+pub mod sweep;
 pub mod table1;
 pub mod table2;
 pub mod table3;

@@ -15,10 +15,15 @@
 //!   answers repeats from the same memo.
 //! * [`Request`] / [`Response`] — the typed protocol:
 //!   [`Request::PriceCandidate`], [`Request::PriceBatch`],
-//!   [`Request::RunSearch`], [`Request::Stats`], [`Request::Evict`].
+//!   [`Request::RunSearch`], [`Request::Stats`], [`Request::Evict`],
+//!   [`Request::SimulateFunction`], [`Request::OptimizeVerified`].
 //!   Candidate requests carry [`gf2::PackedBasis`] (and are deduplicated /
 //!   cached under [`gf2::CanonicalKey`] hashes), so the pricing hot path
-//!   never materializes a `Subspace`.
+//!   never materializes a `Subspace`. The two simulation requests replay an
+//!   application's retained trace (opt-in at registration, capped by
+//!   [`DEFAULT_TRACE_CAP_BLOCKS`]) through `cache_sim` via
+//!   [`xorindex_verify`], turning Eq. 4 *estimates* into measured
+//!   hit/miss truth before a function is adopted.
 //! * [`WorkerPool`] — N worker threads draining a bounded `crossbeam`
 //!   channel of request envelopes; each reply arrives on a per-request
 //!   [`PendingResponse`]. Because the kernel is immutable and the memo is
@@ -81,8 +86,9 @@ mod worker;
 pub use server::{Client, ClientError, ServerConfig, TcpServer};
 pub use service::{
     AppId, AppStats, EvictCounts, IndexService, Registration, Request, Response, ServeError,
+    DEFAULT_TRACE_CAP_BLOCKS,
 };
-pub use snapshot::{SnapshotError, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
+pub use snapshot::{SnapshotError, MIN_SNAPSHOT_VERSION, SNAPSHOT_MAGIC, SNAPSHOT_VERSION};
 pub use wire::{
     decode_client_frame, decode_server_frame, encode_request, encode_response,
     encode_server_stats_request, encode_server_stats_response, split_frame, ClientFrame,

@@ -106,7 +106,8 @@ enum WriterItem {
     /// An answer still being computed by the worker pool.
     Pending { id: u64, response: PendingResponse },
     /// An answer the reader produced itself (decode errors, submit failures).
-    Ready { id: u64, response: Response },
+    /// Boxed: `Response::Verified` dwarfs every queued-pending entry.
+    Ready { id: u64, response: Box<Response> },
     /// The wire-level server-stats control frame, materialized at write time
     /// so the counters are as fresh as possible.
     Stats { id: u64 },
@@ -295,7 +296,7 @@ impl TcpServer {
                             shutdown,
                             WriterItem::Ready {
                                 id,
-                                response: Response::Error(ServeError::Wire(e)),
+                                response: Box::new(Response::Error(ServeError::Wire(e))),
                             },
                         );
                         return;
@@ -307,7 +308,7 @@ impl TcpServer {
                         Ok(response) => WriterItem::Pending { id, response },
                         Err(e) => WriterItem::Ready {
                             id,
-                            response: Response::Error(e),
+                            response: Box::new(Response::Error(e)),
                         },
                     },
                     Ok((id, ClientFrame::ServerStats)) => WriterItem::Stats { id },
@@ -317,7 +318,7 @@ impl TcpServer {
                             .unwrap_or(0);
                         WriterItem::Ready {
                             id,
-                            response: Response::Error(ServeError::Wire(e)),
+                            response: Box::new(Response::Error(ServeError::Wire(e))),
                         }
                     }
                 };

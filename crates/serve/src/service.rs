@@ -3,13 +3,23 @@
 use std::fmt;
 use std::sync::{Arc, RwLock};
 
-use cache_sim::CacheConfig;
+use std::collections::HashSet;
+
+use cache_sim::{BlockAddr, CacheConfig};
 use gf2::PackedBasis;
-use xorindex::search::{NeighborPool, Searcher};
+use xorindex::search::{NeighborPool, PackedNeighborhood, Searcher};
 use xorindex::{
-    BoundedCost, ConflictProfile, FrozenKernel, FunctionClass, MemoStats, ScaffoldCache,
-    ScaffoldStats, SearchAlgorithm, SearchOutcome, ShardedMemo, XorIndexError,
+    BoundedCost, ConflictProfile, FrozenKernel, FunctionClass, HashFunction, MemoStats,
+    ScaffoldCache, ScaffoldStats, SearchAlgorithm, SearchOutcome, ShardedMemo, XorIndexError,
 };
+use xorindex_verify::{
+    pick_winner, CandidateVerdict, EstimateAudit, SimStats, TraceReplayer, VerifiedOutcome,
+    VerifyError,
+};
+
+/// Default cap on a retained trace: 2^22 block addresses (32 MiB at 8 bytes
+/// per block). Registrations that retain more must raise the cap explicitly.
+pub const DEFAULT_TRACE_CAP_BLOCKS: usize = 1 << 22;
 
 /// Opaque handle identifying a registered application.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -70,6 +80,18 @@ pub enum ServeError {
     /// [`WireError`](crate::WireError)). Carried as a response variant so TCP
     /// clients get a typed answer instead of a dropped connection.
     Wire(crate::WireError),
+    /// Simulation was requested for an application registered without a
+    /// retained trace.
+    NoRetainedTrace(AppId),
+    /// A registration's retained trace exceeds its memory cap.
+    TraceTooLarge {
+        /// Block accesses in the offered trace.
+        blocks: u64,
+        /// The registration's cap, in block accesses.
+        cap_blocks: u64,
+    },
+    /// A simulation-backed verification failed.
+    Verify(VerifyError),
 }
 
 impl fmt::Display for ServeError {
@@ -90,6 +112,16 @@ impl fmt::Display for ServeError {
             ServeError::QueueFull => write!(f, "request queue is full"),
             ServeError::Disconnected => write!(f, "worker pool shut down"),
             ServeError::Wire(e) => write!(f, "wire protocol error: {e}"),
+            ServeError::NoRetainedTrace(app) => {
+                write!(f, "{app} was registered without a retained trace")
+            }
+            ServeError::TraceTooLarge { blocks, cap_blocks } => {
+                write!(
+                    f,
+                    "trace of {blocks} blocks exceeds the cap of {cap_blocks}"
+                )
+            }
+            ServeError::Verify(e) => write!(f, "verification failed: {e}"),
         }
     }
 }
@@ -99,6 +131,7 @@ impl std::error::Error for ServeError {
         match self {
             ServeError::Search(e) => Some(e),
             ServeError::Wire(e) => Some(e),
+            ServeError::Verify(e) => Some(e),
             _ => None,
         }
     }
@@ -113,6 +146,12 @@ impl From<XorIndexError> for ServeError {
 impl From<crate::WireError> for ServeError {
     fn from(e: crate::WireError) -> Self {
         ServeError::Wire(e)
+    }
+}
+
+impl From<VerifyError> for ServeError {
+    fn from(e: VerifyError) -> Self {
+        ServeError::Verify(e)
     }
 }
 
@@ -131,6 +170,14 @@ pub struct Registration {
     /// Optional total entry cap for the application's memo (see
     /// [`ShardedMemo::with_capacity`]); `None` = unbounded.
     pub memo_capacity: Option<usize>,
+    /// Optional retained block trace, enabling [`Request::SimulateFunction`]
+    /// and [`Request::OptimizeVerified`] for this application. Off by
+    /// default: retention costs 8 bytes per block access.
+    pub trace: Option<Arc<Vec<BlockAddr>>>,
+    /// Memory cap on the retained trace, in block accesses (default
+    /// [`DEFAULT_TRACE_CAP_BLOCKS`]). Registration fails with
+    /// [`ServeError::TraceTooLarge`] when the trace exceeds it.
+    pub trace_cap_blocks: usize,
 }
 
 impl Registration {
@@ -144,6 +191,8 @@ impl Registration {
             class: FunctionClass::permutation_based(2),
             pool: NeighborPool::UnitsAndPairs,
             memo_capacity: None,
+            trace: None,
+            trace_cap_blocks: DEFAULT_TRACE_CAP_BLOCKS,
         }
     }
 
@@ -167,6 +216,28 @@ impl Registration {
         self.memo_capacity = Some(total_entries);
         self
     }
+
+    /// Retains a block trace so the service can answer simulation-backed
+    /// requests for this application.
+    #[must_use]
+    pub fn with_trace(mut self, trace: impl IntoIterator<Item = BlockAddr>) -> Self {
+        self.trace = Some(Arc::new(trace.into_iter().collect()));
+        self
+    }
+
+    /// Retains an already-shared block trace without copying it.
+    #[must_use]
+    pub fn with_shared_trace(mut self, trace: Arc<Vec<BlockAddr>>) -> Self {
+        self.trace = Some(trace);
+        self
+    }
+
+    /// Raises (or lowers) the retained-trace memory cap, in block accesses.
+    #[must_use]
+    pub fn with_trace_cap_blocks(mut self, blocks: usize) -> Self {
+        self.trace_cap_blocks = blocks;
+        self
+    }
 }
 
 /// One registered application: its owned profile plus the shared pricing
@@ -181,6 +252,7 @@ pub(crate) struct Application {
     pub(crate) kernel: Arc<FrozenKernel>,
     pub(crate) memo: ShardedMemo,
     pub(crate) scaffold: ScaffoldCache,
+    pub(crate) trace: Option<Arc<Vec<BlockAddr>>>,
 }
 
 /// A request to the serving layer. Pricing requests carry [`PackedBasis`]
@@ -231,6 +303,27 @@ pub enum Request {
         /// The application whose memo to clear.
         app: AppId,
     },
+    /// Replay the application's retained trace under one candidate function,
+    /// returning ground-truth hit/miss counts with a per-set conflict
+    /// breakdown. Requires a registration with a retained trace.
+    SimulateFunction {
+        /// The application whose trace to replay.
+        app: AppId,
+        /// The candidate index function to simulate.
+        function: HashFunction,
+    },
+    /// Run a search, then simulate its top-k candidates and return the
+    /// true-miss winner with the estimator audit — the full
+    /// optimize→verify loop in one request.
+    OptimizeVerified {
+        /// The application to optimize.
+        app: AppId,
+        /// The search algorithm to run.
+        algorithm: SearchAlgorithm,
+        /// How many candidates to simulate: the search winner plus the best
+        /// `top_k - 1` of its neighbourhood by estimate (0 behaves as 1).
+        top_k: usize,
+    },
 }
 
 /// A response from the serving layer, one variant per [`Request`] plus
@@ -250,6 +343,10 @@ pub enum Response {
     Stats(AppStats),
     /// The entry counts dropped by an eviction.
     Evicted(EvictCounts),
+    /// Ground-truth statistics from one trace replay.
+    Simulated(SimStats),
+    /// The outcome of a verified optimization.
+    Verified(VerifiedOutcome),
     /// The request failed.
     Error(ServeError),
 }
@@ -341,6 +438,14 @@ impl IndexService {
                 set_bits,
             });
         }
+        if let Some(trace) = &registration.trace {
+            if trace.len() > registration.trace_cap_blocks {
+                return Err(ServeError::TraceTooLarge {
+                    blocks: trace.len() as u64,
+                    cap_blocks: registration.trace_cap_blocks as u64,
+                });
+            }
+        }
         let kernel = Arc::new(FrozenKernel::new(&registration.profile));
         let memo = match registration.memo_capacity {
             Some(cap) => ShardedMemo::with_capacity(cap),
@@ -354,6 +459,7 @@ impl IndexService {
             kernel,
             memo,
             scaffold: ScaffoldCache::new(),
+            trace: registration.trace,
         };
         let mut apps = self.apps.write().expect("app registry lock poisoned");
         apps.push(Arc::new(app));
@@ -517,6 +623,125 @@ impl IndexService {
         Ok(searcher.run(algorithm)?)
     }
 
+    /// The replayer for an application's retained trace.
+    fn replayer(app_id: AppId, app: &Application) -> Result<TraceReplayer, ServeError> {
+        let trace = app
+            .trace
+            .as_ref()
+            .ok_or(ServeError::NoRetainedTrace(app_id))?;
+        Ok(TraceReplayer::new(app.cache, Arc::clone(trace)))
+    }
+
+    /// Replays the application's retained trace under a candidate function,
+    /// returning ground truth: hit/miss counts, 3C classification, and the
+    /// per-set conflict breakdown.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownApp`], [`ServeError::NoRetainedTrace`] when the
+    /// registration kept no trace, or [`ServeError::Verify`] when the
+    /// candidate does not fit the cache geometry.
+    pub fn simulate_function(
+        &self,
+        app_id: AppId,
+        function: &HashFunction,
+    ) -> Result<SimStats, ServeError> {
+        let app = self.app(app_id)?;
+        let replayer = Self::replayer(app_id, &app)?;
+        Ok(replayer.replay(function)?)
+    }
+
+    /// Runs the full optimize→verify loop: search with the application's
+    /// configured class, take the winner plus the best `top_k - 1` of its
+    /// neighbourhood by Eq. 4 estimate, simulate all of them (and the
+    /// conventional baseline) against the retained trace, and return the
+    /// candidate with the fewest *simulated* misses together with an
+    /// [`EstimateAudit`] of how well the estimates tracked truth.
+    ///
+    /// The candidate simulations are independent and fan out across threads;
+    /// results are keyed by candidate position, so the outcome is
+    /// bit-identical at any worker or thread count.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownApp`], [`ServeError::NoRetainedTrace`],
+    /// [`ServeError::Search`] or [`ServeError::Verify`].
+    pub fn optimize_verified(
+        &self,
+        app_id: AppId,
+        algorithm: SearchAlgorithm,
+        top_k: usize,
+    ) -> Result<VerifiedOutcome, ServeError> {
+        let app = self.app(app_id)?;
+        let replayer = Self::replayer(app_id, &app)?;
+        let search = self.run_search(app_id, algorithm)?;
+        let top_k = top_k.max(1);
+
+        // The candidate set: the search winner first, then its neighbourhood
+        // ranked by (estimate, generation order) — deterministic, deduplicated
+        // under canonical null-space keys.
+        let winner_basis = search.function.null_space().to_packed();
+        let mut functions = vec![search.function.clone()];
+        let mut estimates = vec![search.estimated_misses];
+        if top_k > 1 {
+            let hashed_bits = app.profile.hashed_bits();
+            let pool = app.pool.packed_vectors(hashed_bits, &app.profile);
+            let hood = PackedNeighborhood::generate(&winner_basis, app.class, &pool);
+            let mut seen: HashSet<gf2::CanonicalKey> = HashSet::new();
+            seen.insert(winner_basis.canonical_key());
+            let mut scored: Vec<(u64, usize)> = Vec::new();
+            for (i, candidate) in hood.candidates.iter().enumerate() {
+                if !seen.insert(candidate.basis.canonical_key()) {
+                    continue;
+                }
+                scored.push((app.memo.price(&app.kernel, &candidate.basis), i));
+            }
+            scored.sort_unstable();
+            for &(estimate, i) in &scored {
+                if functions.len() == top_k {
+                    break;
+                }
+                let subspace = hood.candidates[i].basis.to_subspace();
+                // Neighbourhood bases are moves, not guaranteed members: a
+                // basis whose representative exceeds the class's fan-in
+                // bound is skipped, exactly as the search itself skips it.
+                if let Ok(function) = HashFunction::from_null_space(&subspace, app.class) {
+                    functions.push(function);
+                    estimates.push(estimate);
+                }
+            }
+        }
+
+        let sims = replayer.replay_many(&functions, 0)?;
+        let conventional =
+            HashFunction::conventional(app.profile.hashed_bits(), app.cache.set_bits())?;
+        let baseline = replayer.replay(&conventional)?;
+        let pairs: Vec<(u64, u64)> = estimates
+            .iter()
+            .zip(&sims)
+            .map(|(&estimate, sim)| (estimate, sim.conflict_misses()))
+            .collect();
+        let audit = EstimateAudit::new(&pairs);
+        let winner = pick_winner(&sims)?;
+        let candidates = functions
+            .into_iter()
+            .zip(estimates)
+            .zip(sims)
+            .map(|((function, estimated_misses), sim)| CandidateVerdict {
+                function,
+                estimated_misses,
+                sim,
+            })
+            .collect();
+        Ok(VerifiedOutcome {
+            search,
+            candidates,
+            winner,
+            baseline,
+            audit,
+        })
+    }
+
     /// A snapshot of the application's serving statistics.
     ///
     /// # Errors
@@ -599,6 +824,16 @@ impl IndexService {
             }
             Request::Stats { app } => self.stats(app).map(Response::Stats),
             Request::Evict { app } => self.evict(app).map(Response::Evicted),
+            Request::SimulateFunction { app, function } => self
+                .simulate_function(app, &function)
+                .map(Response::Simulated),
+            Request::OptimizeVerified {
+                app,
+                algorithm,
+                top_k,
+            } => self
+                .optimize_verified(app, algorithm, top_k)
+                .map(Response::Verified),
         };
         result.unwrap_or_else(Response::Error)
     }

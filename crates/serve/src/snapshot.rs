@@ -7,7 +7,7 @@
 //!
 //! ```text
 //! snapshot := magic:"XIDXSNAP" version:u32be app_count:u32be app* checksum:u64be
-//! app      := cache class pool memo_capacity dense
+//! app      := cache class pool memo_capacity dense trace
 //! cache    := size_bytes:u64 block_bytes:u64 associativity:u32
 //! class    := tag:u8 [max_inputs:opt]          (0 BitSelecting, 1 Xor, 2 PermutationBased)
 //! pool     := tag:u8 [..]                      (0 Units, 1 UnitsAndPairs,
@@ -17,6 +17,7 @@
 //! opt      := flag:u8 [value:u64]              (0 = None, 1 = Some)
 //! dense    := hashed_bits:u64 capacity_blocks:u64 tail_bits:u64
 //!             entry_count:u64 (vector:u64 weight:u64)*
+//! trace    := flag:u8 [block_count:u64 block:u64*]   (version >= 2 only)
 //! ```
 //!
 //! The trailing checksum is FNV-1a over every preceding byte; a snapshot
@@ -35,6 +36,13 @@
 //! live statistics. Those are performance state, not pricing state — they
 //! refill on use and carrying them would couple the format to cache
 //! internals that change per PR.
+//!
+//! # Versions
+//!
+//! Version 2 appends a per-app retained-trace section so a restored server
+//! can keep answering `SimulateFunction` / `OptimizeVerified` without
+//! re-registering traces. Version-1 images (no trace section) still restore
+//! — every application simply comes back with no retained trace.
 
 use std::fmt;
 use std::io::{self, Read, Write};
@@ -42,7 +50,7 @@ use std::path::Path;
 use std::sync::Arc;
 
 use bytes::{Buf, BufMut};
-use cache_sim::CacheConfig;
+use cache_sim::{BlockAddr, CacheConfig};
 use gf2::BitVec;
 use xorindex::search::NeighborPool;
 use xorindex::{ConflictProfile, DenseProfile, FrozenKernel, FunctionClass, ShardedMemo};
@@ -53,7 +61,10 @@ use crate::service::{Application, IndexService};
 pub const SNAPSHOT_MAGIC: [u8; 8] = *b"XIDXSNAP";
 
 /// Current snapshot format version; bumped on any layout change.
-pub const SNAPSHOT_VERSION: u32 = 1;
+pub const SNAPSHOT_VERSION: u32 = 2;
+
+/// Oldest snapshot version [`IndexService::restore`] still accepts.
+pub const MIN_SNAPSHOT_VERSION: u32 = 1;
 
 /// Why a snapshot failed to load (or save).
 #[derive(Debug)]
@@ -86,7 +97,8 @@ impl fmt::Display for SnapshotError {
             SnapshotError::UnsupportedVersion(v) => {
                 write!(
                     f,
-                    "unsupported snapshot version {v} (expected {SNAPSHOT_VERSION})"
+                    "unsupported snapshot version {v} \
+                     (supported: {MIN_SNAPSHOT_VERSION}..={SNAPSHOT_VERSION})"
                 )
             }
             SnapshotError::ChecksumMismatch { expected, actual } => write!(
@@ -260,9 +272,39 @@ fn put_app(out: &mut Vec<u8>, app: &Application) {
         out.put_u64(vector);
         out.put_u64(weight);
     }
+    match &app.trace {
+        Some(trace) => {
+            out.put_u8(1);
+            out.put_u64(trace.len() as u64);
+            for block in trace.iter() {
+                out.put_u64(block.0);
+            }
+        }
+        None => out.put_u8(0),
+    }
 }
 
-fn get_app(buf: &mut &[u8]) -> Result<Application, SnapshotError> {
+fn get_trace(buf: &mut &[u8]) -> Result<Option<Arc<Vec<BlockAddr>>>, SnapshotError> {
+    match get_u8(buf)? {
+        0 => Ok(None),
+        1 => {
+            let block_count = get_usize(buf)?;
+            if block_count.saturating_mul(8) > buf.len() {
+                return Err(SnapshotError::Truncated);
+            }
+            let mut trace = Vec::with_capacity(block_count);
+            for _ in 0..block_count {
+                trace.push(BlockAddr(get_u64(buf)?));
+            }
+            Ok(Some(Arc::new(trace)))
+        }
+        tag => Err(SnapshotError::Invalid(format!(
+            "trace flag must be 0 or 1, got {tag}"
+        ))),
+    }
+}
+
+fn get_app(buf: &mut &[u8], version: u32) -> Result<Application, SnapshotError> {
     let size_bytes = get_u64(buf)?;
     let block_bytes = get_u64(buf)?;
     let associativity = get_u32(buf)?;
@@ -303,6 +345,8 @@ fn get_app(buf: &mut &[u8]) -> Result<Application, SnapshotError> {
         Some(cap) => ShardedMemo::with_capacity(cap),
         None => ShardedMemo::new(),
     };
+    // Version 1 predates trace retention: every app restores trace-free.
+    let trace = if version >= 2 { get_trace(buf)? } else { None };
     Ok(Application {
         profile,
         cache,
@@ -311,6 +355,7 @@ fn get_app(buf: &mut &[u8]) -> Result<Application, SnapshotError> {
         kernel: Arc::new(FrozenKernel::from_dense(dense)),
         memo,
         scaffold: xorindex::ScaffoldCache::new(),
+        trace,
     })
 }
 
@@ -370,13 +415,13 @@ impl IndexService {
         }
         let mut buf = &content[SNAPSHOT_MAGIC.len()..];
         let version = get_u32(&mut buf)?;
-        if version != SNAPSHOT_VERSION {
+        if !(MIN_SNAPSHOT_VERSION..=SNAPSHOT_VERSION).contains(&version) {
             return Err(SnapshotError::UnsupportedVersion(version));
         }
         let app_count = get_u32(&mut buf)? as usize;
         let service = IndexService::new();
         for _ in 0..app_count {
-            let app = get_app(&mut buf)?;
+            let app = get_app(&mut buf, version)?;
             service.install(app);
         }
         if !buf.is_empty() {
@@ -514,13 +559,14 @@ mod tests {
         // A future version is refused even with a valid checksum.
         let mut future = image.clone();
         let at = SNAPSHOT_MAGIC.len();
-        future[at..at + 4].copy_from_slice(&2u32.to_be_bytes());
+        let next = SNAPSHOT_VERSION + 1;
+        future[at..at + 4].copy_from_slice(&next.to_be_bytes());
         let body_len = future.len() - 8;
         let sum = fnv1a(&future[..body_len]).to_be_bytes();
         future[body_len..].copy_from_slice(&sum);
         assert!(matches!(
             IndexService::restore(&future),
-            Err(SnapshotError::UnsupportedVersion(2))
+            Err(SnapshotError::UnsupportedVersion(v)) if v == next
         ));
         // Unrelated: restoring never touches the source service.
         assert_eq!(
@@ -530,5 +576,82 @@ mod tests {
             ),
             Err(ServeError::UnknownApp(crate::AppId::from_raw(9)))
         );
+    }
+
+    /// Serializes `service` in the version-1 layout (no per-app trace
+    /// section). Only valid for services with no retained traces.
+    fn v1_image(service: &IndexService) -> Vec<u8> {
+        let apps = service.applications();
+        let mut out = Vec::new();
+        out.put_slice(&SNAPSHOT_MAGIC);
+        out.put_u32(1);
+        out.put_u32(apps.len() as u32);
+        for app in &apps {
+            let mut bytes = Vec::new();
+            put_app(&mut bytes, app);
+            // A trace-free v2 app is the v1 encoding plus a trailing 0 flag.
+            assert_eq!(bytes.last(), Some(&0u8));
+            bytes.pop();
+            out.put_slice(&bytes);
+        }
+        let checksum = fnv1a(&out);
+        out.put_u64(checksum);
+        out
+    }
+
+    #[test]
+    fn version_1_snapshots_still_restore_without_traces() {
+        let (service, a, _) = populated_service();
+        let restored = IndexService::restore(&v1_image(&service)).unwrap();
+        assert_eq!(restored.len(), 2);
+        // Pricing state survives; re-snapshotting upgrades to the current
+        // version, bit-identical to a fresh snapshot of the original.
+        assert_eq!(restored.snapshot(), service.snapshot());
+        let candidate = PackedBasis::standard_span(12, 8..12);
+        assert_eq!(
+            service.price_candidate(a, &candidate).unwrap(),
+            restored.price_candidate(a, &candidate).unwrap()
+        );
+        // No trace section in v1, so simulation requests are refused.
+        let function =
+            xorindex::HashFunction::conventional(12, CacheConfig::paper_cache(1).set_bits())
+                .unwrap();
+        assert!(matches!(
+            restored.simulate_function(a, &function),
+            Err(ServeError::NoRetainedTrace(_))
+        ));
+    }
+
+    #[test]
+    fn retained_traces_survive_snapshot_restore_bit_identically() {
+        let service = IndexService::new();
+        let trace: Vec<BlockAddr> = (0..600u64).map(|i| BlockAddr((i * 7) % 96)).collect();
+        let cache = CacheConfig::paper_cache(1);
+        let app = service
+            .register(
+                Registration::new(profile(12), cache)
+                    .with_class(FunctionClass::xor_unlimited())
+                    .with_trace(trace.clone()),
+            )
+            .unwrap();
+        // One app with a trace, one without, to cover both flags in one image.
+        let bare = service
+            .register(Registration::new(profile(12), cache))
+            .unwrap();
+
+        let image = service.snapshot();
+        let restored = IndexService::restore(&image).unwrap();
+        assert_eq!(restored.snapshot(), image);
+
+        // The restored trace replays to the exact same simulated counts.
+        let function = xorindex::HashFunction::conventional(12, cache.set_bits()).unwrap();
+        assert_eq!(
+            service.simulate_function(app, &function).unwrap(),
+            restored.simulate_function(app, &function).unwrap()
+        );
+        assert!(matches!(
+            restored.simulate_function(bare, &function),
+            Err(ServeError::NoRetainedTrace(_))
+        ));
     }
 }

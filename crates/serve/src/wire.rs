@@ -17,7 +17,7 @@
 //! one connection and still match answers to questions (responses also come
 //! back in order, but ids make the pairing checkable).
 //!
-//! Request bodies use tags `0x01..=0x07`, response bodies `0x81..=0x87` plus
+//! Request bodies use tags `0x01..=0x09`, response bodies `0x81..=0x89` plus
 //! `0xFF` for [`Response::Error`]. All integers are big-endian; `f64` travels
 //! as its IEEE-754 bit pattern, so every value — including NaN payloads —
 //! round-trips bit-identically. [`PackedBasis`] candidates are the hot path:
@@ -34,11 +34,13 @@
 use std::fmt;
 
 use bytes::{Buf, BufMut};
+use cache_sim::{CacheError, CacheStats};
 use gf2::{BitMatrix, BitVec, PackedBasis};
 use xorindex::{
     BoundedCost, HashFunction, MemoShardStats, MemoStats, ScaffoldStats, SearchAlgorithm,
     SearchOutcome,
 };
+use xorindex_verify::{CandidateVerdict, EstimateAudit, SimStats, VerifiedOutcome, VerifyError};
 
 use crate::service::{AppId, AppStats, EvictCounts, Request, Response, ServeError};
 
@@ -60,6 +62,8 @@ const TAG_RUN_SEARCH: u8 = 0x04;
 const TAG_STATS: u8 = 0x05;
 const TAG_EVICT: u8 = 0x06;
 const TAG_SERVER_STATS_REQUEST: u8 = 0x07;
+const TAG_SIMULATE_FUNCTION: u8 = 0x08;
+const TAG_OPTIMIZE_VERIFIED: u8 = 0x09;
 
 // Response tags.
 const TAG_PRICE: u8 = 0x81;
@@ -69,6 +73,8 @@ const TAG_SEARCH: u8 = 0x84;
 const TAG_APP_STATS: u8 = 0x85;
 const TAG_EVICTED: u8 = 0x86;
 const TAG_SERVER_STATS: u8 = 0x87;
+const TAG_SIMULATED: u8 = 0x88;
+const TAG_VERIFIED: u8 = 0x89;
 const TAG_ERROR: u8 = 0xFF;
 
 /// Decoding failures. Every variant owns its data, so a `WireError` itself
@@ -398,6 +404,133 @@ fn get_outcome(buf: &mut &[u8]) -> Result<SearchOutcome, WireError> {
     })
 }
 
+fn put_cache_stats(out: &mut Vec<u8>, stats: &CacheStats) {
+    out.put_u64(stats.accesses);
+    out.put_u64(stats.hits);
+    out.put_u64(stats.misses);
+    out.put_u64(stats.compulsory_misses);
+    out.put_u64(stats.capacity_misses);
+    out.put_u64(stats.conflict_misses);
+    out.put_u64(stats.evictions);
+}
+
+fn get_cache_stats(buf: &mut &[u8]) -> Result<CacheStats, WireError> {
+    Ok(CacheStats {
+        accesses: get_u64(buf)?,
+        hits: get_u64(buf)?,
+        misses: get_u64(buf)?,
+        compulsory_misses: get_u64(buf)?,
+        capacity_misses: get_u64(buf)?,
+        conflict_misses: get_u64(buf)?,
+        evictions: get_u64(buf)?,
+    })
+}
+
+fn put_sim_stats(out: &mut Vec<u8>, sim: &SimStats) {
+    put_cache_stats(out, &sim.stats);
+    out.put_u32(sim.set_conflicts.len() as u32);
+    for &(set, count) in &sim.set_conflicts {
+        out.put_u32(set);
+        out.put_u64(count);
+    }
+}
+
+fn get_sim_stats(buf: &mut &[u8]) -> Result<SimStats, WireError> {
+    let stats = get_cache_stats(buf)?;
+    let count = get_count(buf, 12)?;
+    let mut set_conflicts = Vec::with_capacity(count);
+    let mut previous: Option<u32> = None;
+    for _ in 0..count {
+        let set = get_u32(buf)?;
+        let conflicts = get_u64(buf)?;
+        // The breakdown is canonical: strictly ascending sets, zeros omitted.
+        if previous.is_some_and(|p| p >= set) {
+            return Err(WireError::Invalid(format!(
+                "set-conflict breakdown is not strictly ascending at set {set}"
+            )));
+        }
+        if conflicts == 0 {
+            return Err(WireError::Invalid(format!(
+                "set-conflict breakdown carries a zero entry for set {set}"
+            )));
+        }
+        previous = Some(set);
+        set_conflicts.push((set, conflicts));
+    }
+    Ok(SimStats {
+        stats,
+        set_conflicts,
+    })
+}
+
+fn put_audit(out: &mut Vec<u8>, audit: &EstimateAudit) {
+    out.put_u64(audit.candidates);
+    out.put_u64(audit.total_abs_error);
+    out.put_u64(audit.max_abs_error);
+    out.put_u64(audit.concordant);
+    out.put_u64(audit.discordant);
+    out.put_u64(audit.tied);
+}
+
+fn get_audit(buf: &mut &[u8]) -> Result<EstimateAudit, WireError> {
+    Ok(EstimateAudit {
+        candidates: get_u64(buf)?,
+        total_abs_error: get_u64(buf)?,
+        max_abs_error: get_u64(buf)?,
+        concordant: get_u64(buf)?,
+        discordant: get_u64(buf)?,
+        tied: get_u64(buf)?,
+    })
+}
+
+fn put_verdict(out: &mut Vec<u8>, verdict: &CandidateVerdict) {
+    put_function(out, &verdict.function);
+    out.put_u64(verdict.estimated_misses);
+    put_sim_stats(out, &verdict.sim);
+}
+
+fn get_verdict(buf: &mut &[u8]) -> Result<CandidateVerdict, WireError> {
+    Ok(CandidateVerdict {
+        function: get_function(buf)?,
+        estimated_misses: get_u64(buf)?,
+        sim: get_sim_stats(buf)?,
+    })
+}
+
+fn put_verified(out: &mut Vec<u8>, outcome: &VerifiedOutcome) {
+    put_outcome(out, &outcome.search);
+    out.put_u32(outcome.candidates.len() as u32);
+    for verdict in &outcome.candidates {
+        put_verdict(out, verdict);
+    }
+    out.put_u64(outcome.winner as u64);
+    put_sim_stats(out, &outcome.baseline);
+    put_audit(out, &outcome.audit);
+}
+
+fn get_verified(buf: &mut &[u8]) -> Result<VerifiedOutcome, WireError> {
+    let search = get_outcome(buf)?;
+    let count = get_count(buf, 70)?;
+    let mut candidates = Vec::with_capacity(count);
+    for _ in 0..count {
+        candidates.push(get_verdict(buf)?);
+    }
+    let winner = get_usize(buf)?;
+    if winner >= candidates.len() {
+        return Err(WireError::Invalid(format!(
+            "winner index {winner} out of range for {} candidates",
+            candidates.len()
+        )));
+    }
+    Ok(VerifiedOutcome {
+        search,
+        candidates,
+        winner,
+        baseline: get_sim_stats(buf)?,
+        audit: get_audit(buf)?,
+    })
+}
+
 fn put_memo_stats(out: &mut Vec<u8>, stats: &MemoStats) {
     out.put_u64(stats.shards as u64);
     out.put_u64(stats.entries as u64);
@@ -643,6 +776,105 @@ fn get_wire_error(buf: &mut &[u8]) -> Result<WireError, WireError> {
     }
 }
 
+fn put_cache_error(out: &mut Vec<u8>, error: &CacheError) {
+    match error {
+        CacheError::NotPowerOfTwo { parameter, value } => {
+            out.put_u8(0);
+            put_string(out, parameter);
+            out.put_u64(*value);
+        }
+        CacheError::BlockLargerThanCache {
+            size_bytes,
+            block_bytes,
+        } => {
+            out.put_u8(1);
+            out.put_u64(*size_bytes);
+            out.put_u64(*block_bytes);
+        }
+        CacheError::AssociativityTooLarge {
+            associativity,
+            blocks,
+        } => {
+            out.put_u8(2);
+            out.put_u32(*associativity);
+            out.put_u64(*blocks);
+        }
+        CacheError::IndexFunctionMismatch {
+            expected_sets,
+            actual_sets,
+        } => {
+            out.put_u8(3);
+            out.put_u64(*expected_sets);
+            out.put_u64(*actual_sets);
+        }
+    }
+}
+
+fn get_cache_error(buf: &mut &[u8]) -> Result<CacheError, WireError> {
+    match get_u8(buf)? {
+        0 => {
+            // The parameter is a `&'static str` on the sending side; only the
+            // names the builder actually uses are representable.
+            let parameter = match get_string(buf)?.as_str() {
+                "cache size" => "cache size",
+                "block size" => "block size",
+                "associativity" => "associativity",
+                other => {
+                    return Err(WireError::Invalid(format!(
+                        "unknown cache parameter {other:?}"
+                    )))
+                }
+            };
+            Ok(CacheError::NotPowerOfTwo {
+                parameter,
+                value: get_u64(buf)?,
+            })
+        }
+        1 => Ok(CacheError::BlockLargerThanCache {
+            size_bytes: get_u64(buf)?,
+            block_bytes: get_u64(buf)?,
+        }),
+        2 => Ok(CacheError::AssociativityTooLarge {
+            associativity: get_u32(buf)?,
+            blocks: get_u64(buf)?,
+        }),
+        3 => Ok(CacheError::IndexFunctionMismatch {
+            expected_sets: get_u64(buf)?,
+            actual_sets: get_u64(buf)?,
+        }),
+        tag => Err(WireError::Invalid(format!("unknown cache error tag {tag}"))),
+    }
+}
+
+fn put_verify_error(out: &mut Vec<u8>, error: &VerifyError) {
+    match error {
+        VerifyError::SetBitsMismatch { expected, actual } => {
+            out.put_u8(0);
+            out.put_u64(*expected as u64);
+            out.put_u64(*actual as u64);
+        }
+        VerifyError::Cache(e) => {
+            out.put_u8(1);
+            put_cache_error(out, e);
+        }
+        VerifyError::EmptyCandidates => out.put_u8(2),
+    }
+}
+
+fn get_verify_error(buf: &mut &[u8]) -> Result<VerifyError, WireError> {
+    match get_u8(buf)? {
+        0 => Ok(VerifyError::SetBitsMismatch {
+            expected: get_usize(buf)?,
+            actual: get_usize(buf)?,
+        }),
+        1 => Ok(VerifyError::Cache(get_cache_error(buf)?)),
+        2 => Ok(VerifyError::EmptyCandidates),
+        tag => Err(WireError::Invalid(format!(
+            "unknown verify error tag {tag}"
+        ))),
+    }
+}
+
 fn put_serve_error(out: &mut Vec<u8>, error: &ServeError) {
     match error {
         ServeError::UnknownApp(app) => {
@@ -672,6 +904,19 @@ fn put_serve_error(out: &mut Vec<u8>, error: &ServeError) {
             out.put_u8(6);
             put_wire_error(out, e);
         }
+        ServeError::NoRetainedTrace(app) => {
+            out.put_u8(7);
+            out.put_u64(app.raw());
+        }
+        ServeError::TraceTooLarge { blocks, cap_blocks } => {
+            out.put_u8(8);
+            out.put_u64(*blocks);
+            out.put_u64(*cap_blocks);
+        }
+        ServeError::Verify(e) => {
+            out.put_u8(9);
+            put_verify_error(out, e);
+        }
     }
 }
 
@@ -690,6 +935,12 @@ fn get_serve_error(buf: &mut &[u8]) -> Result<ServeError, WireError> {
         4 => Ok(ServeError::QueueFull),
         5 => Ok(ServeError::Disconnected),
         6 => Ok(ServeError::Wire(get_wire_error(buf)?)),
+        7 => Ok(ServeError::NoRetainedTrace(get_app(buf)?)),
+        8 => Ok(ServeError::TraceTooLarge {
+            blocks: get_u64(buf)?,
+            cap_blocks: get_u64(buf)?,
+        }),
+        9 => Ok(ServeError::Verify(get_verify_error(buf)?)),
         tag => Err(WireError::Invalid(format!("unknown serve error tag {tag}"))),
     }
 }
@@ -755,6 +1006,21 @@ pub fn encode_request(id: u64, request: &Request, out: &mut Vec<u8>) {
                 out.put_u8(TAG_EVICT);
                 out.put_u64(app.raw());
             }
+            Request::SimulateFunction { app, function } => {
+                out.put_u8(TAG_SIMULATE_FUNCTION);
+                out.put_u64(app.raw());
+                put_function(out, function);
+            }
+            Request::OptimizeVerified {
+                app,
+                algorithm,
+                top_k,
+            } => {
+                out.put_u8(TAG_OPTIMIZE_VERIFIED);
+                out.put_u64(app.raw());
+                put_algorithm(out, algorithm);
+                out.put_u64(*top_k as u64);
+            }
         }
     });
 }
@@ -813,6 +1079,14 @@ pub fn encode_response(id: u64, response: &Response, out: &mut Vec<u8>) {
                 out.put_u8(TAG_EVICTED);
                 out.put_u64(counts.memo as u64);
                 out.put_u64(counts.scaffold as u64);
+            }
+            Response::Simulated(sim) => {
+                out.put_u8(TAG_SIMULATED);
+                put_sim_stats(out, sim);
+            }
+            Response::Verified(outcome) => {
+                out.put_u8(TAG_VERIFIED);
+                put_verified(out, outcome);
             }
             Response::Error(error) => {
                 out.put_u8(TAG_ERROR);
@@ -898,6 +1172,15 @@ pub fn decode_client_frame(payload: &[u8]) -> Result<(u64, ClientFrame), WireErr
         TAG_EVICT => ClientFrame::Request(Request::Evict {
             app: get_app(&mut buf)?,
         }),
+        TAG_SIMULATE_FUNCTION => ClientFrame::Request(Request::SimulateFunction {
+            app: get_app(&mut buf)?,
+            function: get_function(&mut buf)?,
+        }),
+        TAG_OPTIMIZE_VERIFIED => ClientFrame::Request(Request::OptimizeVerified {
+            app: get_app(&mut buf)?,
+            algorithm: get_algorithm(&mut buf)?,
+            top_k: get_usize(&mut buf)?,
+        }),
         TAG_SERVER_STATS_REQUEST => ClientFrame::ServerStats,
         other => return Err(WireError::BadTag(other)),
     };
@@ -944,6 +1227,8 @@ pub fn decode_server_frame(payload: &[u8]) -> Result<(u64, ServerFrame), WireErr
             memo: get_usize(&mut buf)?,
             scaffold: get_usize(&mut buf)?,
         })),
+        TAG_SIMULATED => ServerFrame::Response(Response::Simulated(get_sim_stats(&mut buf)?)),
+        TAG_VERIFIED => ServerFrame::Response(Response::Verified(get_verified(&mut buf)?)),
         TAG_ERROR => ServerFrame::Response(Response::Error(get_serve_error(&mut buf)?)),
         TAG_SERVER_STATS => ServerFrame::ServerStats(get_wire_stats(&mut buf)?),
         other => return Err(WireError::BadTag(other)),
@@ -1002,6 +1287,15 @@ mod tests {
         });
         request_roundtrip(Request::Stats { app });
         request_roundtrip(Request::Evict { app });
+        request_roundtrip(Request::SimulateFunction {
+            app,
+            function: HashFunction::conventional(12, 8).unwrap(),
+        });
+        request_roundtrip(Request::OptimizeVerified {
+            app,
+            algorithm: SearchAlgorithm::HillClimb,
+            top_k: 5,
+        });
     }
 
     #[test]
@@ -1019,6 +1313,108 @@ mod tests {
         response_roundtrip(Response::Error(ServeError::Wire(WireError::Invalid(
             "nested".to_string(),
         ))));
+        let sim = SimStats {
+            stats: CacheStats {
+                accesses: 100,
+                hits: 60,
+                misses: 40,
+                compulsory_misses: 10,
+                capacity_misses: 5,
+                conflict_misses: 25,
+                evictions: 30,
+            },
+            set_conflicts: vec![(0, 20), (7, 5)],
+        };
+        response_roundtrip(Response::Simulated(sim.clone()));
+        let function = HashFunction::conventional(12, 8).unwrap();
+        response_roundtrip(Response::Verified(VerifiedOutcome {
+            search: SearchOutcome {
+                function: function.clone(),
+                estimated_misses: 25,
+                baseline_estimate: 40,
+                evaluations: 99,
+                steps: 3,
+            },
+            candidates: vec![CandidateVerdict {
+                function,
+                estimated_misses: 25,
+                sim: sim.clone(),
+            }],
+            winner: 0,
+            baseline: sim,
+            audit: EstimateAudit {
+                candidates: 1,
+                total_abs_error: 0,
+                max_abs_error: 0,
+                concordant: 0,
+                discordant: 0,
+                tied: 0,
+            },
+        }));
+        response_roundtrip(Response::Error(ServeError::NoRetainedTrace(
+            AppId::from_raw(2),
+        )));
+        response_roundtrip(Response::Error(ServeError::TraceTooLarge {
+            blocks: 1 << 30,
+            cap_blocks: 1 << 22,
+        }));
+        response_roundtrip(Response::Error(ServeError::Verify(
+            VerifyError::SetBitsMismatch {
+                expected: 8,
+                actual: 4,
+            },
+        )));
+        response_roundtrip(Response::Error(ServeError::Verify(VerifyError::Cache(
+            CacheError::NotPowerOfTwo {
+                parameter: "cache size",
+                value: 3,
+            },
+        ))));
+        response_roundtrip(Response::Error(ServeError::Verify(
+            VerifyError::EmptyCandidates,
+        )));
+    }
+
+    #[test]
+    fn non_canonical_sim_payloads_are_rejected() {
+        // Encode a Simulated response, then corrupt the set-conflict list.
+        let sim = SimStats {
+            stats: CacheStats::default(),
+            set_conflicts: vec![(3, 4), (1, 2)], // out of order
+        };
+        let mut out = Vec::new();
+        encode_response(1, &Response::Simulated(sim), &mut out);
+        let (payload, _) = split_frame(&out).unwrap().unwrap();
+        assert!(matches!(
+            decode_server_frame(payload),
+            Err(WireError::Invalid(_))
+        ));
+        // A verified outcome whose winner is out of range never decodes.
+        let mut bad = Vec::new();
+        frame(&mut bad, |out| {
+            out.put_u8(WIRE_VERSION);
+            out.put_u64(0);
+            out.put_u8(TAG_VERIFIED);
+            put_outcome(
+                out,
+                &SearchOutcome {
+                    function: HashFunction::conventional(12, 8).unwrap(),
+                    estimated_misses: 0,
+                    baseline_estimate: 0,
+                    evaluations: 0,
+                    steps: 0,
+                },
+            );
+            out.put_u32(0); // zero candidates
+            out.put_u64(0); // ... but winner index 0
+            put_sim_stats(out, &SimStats::default());
+            put_audit(out, &EstimateAudit::default());
+        });
+        let (payload, _) = split_frame(&bad).unwrap().unwrap();
+        assert!(matches!(
+            decode_server_frame(payload),
+            Err(WireError::Invalid(_))
+        ));
     }
 
     #[test]

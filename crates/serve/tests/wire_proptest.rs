@@ -3,6 +3,7 @@
 //! of every flavour come back as typed [`WireError`]s — never a panic, never
 //! a desynchronized stream.
 
+use cache_sim::{CacheError, CacheStats};
 use gf2::PackedBasis;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -16,6 +17,7 @@ use xorindex_serve::{
     AppStats, ClientFrame, EvictCounts, Request, Response, ServeError, ServerFrame, WireError,
     FRAME_HEADER_BYTES, MAX_FRAME_BYTES, WIRE_VERSION,
 };
+use xorindex_verify::{CandidateVerdict, EstimateAudit, SimStats, VerifiedOutcome, VerifyError};
 
 // ---------------------------------------------------------------------------
 // Strategies
@@ -211,15 +213,144 @@ fn wire_error_strategy() -> impl Strategy<Value = WireError> {
     )
 }
 
+fn cache_stats_strategy() -> impl Strategy<Value = CacheStats> {
+    (
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+        (any::<u64>(), any::<u64>(), any::<u64>()),
+    )
+        .prop_map(
+            |(
+                (accesses, hits, misses, compulsory_misses),
+                (capacity_misses, conflict_misses, evictions),
+            )| CacheStats {
+                accesses,
+                hits,
+                misses,
+                compulsory_misses,
+                capacity_misses,
+                conflict_misses,
+                evictions,
+            },
+        )
+}
+
+/// Canonical per-set conflict lists: strictly ascending sets, nonzero counts
+/// — the only shape the encoder emits and the decoder accepts.
+fn sim_stats_strategy() -> impl Strategy<Value = SimStats> {
+    (
+        cache_stats_strategy(),
+        proptest::collection::vec((0u32..512, 1u64..1_000_000), 0..6),
+    )
+        .prop_map(|(stats, gaps)| {
+            let mut set_conflicts = Vec::with_capacity(gaps.len());
+            let mut next = 0u32;
+            for (gap, count) in gaps {
+                let set = next.saturating_add(gap);
+                set_conflicts.push((set, count));
+                next = set + 1;
+            }
+            SimStats {
+                stats,
+                set_conflicts,
+            }
+        })
+}
+
+fn audit_strategy() -> impl Strategy<Value = EstimateAudit> {
+    (
+        (any::<u64>(), any::<u64>(), any::<u64>()),
+        (any::<u64>(), any::<u64>(), any::<u64>()),
+    )
+        .prop_map(
+            |((candidates, total_abs_error, max_abs_error), (concordant, discordant, tied))| {
+                EstimateAudit {
+                    candidates,
+                    total_abs_error,
+                    max_abs_error,
+                    concordant,
+                    discordant,
+                    tied,
+                }
+            },
+        )
+}
+
+fn verdict_strategy() -> impl Strategy<Value = CandidateVerdict> {
+    (function_strategy(), any::<u64>(), sim_stats_strategy()).prop_map(
+        |(function, estimated_misses, sim)| CandidateVerdict {
+            function,
+            estimated_misses,
+            sim,
+        },
+    )
+}
+
+fn verified_strategy() -> impl Strategy<Value = VerifiedOutcome> {
+    (
+        outcome_strategy(),
+        proptest::collection::vec(verdict_strategy(), 1..4),
+        any::<u32>(),
+        sim_stats_strategy(),
+        audit_strategy(),
+    )
+        .prop_map(|(search, candidates, pick, baseline, audit)| {
+            let winner = pick as usize % candidates.len();
+            VerifiedOutcome {
+                search,
+                candidates,
+                winner,
+                baseline,
+                audit,
+            }
+        })
+}
+
+fn cache_error_strategy() -> impl Strategy<Value = CacheError> {
+    (0u8..4, 0u8..3, any::<u64>(), any::<u64>(), any::<u32>()).prop_map(
+        |(variant, which, a, b, assoc)| match variant {
+            0 => CacheError::NotPowerOfTwo {
+                parameter: ["cache size", "block size", "associativity"][which as usize],
+                value: a,
+            },
+            1 => CacheError::BlockLargerThanCache {
+                size_bytes: a,
+                block_bytes: b,
+            },
+            2 => CacheError::AssociativityTooLarge {
+                associativity: assoc,
+                blocks: b,
+            },
+            _ => CacheError::IndexFunctionMismatch {
+                expected_sets: a,
+                actual_sets: b,
+            },
+        },
+    )
+}
+
+fn verify_error_strategy() -> impl Strategy<Value = VerifyError> {
+    (0u8..3, any::<u32>(), any::<u32>(), cache_error_strategy()).prop_map(
+        |(variant, a, b, cache_error)| match variant {
+            0 => VerifyError::SetBitsMismatch {
+                expected: a as usize,
+                actual: b as usize,
+            },
+            1 => VerifyError::Cache(cache_error),
+            _ => VerifyError::EmptyCandidates,
+        },
+    )
+}
+
 fn serve_error_strategy() -> impl Strategy<Value = ServeError> {
     (
-        0u8..7,
+        0u8..10,
         any::<u64>(),
         (any::<u32>(), any::<u32>()),
         xor_error_strategy(),
         wire_error_strategy(),
+        verify_error_strategy(),
     )
-        .prop_map(|(variant, raw, (a, b), xe, we)| match variant {
+        .prop_map(|(variant, raw, (a, b), xe, we, ve)| match variant {
             0 => ServeError::UnknownApp(AppId::from_raw(raw)),
             1 => ServeError::InvalidGeometry {
                 hashed_bits: a as usize,
@@ -232,20 +363,27 @@ fn serve_error_strategy() -> impl Strategy<Value = ServeError> {
             3 => ServeError::Search(xe),
             4 => ServeError::QueueFull,
             5 => ServeError::Disconnected,
-            _ => ServeError::Wire(we),
+            6 => ServeError::Wire(we),
+            7 => ServeError::NoRetainedTrace(AppId::from_raw(raw)),
+            8 => ServeError::TraceTooLarge {
+                blocks: u64::from(a),
+                cap_blocks: u64::from(b),
+            },
+            _ => ServeError::Verify(ve),
         })
 }
 
 fn request_strategy() -> impl Strategy<Value = Request> {
     (
-        0u8..6,
+        0u8..8,
         any::<u64>(),
         basis_strategy(),
         bases_strategy(),
         any::<u64>(),
         algorithm_strategy(),
+        function_strategy(),
     )
-        .prop_map(|(variant, raw, basis, bases, bound, algorithm)| {
+        .prop_map(|(variant, raw, basis, bases, bound, algorithm, function)| {
             let app = AppId::from_raw(raw);
             match variant {
                 0 => Request::PriceCandidate { app, basis },
@@ -253,44 +391,55 @@ fn request_strategy() -> impl Strategy<Value = Request> {
                 2 => Request::PriceBatchBounded { app, bases, bound },
                 3 => Request::RunSearch { app, algorithm },
                 4 => Request::Stats { app },
-                _ => Request::Evict { app },
+                5 => Request::Evict { app },
+                6 => Request::SimulateFunction { app, function },
+                _ => Request::OptimizeVerified {
+                    app,
+                    algorithm,
+                    top_k: (bound % 64) as usize,
+                },
             }
         })
 }
 
 fn response_strategy() -> impl Strategy<Value = Response> {
     (
-        0u8..7,
+        0u8..9,
         any::<u64>(),
         proptest::collection::vec(any::<u64>(), 0..6),
         proptest::collection::vec((0u8..2, any::<u64>()), 0..6),
         outcome_strategy(),
         app_stats_strategy(),
         serve_error_strategy(),
+        (sim_stats_strategy(), verified_strategy()),
     )
         .prop_map(
-            |(variant, value, prices, bounded, outcome, stats, error)| match variant {
-                0 => Response::Price(value),
-                1 => Response::Prices(prices),
-                2 => Response::BoundedPrices(
-                    bounded
-                        .into_iter()
-                        .map(|(tag, cost)| {
-                            if tag == 0 {
-                                BoundedCost::Exact(cost)
-                            } else {
-                                BoundedCost::AtLeast(cost)
-                            }
-                        })
-                        .collect(),
-                ),
-                3 => Response::Search(outcome),
-                4 => Response::Stats(stats),
-                5 => Response::Evicted(EvictCounts {
-                    memo: (value >> 32) as usize,
-                    scaffold: (value & 0xFFFF_FFFF) as usize,
-                }),
-                _ => Response::Error(error),
+            |(variant, value, prices, bounded, outcome, stats, error, (sim, verified))| {
+                match variant {
+                    0 => Response::Price(value),
+                    1 => Response::Prices(prices),
+                    2 => Response::BoundedPrices(
+                        bounded
+                            .into_iter()
+                            .map(|(tag, cost)| {
+                                if tag == 0 {
+                                    BoundedCost::Exact(cost)
+                                } else {
+                                    BoundedCost::AtLeast(cost)
+                                }
+                            })
+                            .collect(),
+                    ),
+                    3 => Response::Search(outcome),
+                    4 => Response::Stats(stats),
+                    5 => Response::Evicted(EvictCounts {
+                        memo: (value >> 32) as usize,
+                        scaffold: (value & 0xFFFF_FFFF) as usize,
+                    }),
+                    6 => Response::Simulated(sim),
+                    7 => Response::Verified(verified),
+                    _ => Response::Error(error),
+                }
             },
         )
 }

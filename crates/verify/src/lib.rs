@@ -1,0 +1,538 @@
+//! Simulation-backed verification of optimized index functions.
+//!
+//! The paper's search never simulates: candidate quality is judged by the
+//! Eq. 4 estimate over the conflict profile, which is what makes the
+//! optimization tractable. But before *deploying* a function, a service
+//! should close the loop and confirm the pick against ground truth — the
+//! simulate-to-decide step this crate owns:
+//!
+//! * [`TraceReplayer`] — replays a retained block trace through the
+//!   `cache_sim` simulator under any candidate
+//!   [`HashFunction`](xorindex::HashFunction), producing true
+//!   hit/miss/conflict-miss counts ([`SimStats`]) with a per-set conflict
+//!   breakdown that localizes where a candidate still collides.
+//! * [`EstimateAudit`] — compares Eq. 4 predictions against simulated truth
+//!   across a candidate set: absolute error plus pairwise rank agreement,
+//!   the figure that tells you whether the estimator *orders* candidates
+//!   correctly (which is all the search needs from it).
+//! * [`VerifiedOutcome`] — a search outcome paired with the simulated
+//!   verdicts of the top-k candidates and the audit; the winner is the
+//!   candidate with the fewest *simulated* misses, not the best estimate.
+//!
+//! Everything here is deterministic: replays depend only on the trace, the
+//! geometry and the candidate, and [`TraceReplayer::replay_many`] returns
+//! results indexed by candidate position, so outcomes are bit-identical at
+//! any thread count.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use cache_sim::{BlockAddr, Cache, CacheConfig, CacheError, CacheStats, IndexFunction};
+use xorindex::{HashFunction, SearchOutcome};
+
+/// Errors from the verification layer. Malformed candidates produce typed
+/// errors, never panics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyError {
+    /// The candidate's set-index width does not match the replayer's cache
+    /// geometry.
+    SetBitsMismatch {
+        /// Set-index bits of the cache being simulated.
+        expected: usize,
+        /// Set-index bits of the candidate function.
+        actual: usize,
+    },
+    /// The cache simulator rejected the candidate as an index function.
+    Cache(CacheError),
+    /// A verified pick needs at least one candidate.
+    EmptyCandidates,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::SetBitsMismatch { expected, actual } => {
+                write!(f, "candidate has {actual} set bits, cache needs {expected}")
+            }
+            VerifyError::Cache(e) => write!(f, "cache simulation failed: {e}"),
+            VerifyError::EmptyCandidates => write!(f, "no candidates to verify"),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            VerifyError::Cache(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CacheError> for VerifyError {
+    fn from(e: CacheError) -> Self {
+        VerifyError::Cache(e)
+    }
+}
+
+/// Ground-truth statistics from replaying one trace under one index function.
+///
+/// The aggregate counters come straight from the simulator's
+/// [`CacheStats`]; `set_conflicts` is the per-set conflict breakdown
+/// (ascending set order, zero entries skipped) that localizes *where* the
+/// function still collides.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SimStats {
+    /// Aggregate hit/miss counters with 3C classification.
+    pub stats: CacheStats,
+    /// `(set index, conflict misses)` for every set that still conflicts,
+    /// ascending, zeros omitted.
+    pub set_conflicts: Vec<(u32, u64)>,
+}
+
+impl SimStats {
+    /// Total simulated misses — the quantity a verified pick minimizes.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.stats.misses
+    }
+
+    /// Simulated conflict misses — the quantity Eq. 4 estimates.
+    #[must_use]
+    pub fn conflict_misses(&self) -> u64 {
+        self.stats.conflict_misses
+    }
+
+    /// The set with the most conflict misses, if any set conflicted.
+    #[must_use]
+    pub fn hottest_set(&self) -> Option<(u32, u64)> {
+        self.set_conflicts
+            .iter()
+            .copied()
+            .max_by_key(|&(set, count)| (count, std::cmp::Reverse(set)))
+    }
+}
+
+impl fmt::Display for SimStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} conflicting sets)",
+            self.stats,
+            self.set_conflicts.len()
+        )
+    }
+}
+
+/// Replays one application's retained block trace under candidate index
+/// functions.
+///
+/// The trace is shared (`Arc`), so cloning a replayer — or simulating many
+/// candidates in parallel — never copies it.
+#[derive(Debug, Clone)]
+pub struct TraceReplayer {
+    config: CacheConfig,
+    trace: Arc<Vec<BlockAddr>>,
+}
+
+impl TraceReplayer {
+    /// Creates a replayer for a cache geometry and a retained block trace.
+    #[must_use]
+    pub fn new(config: CacheConfig, trace: Arc<Vec<BlockAddr>>) -> Self {
+        TraceReplayer { config, trace }
+    }
+
+    /// The cache geometry candidates are simulated against.
+    #[must_use]
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Number of block accesses in the retained trace.
+    #[must_use]
+    pub fn trace_len(&self) -> usize {
+        self.trace.len()
+    }
+
+    /// The retained trace itself (shared, not copied).
+    #[must_use]
+    pub fn trace(&self) -> &Arc<Vec<BlockAddr>> {
+        &self.trace
+    }
+
+    fn check(&self, function: &HashFunction) -> Result<(), VerifyError> {
+        let expected = self.config.set_bits();
+        if function.set_bits() != expected {
+            return Err(VerifyError::SetBitsMismatch {
+                expected,
+                actual: function.set_bits(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Replays the trace under a candidate hash function, returning true
+    /// hit/miss counts with the per-set conflict breakdown.
+    ///
+    /// # Errors
+    ///
+    /// [`VerifyError::SetBitsMismatch`] when the candidate does not target
+    /// this cache's set count.
+    pub fn replay(&self, function: &HashFunction) -> Result<SimStats, VerifyError> {
+        self.check(function)?;
+        self.replay_boxed(Box::new(function.to_index_function()))
+    }
+
+    /// Replays the trace under an arbitrary boxed index function (e.g. the
+    /// conventional [`ModuloIndex`](cache_sim::ModuloIndex) baseline).
+    ///
+    /// # Errors
+    ///
+    /// [`VerifyError::Cache`] when the function's set count does not match
+    /// the geometry.
+    pub fn replay_boxed(&self, index_fn: Box<dyn IndexFunction>) -> Result<SimStats, VerifyError> {
+        let mut cache = Cache::from_boxed(self.config, index_fn)?.with_set_conflict_tracking();
+        let stats = cache.simulate_blocks(self.trace.iter().copied());
+        Ok(SimStats {
+            stats,
+            set_conflicts: cache.nonzero_set_conflicts(),
+        })
+    }
+
+    /// Replays every candidate, fanning the independent simulations across
+    /// up to `threads` OS threads (`0` = one per host CPU). Results are
+    /// indexed by candidate position, so the output is bit-identical at any
+    /// thread count.
+    ///
+    /// # Errors
+    ///
+    /// [`VerifyError::SetBitsMismatch`] if any candidate mismatches the
+    /// geometry; the whole batch is validated before anything is simulated.
+    pub fn replay_many(
+        &self,
+        functions: &[HashFunction],
+        threads: usize,
+    ) -> Result<Vec<SimStats>, VerifyError> {
+        for function in functions {
+            self.check(function)?;
+        }
+        let threads = if threads == 0 {
+            std::thread::available_parallelism().map_or(1, usize::from)
+        } else {
+            threads
+        }
+        .min(functions.len().max(1));
+        if threads <= 1 {
+            return functions.iter().map(|f| self.replay(f)).collect();
+        }
+        let slots: Vec<OnceLock<SimStats>> =
+            (0..functions.len()).map(|_| OnceLock::new()).collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= functions.len() {
+                        break;
+                    }
+                    let sim = self
+                        .replay(&functions[i])
+                        .expect("batch was validated before simulation");
+                    let _ = slots[i].set(sim);
+                });
+            }
+        });
+        Ok(slots
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("every slot was filled"))
+            .collect())
+    }
+}
+
+/// How well the Eq. 4 estimator tracked simulated truth over a candidate
+/// set: absolute error plus pairwise rank agreement.
+///
+/// All fields are integers so audits compare bit-identically across runs;
+/// the derived ratios ([`EstimateAudit::mean_abs_error`],
+/// [`EstimateAudit::rank_agreement`]) are computed on demand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EstimateAudit {
+    /// Number of (estimate, simulated) pairs audited.
+    pub candidates: u64,
+    /// Sum over candidates of `|estimate - simulated conflict misses|`.
+    pub total_abs_error: u64,
+    /// Largest single-candidate absolute error.
+    pub max_abs_error: u64,
+    /// Candidate pairs the estimator ordered the same way as simulation.
+    pub concordant: u64,
+    /// Candidate pairs the estimator ordered the opposite way.
+    pub discordant: u64,
+    /// Candidate pairs tied on either side (not counted for or against).
+    pub tied: u64,
+}
+
+impl EstimateAudit {
+    /// Audits `(estimated, simulated)` pairs, one per candidate, in
+    /// candidate order. Rank agreement is computed over all unordered pairs:
+    /// concordant when estimate and simulation order the two candidates the
+    /// same way, discordant when they disagree, tied when either side ties.
+    #[must_use]
+    pub fn new(pairs: &[(u64, u64)]) -> Self {
+        let mut audit = EstimateAudit {
+            candidates: pairs.len() as u64,
+            ..EstimateAudit::default()
+        };
+        for &(estimated, simulated) in pairs {
+            let err = estimated.abs_diff(simulated);
+            audit.total_abs_error += err;
+            audit.max_abs_error = audit.max_abs_error.max(err);
+        }
+        for (i, &(est_a, sim_a)) in pairs.iter().enumerate() {
+            for &(est_b, sim_b) in &pairs[i + 1..] {
+                if est_a == est_b || sim_a == sim_b {
+                    audit.tied += 1;
+                } else if (est_a < est_b) == (sim_a < sim_b) {
+                    audit.concordant += 1;
+                } else {
+                    audit.discordant += 1;
+                }
+            }
+        }
+        audit
+    }
+
+    /// Mean absolute error per candidate; 0 when no candidate was audited.
+    #[must_use]
+    pub fn mean_abs_error(&self) -> f64 {
+        if self.candidates == 0 {
+            0.0
+        } else {
+            self.total_abs_error as f64 / self.candidates as f64
+        }
+    }
+
+    /// Fraction of decisive pairs the estimator ordered correctly, in
+    /// `[0, 1]`; 1 when every pair was tied (the estimator never misled).
+    #[must_use]
+    pub fn rank_agreement(&self) -> f64 {
+        let decisive = self.concordant + self.discordant;
+        if decisive == 0 {
+            1.0
+        } else {
+            self.concordant as f64 / decisive as f64
+        }
+    }
+}
+
+impl fmt::Display for EstimateAudit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} candidates, mean |err| {:.1}, max |err| {}, rank agreement {:.0}% ({}/{} pairs, {} tied)",
+            self.candidates,
+            self.mean_abs_error(),
+            self.max_abs_error,
+            self.rank_agreement() * 100.0,
+            self.concordant,
+            self.concordant + self.discordant,
+            self.tied
+        )
+    }
+}
+
+/// One candidate's estimated cost next to its simulated truth.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CandidateVerdict {
+    /// The candidate function.
+    pub function: HashFunction,
+    /// Its Eq. 4 estimated conflict misses.
+    pub estimated_misses: u64,
+    /// Its simulated ground truth.
+    pub sim: SimStats,
+}
+
+/// A search outcome verified by simulation: the top-k candidates' simulated
+/// verdicts, the true-miss winner among them, the simulated conventional
+/// baseline, and the estimator audit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VerifiedOutcome {
+    /// The estimate-driven search that produced the candidate set.
+    pub search: SearchOutcome,
+    /// The simulated top-k candidates, best estimate first; index 0 is the
+    /// search winner.
+    pub candidates: Vec<CandidateVerdict>,
+    /// Index into `candidates` of the function with the fewest *simulated*
+    /// misses (first wins ties).
+    pub winner: usize,
+    /// Simulated truth for the conventional bit-selection function, the
+    /// deployment baseline.
+    pub baseline: SimStats,
+    /// How well the estimates tracked the simulations over the top-k.
+    pub audit: EstimateAudit,
+}
+
+impl VerifiedOutcome {
+    /// The winning candidate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the outcome was constructed with an out-of-range winner
+    /// index; outcomes built by this crate always index a real candidate.
+    #[must_use]
+    pub fn winner(&self) -> &CandidateVerdict {
+        &self.candidates[self.winner]
+    }
+
+    /// Percentage of *simulated* misses the winner removes relative to the
+    /// conventional baseline — the deployment figure of merit, as opposed to
+    /// [`SearchOutcome::estimated_percent_removed`].
+    #[must_use]
+    pub fn simulated_percent_removed(&self) -> f64 {
+        CacheStats::percent_misses_removed(&self.baseline.stats, &self.winner().sim.stats)
+    }
+
+    /// `true` when simulation overturned the estimator: the true-miss winner
+    /// is not the candidate the search ranked best.
+    #[must_use]
+    pub fn estimate_overruled(&self) -> bool {
+        self.winner != 0
+    }
+}
+
+/// Picks the index of the candidate with the fewest simulated misses; the
+/// earliest candidate wins ties, so the pick is deterministic for any fixed
+/// candidate order.
+///
+/// # Errors
+///
+/// [`VerifyError::EmptyCandidates`] when `sims` is empty.
+pub fn pick_winner(sims: &[SimStats]) -> Result<usize, VerifyError> {
+    sims.iter()
+        .enumerate()
+        .min_by_key(|(i, sim)| (sim.misses(), *i))
+        .map(|(i, _)| i)
+        .ok_or(VerifyError::EmptyCandidates)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cache_sim::ModuloIndex;
+    use xorindex::FunctionClass;
+
+    fn ping_pong_trace() -> Arc<Vec<BlockAddr>> {
+        // Two blocks one cache-size apart: every access conflicts under the
+        // conventional function, none under s ^= high-bit XOR folding.
+        Arc::new((0..400u64).map(|i| BlockAddr((i % 2) * 256)).collect())
+    }
+
+    #[test]
+    fn replay_matches_a_hand_driven_cache() {
+        let config = CacheConfig::paper_cache(1);
+        let replayer = TraceReplayer::new(config, ping_pong_trace());
+        let conventional = HashFunction::conventional(16, config.set_bits()).unwrap();
+        let sim = replayer.replay(&conventional).unwrap();
+        let mut cache =
+            Cache::new(config, ModuloIndex::for_config(&config)).with_set_conflict_tracking();
+        let expected = cache.simulate_blocks(replayer.trace().iter().copied());
+        assert_eq!(sim.stats, expected);
+        assert_eq!(sim.set_conflicts, cache.nonzero_set_conflicts());
+        assert!(sim.conflict_misses() > 0, "the ping-pong must conflict");
+        // Both blocks collapse onto set 0: the breakdown localizes it.
+        assert_eq!(sim.hottest_set().unwrap().0, 0);
+    }
+
+    #[test]
+    fn xor_folding_eliminates_the_simulated_conflicts() {
+        let config = CacheConfig::paper_cache(1);
+        let replayer = TraceReplayer::new(config, ping_pong_trace());
+        let ns = gf2::Subspace::standard_span(16, [9usize, 10, 11, 12, 13, 14, 15])
+            .extended(gf2::BitVec::with_bits(&[0, 8], 16));
+        let folded = HashFunction::from_null_space(&ns, FunctionClass::xor_unlimited()).unwrap();
+        let sim = replayer.replay(&folded).unwrap();
+        assert_eq!(sim.conflict_misses(), 0);
+        assert!(sim.set_conflicts.is_empty());
+        assert!(sim.misses() < 400);
+    }
+
+    #[test]
+    fn geometry_mismatch_is_typed() {
+        let config = CacheConfig::paper_cache(1); // 8 set bits
+        let replayer = TraceReplayer::new(config, ping_pong_trace());
+        let narrow = HashFunction::conventional(16, 4).unwrap();
+        assert_eq!(
+            replayer.replay(&narrow),
+            Err(VerifyError::SetBitsMismatch {
+                expected: 8,
+                actual: 4
+            })
+        );
+    }
+
+    #[test]
+    fn replay_many_is_thread_count_invariant() {
+        let config = CacheConfig::paper_cache(1);
+        let replayer = TraceReplayer::new(config, ping_pong_trace());
+        let candidates: Vec<HashFunction> = (1..=4)
+            .map(|swap| {
+                let bits: Vec<usize> = (0..8).map(|b| if b < swap { b + 8 } else { b }).collect();
+                HashFunction::bit_selecting(16, &bits).unwrap()
+            })
+            .collect();
+        let sequential = replayer.replay_many(&candidates, 1).unwrap();
+        for threads in [2, 4, 0] {
+            assert_eq!(
+                replayer.replay_many(&candidates, threads).unwrap(),
+                sequential
+            );
+        }
+        assert_eq!(sequential.len(), candidates.len());
+    }
+
+    #[test]
+    fn audit_counts_errors_and_rank_pairs() {
+        // est:  10, 20, 30, 30
+        // sim:  12, 18, 30, 25
+        let audit = EstimateAudit::new(&[(10, 12), (20, 18), (30, 30), (30, 25)]);
+        assert_eq!(audit.candidates, 4);
+        // Per-candidate |errors| are 2, 2, 0, 5.
+        assert_eq!(audit.total_abs_error, 9);
+        assert_eq!(audit.max_abs_error, 5);
+        // Pairs: (0,1) concordant, (0,2) concordant, (0,3) concordant,
+        // (1,2) concordant, (1,3) concordant, (2,3) tied on estimate.
+        assert_eq!(audit.concordant, 5);
+        assert_eq!(audit.discordant, 0);
+        assert_eq!(audit.tied, 1);
+        assert!((audit.rank_agreement() - 1.0).abs() < 1e-12);
+        assert!((audit.mean_abs_error() - 2.25).abs() < 1e-12);
+        let text = audit.to_string();
+        assert!(text.contains("rank agreement"));
+    }
+
+    #[test]
+    fn audit_flags_disagreement() {
+        let audit = EstimateAudit::new(&[(10, 30), (20, 10)]);
+        assert_eq!(audit.discordant, 1);
+        assert_eq!(audit.rank_agreement(), 0.0);
+        // Degenerate audits never divide by zero.
+        assert_eq!(EstimateAudit::new(&[]).rank_agreement(), 1.0);
+        assert_eq!(EstimateAudit::new(&[]).mean_abs_error(), 0.0);
+    }
+
+    #[test]
+    fn winner_is_fewest_simulated_misses_first_on_ties() {
+        let mut a = SimStats::default();
+        a.stats.misses = 10;
+        let mut b = SimStats::default();
+        b.stats.misses = 7;
+        let mut c = SimStats::default();
+        c.stats.misses = 7;
+        assert_eq!(pick_winner(&[a.clone(), b.clone(), c]).unwrap(), 1);
+        assert_eq!(pick_winner(&[a, b]).unwrap(), 1);
+        assert_eq!(pick_winner(&[]), Err(VerifyError::EmptyCandidates));
+    }
+}

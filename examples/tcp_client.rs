@@ -10,10 +10,16 @@
 //! instead: register → price over loopback → snapshot → restart the server
 //! → price warm, asserting the restarted answers are bit-identical.
 //!
+//! With `--verify` it runs the optimize→verify loop over the wire instead:
+//! register an application *with a retained trace*, then drive the
+//! `SimulateFunction` and `OptimizeVerified` requests through a loopback
+//! TCP server and print the estimator audit.
+//!
 //! Run with (optionally `<addr>` as an argument):
 //!
 //! ```text
 //! cargo run --release --example tcp_client
+//! cargo run --release --example tcp_client -- --verify
 //! ```
 
 use std::sync::Arc;
@@ -135,9 +141,104 @@ fn lifecycle_demo() {
     );
 }
 
+/// The optimize→verify loop over the wire: a server whose application
+/// retains its trace answers `SimulateFunction` and `OptimizeVerified`
+/// requests with measured (not estimated) miss counts.
+fn verify_demo() {
+    let cache = CacheConfig::paper_cache(1);
+    let hashed_bits = 14;
+    // A strided sweep plus a ping-pong hot pair: enough conflict structure
+    // for the search to fix, small enough to replay instantly.
+    let blocks: Vec<BlockAddr> = (0..6000u64)
+        .map(|i| {
+            if i % 3 == 0 {
+                BlockAddr((i % 2) * 256)
+            } else {
+                BlockAddr((i * 17) % 1024)
+            }
+        })
+        .collect();
+    let profile = ConflictProfile::from_blocks(
+        blocks.iter().copied(),
+        hashed_bits,
+        cache.num_blocks() as usize,
+    );
+
+    let service = Arc::new(xorindex_serve::IndexService::new());
+    let app = service
+        .register(Registration::new(profile, cache).with_trace(blocks))
+        .expect("valid geometry");
+    let server = TcpServer::bind("127.0.0.1:0", Arc::clone(&service), ServerConfig::default())
+        .expect("ephemeral loopback bind");
+    let mut client = Client::connect(server.local_addr()).expect("loopback connect");
+
+    // 1. Simulate the conventional function: the measured baseline.
+    let conventional =
+        HashFunction::conventional(hashed_bits, cache.set_bits()).expect("valid geometry");
+    let baseline = match client
+        .call(&Request::SimulateFunction {
+            app,
+            function: conventional,
+        })
+        .expect("simulate call")
+    {
+        Response::Simulated(sim) => sim,
+        other => panic!("unexpected {other:?}"),
+    };
+    println!(
+        "conventional indexing: {} accesses, {} misses ({} conflict)",
+        baseline.stats.accesses, baseline.stats.misses, baseline.stats.conflict_misses
+    );
+    if let Some((set, count)) = baseline.hottest_set() {
+        println!("  hottest set {set}: {count} conflict misses");
+    }
+
+    // 2. Optimize, then verify the top 4 candidates by replaying the trace.
+    let verified = match client
+        .call(&Request::OptimizeVerified {
+            app,
+            algorithm: SearchAlgorithm::HillClimb,
+            top_k: 4,
+        })
+        .expect("optimize-verified call")
+    {
+        Response::Verified(outcome) => outcome,
+        other => panic!("unexpected {other:?}"),
+    };
+    println!(
+        "verified {} candidates; winner is #{} with {} simulated misses \
+         ({:.1}% removed vs conventional)",
+        verified.candidates.len(),
+        verified.winner,
+        verified.winner().sim.misses(),
+        verified.simulated_percent_removed(),
+    );
+    println!(
+        "estimator audit: rank agreement {:.2}, mean |error| {:.1}, overruled: {}",
+        verified.audit.rank_agreement(),
+        verified.audit.mean_abs_error(),
+        if verified.estimate_overruled() {
+            "yes"
+        } else {
+            "no"
+        }
+    );
+    assert!(
+        verified.winner().sim.misses() <= baseline.stats.misses,
+        "the verified winner is picked by measured misses"
+    );
+}
+
 fn main() {
-    let addr = std::env::args()
-        .nth(1)
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--verify") {
+        println!("running the optimize->verify loop over loopback TCP");
+        verify_demo();
+        return;
+    }
+    let addr = args
+        .first()
+        .cloned()
         .unwrap_or_else(|| "127.0.0.1:7401".to_string());
     match Client::connect(addr.as_str()) {
         Ok(mut client) => {

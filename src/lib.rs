@@ -3,8 +3,8 @@
 //! This crate re-exports the individual workspace crates under one roof so the
 //! examples and integration tests can use a single dependency. Library users
 //! should normally depend on the individual crates ([`xorindex`], [`cache_sim`],
-//! [`memtrace`], [`workloads`], [`gf2`], [`experiments`], [`xorindex_serve`])
-//! directly.
+//! [`memtrace`], [`workloads`], [`gf2`], [`experiments`], [`xorindex_serve`],
+//! [`xorindex_verify`]) directly.
 //!
 //! # Quick start
 //!
@@ -32,6 +32,7 @@ pub use memtrace;
 pub use workloads;
 pub use xorindex;
 pub use xorindex_serve;
+pub use xorindex_verify;
 
 /// Commonly used items, re-exported for examples and quick experiments.
 pub mod prelude {
@@ -47,4 +48,5 @@ pub mod prelude {
         MissEstimator, Optimizer, SearchAlgorithm, ShardedMemo,
     };
     pub use xorindex_serve::{IndexService, Registration, Request, Response, WorkerPool};
+    pub use xorindex_verify::{EstimateAudit, SimStats, TraceReplayer, VerifiedOutcome};
 }
