@@ -12,6 +12,15 @@
 //! * `replay/accesses_N` — one `TraceReplayer::replay` of the conventional
 //!   function over the N retained accesses; ns/iter ÷ N is the per-access
 //!   replay cost, so replayed-accesses/sec falls out of the JSON directly.
+//!   Rides the fast engine (shared 3C pre-classification + sliced set-index
+//!   stream + compact LRU sets);
+//! * `replay_legacy/accesses_N` — the same replay through the legacy
+//!   `Cache`-based simulator; the legacy/fast ratio is the headline number
+//!   for the fast replay engine. Bit-identity between the two paths is
+//!   asserted in setup before anything is timed;
+//! * `replay_t4/accesses_N` — the fast replay with 4 set partitions: the
+//!   within-candidate parallel path (identical output, multi-core
+//!   wall-clock).
 //!
 //! Both optimize benches evict the application's memo every iteration so
 //! the searches pay identical (cold) pricing costs and the measured gap is
@@ -69,10 +78,52 @@ fn bench_verify_loop(c: &mut Criterion) {
     let conventional =
         HashFunction::conventional(prepared.profile.hashed_bits(), prepared.cache.set_bits())
             .expect("valid geometry");
+
+    // Fast path and legacy path must agree bit-for-bit before either is
+    // worth timing.
+    assert!(replayer.fast_path(), "susan@4KB must ride the fast engine");
+    let fast = replayer.replay(&conventional).expect("geometry matches");
+    let legacy = replayer
+        .replay_legacy(&conventional)
+        .expect("geometry matches");
+    assert_eq!(
+        fast, legacy,
+        "fast replay must be bit-identical to the legacy simulator"
+    );
+    let partitioned = TraceReplayer::new(prepared.cache, Arc::clone(&trace))
+        .with_set_partitions(4)
+        .replay(&conventional)
+        .expect("geometry matches");
+    assert_eq!(
+        partitioned, legacy,
+        "set partitioning must not change results"
+    );
+
     group.bench_with_input(
         BenchmarkId::new("replay", format!("accesses_{}", trace.len())),
         &trace.len(),
         |b, _| b.iter(|| black_box(replayer.replay(&conventional).expect("geometry matches"))),
+    );
+
+    group.bench_with_input(
+        BenchmarkId::new("replay_legacy", format!("accesses_{}", trace.len())),
+        &trace.len(),
+        |b, _| {
+            b.iter(|| {
+                black_box(
+                    replayer
+                        .replay_legacy(&conventional)
+                        .expect("geometry matches"),
+                )
+            })
+        },
+    );
+
+    let replayer_t4 = TraceReplayer::new(prepared.cache, Arc::clone(&trace)).with_set_partitions(4);
+    group.bench_with_input(
+        BenchmarkId::new("replay_t4", format!("accesses_{}", trace.len())),
+        &trace.len(),
+        |b, _| b.iter(|| black_box(replayer_t4.replay(&conventional).expect("geometry matches"))),
     );
 
     group.finish();

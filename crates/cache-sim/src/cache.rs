@@ -280,8 +280,7 @@ impl Cache {
         A: Into<Address>,
     {
         let bits = self.config.block_bits();
-        let blocks: Vec<BlockAddr> = addrs.into_iter().map(|a| a.into().block(bits)).collect();
-        self.simulate_blocks(blocks)
+        self.simulate_blocks(addrs.into_iter().map(move |a| a.into().block(bits)))
     }
 
     /// Invalidates all resident blocks but keeps statistics and history.

@@ -16,7 +16,10 @@
 //! * [`LruStack`] — the stack-distance structure shared by the classifier and
 //!   by the conflict-vector profiler in the `xorindex` crate;
 //! * [`CacheStats`] — counters and the `misses / K-uop` metric reported in the
-//!   paper's tables.
+//!   paper's tables;
+//! * [`ReuseStream`] / [`CompactSets`] — the function-independent 3C
+//!   pre-classification and allocation-free LRU tag arrays backing the fast
+//!   replay engine in the `xorindex-verify` crate.
 //!
 //! # Example
 //!
@@ -44,9 +47,11 @@
 mod addr;
 mod cache;
 mod classify;
+mod compact;
 mod config;
 mod fully_assoc;
 mod lru_stack;
+mod preclass;
 mod replacement;
 mod stats;
 
@@ -57,10 +62,12 @@ pub mod skewed;
 pub use addr::{Address, BlockAddr};
 pub use cache::{AccessOutcome, Cache};
 pub use classify::{MissClass, MissClassifier, ReuseClass};
+pub use compact::{CompactAccess, CompactSets, COMPACT_MAX_WAYS};
 pub use config::{CacheConfig, CacheConfigBuilder, CacheError};
 pub use fully_assoc::FullyAssociativeCache;
 pub use index::{BitSelectIndex, IndexFunction, ModuloIndex, XorIndex};
 pub use lru_stack::{LruStack, StackScan};
+pub use preclass::ReuseStream;
 pub use replacement::ReplacementPolicy;
 pub use stats::CacheStats;
 
@@ -77,5 +84,7 @@ mod lib_tests {
         assert_send_sync::<FullyAssociativeCache>();
         assert_send_sync::<LruStack>();
         assert_send_sync::<XorIndex>();
+        assert_send_sync::<ReuseStream>();
+        assert_send_sync::<CompactSets>();
     }
 }

@@ -50,6 +50,20 @@ impl Searcher<'_> {
         engine: &mut EvalEngine<'_>,
         start: Subspace,
     ) -> Result<SearchOutcome, XorIndexError> {
+        Ok(self.hill_climb_full(engine, start)?.0)
+    }
+
+    /// [`Searcher::hill_climb_with`], additionally returning the winner's
+    /// full neighbourhood — the final climb iteration's candidate set, which
+    /// the loop would otherwise drop on the floor. Callers that rank
+    /// runner-up candidates around the winner (the serving layer's verified
+    /// optimization) reuse it instead of paying a second
+    /// [`PackedNeighborhood::generate`].
+    pub(crate) fn hill_climb_full(
+        &self,
+        engine: &mut EvalEngine<'_>,
+        start: Subspace,
+    ) -> Result<(SearchOutcome, PackedNeighborhood), XorIndexError> {
         let pool = self.packed_pool();
         let class = self.class();
 
@@ -66,6 +80,7 @@ impl Searcher<'_> {
         let mut best_cost = engine.estimate_packed(&current);
         let mut best_function = start_function;
         let mut steps: u64 = 0;
+        let final_neighborhood;
 
         loop {
             // Evaluate the whole neighbourhood in one engine batch, cheapest
@@ -121,18 +136,24 @@ impl Searcher<'_> {
                 }
             }
             if !moved {
+                // No admissible neighbour improves on `current`, so `nbhd`
+                // is exactly the winner's neighbourhood.
+                final_neighborhood = nbhd;
                 break;
             }
         }
 
         let evaluations = engine.stats().evaluations - evaluations_before;
-        Ok(SearchOutcome {
-            function: best_function,
-            estimated_misses: best_cost,
-            baseline_estimate,
-            evaluations,
-            steps,
-        })
+        Ok((
+            SearchOutcome {
+                function: best_function,
+                estimated_misses: best_cost,
+                baseline_estimate,
+                evaluations,
+                steps,
+            },
+            final_neighborhood,
+        ))
     }
 }
 
@@ -266,6 +287,33 @@ mod tests {
             assert_eq!(bounded.steps, unbounded.steps);
             // Bounded pricing may abandon lanes; it must never evaluate more.
             assert!(bounded.evaluations <= unbounded.evaluations);
+        }
+    }
+
+    #[test]
+    fn run_with_neighborhood_matches_run_and_a_fresh_generate() {
+        use crate::search::PackedNeighborhood;
+        let profile = multi_stride_profile();
+        for class in [
+            FunctionClass::bit_selecting(),
+            FunctionClass::permutation_based(2),
+            FunctionClass::xor_unlimited(),
+        ] {
+            let searcher = Searcher::new(&profile, class, 6).unwrap();
+            let plain = searcher.run(SearchAlgorithm::HillClimb).unwrap();
+            let (outcome, hood) = searcher
+                .run_with_neighborhood(SearchAlgorithm::HillClimb)
+                .unwrap();
+            assert_eq!(outcome, plain);
+            // The carried neighbourhood is exactly what regenerating around
+            // the winner would produce — callers can skip the regeneration.
+            let pool = NeighborPool::UnitsAndPairs.packed_vectors(12, &profile);
+            let regenerated = PackedNeighborhood::generate(
+                &outcome.function.null_space().to_packed(),
+                class,
+                &pool,
+            );
+            assert_eq!(hood.unwrap(), regenerated);
         }
     }
 

@@ -355,6 +355,32 @@ impl<'a> Searcher<'a> {
         }
     }
 
+    /// Like [`Searcher::run`], but for hill climbing also returns the
+    /// winner's full neighbourhood — the candidate set the final climb
+    /// iteration generated and found no improvement in. Callers that go on
+    /// to rank runner-up candidates around the winner (the serving layer's
+    /// verified optimization picks its `top_k` there) reuse it instead of
+    /// regenerating the same neighbourhood from scratch. Algorithms whose
+    /// final state carries no neighbourhood return `None`.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Searcher::run`].
+    pub fn run_with_neighborhood(
+        &self,
+        algorithm: SearchAlgorithm,
+    ) -> Result<(SearchOutcome, Option<PackedNeighborhood>), XorIndexError> {
+        match algorithm {
+            SearchAlgorithm::HillClimb => {
+                let mut engine = self.engine();
+                let (outcome, neighborhood) =
+                    self.hill_climb_full(&mut engine, self.conventional_null_space())?;
+                Ok((outcome, Some(neighborhood)))
+            }
+            other => Ok((self.run(other)?, None)),
+        }
+    }
+
     /// Pool of replacement directions for this searcher, in the packed form
     /// neighbourhood generation consumes.
     fn packed_pool(&self) -> Vec<u64> {

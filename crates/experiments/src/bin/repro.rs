@@ -14,8 +14,8 @@ use experiments::{ExperimentConfig, TraceSide};
 use workloads::Scale;
 
 const USAGE: &str = "\
-usage: repro <command> [--scale tiny|small|reference] [--quick] [--threads N]
-                       [--json PATH]
+usage: repro <command> [--scale tiny|small|reference] [--quick] [--full]
+                       [--threads N] [--json PATH]
 
 commands:
   design-space     Section 2 design-space size figures (Eq. 3)
@@ -32,6 +32,8 @@ options:
   --scale SCALE    workload input scale (default: small)
   --quick          tiny inputs, 12 hashed bits, 1 KB cache only (smoke test);
                    for sweep: the 2-workload x 2-geometry smoke grid
+  --full           (sweep only) the full 24-workload MiBench/MediaBench/
+                   Powerstone roster x 1/4/16 KB x both classes (144 cells)
   --threads N      worker threads for each search's evaluation engine
                    (default 1: the experiments already fan out across
                    workloads; results are bit-identical at any setting)
@@ -43,12 +45,14 @@ options:
 struct CliOptions {
     config: ExperimentConfig,
     quick: bool,
+    full: bool,
     scale_override: Option<Scale>,
     json: Option<String>,
 }
 
 fn parse_config(args: &[String]) -> Result<CliOptions, String> {
     let mut quick = false;
+    let mut full = false;
     let mut scale = None;
     let mut threads = None;
     let mut json = None;
@@ -56,6 +60,7 @@ fn parse_config(args: &[String]) -> Result<CliOptions, String> {
     while i < args.len() {
         match args[i].as_str() {
             "--quick" => quick = true,
+            "--full" => full = true,
             "--json" => {
                 i += 1;
                 let value = args.get(i).ok_or("--json needs a path")?;
@@ -99,9 +104,13 @@ fn parse_config(args: &[String]) -> Result<CliOptions, String> {
     if let Some(threads) = threads {
         config.search_threads = threads;
     }
+    if quick && full {
+        return Err("--quick and --full are mutually exclusive".to_string());
+    }
     Ok(CliOptions {
         config,
         quick,
+        full,
         scale_override: scale,
         json,
     })
@@ -110,6 +119,8 @@ fn parse_config(args: &[String]) -> Result<CliOptions, String> {
 fn run_sweep(options: &CliOptions) -> Result<(), String> {
     let mut config = if options.quick {
         sweep::SweepConfig::quick()
+    } else if options.full {
+        sweep::SweepConfig::full()
     } else {
         sweep::SweepConfig::default_grid()
     };

@@ -59,6 +59,31 @@ impl SweepConfig {
         }
     }
 
+    /// The full grid: the entire MiBench/MediaBench/Powerstone roster
+    /// ([`WorkloadSuite::all`], 24 workloads) × the paper's three geometries
+    /// (1/4/16 KB) × both function classes — 144 cells. This is the sweep the
+    /// ROADMAP folded forward from the verified-loop PR; the fast replay
+    /// engine is what makes its per-cell top-k trace replay affordable, and
+    /// CI runs it nightly (or on manual dispatch) rather than per-push.
+    #[must_use]
+    pub fn full() -> Self {
+        SweepConfig {
+            scale: Scale::Small,
+            hashed_bits: 16,
+            cache_sizes_kb: vec![1, 4, 16],
+            workloads: WorkloadSuite::all()
+                .iter()
+                .map(|w| w.name().to_string())
+                .collect(),
+            classes: vec![
+                ("bitsel".into(), FunctionClass::bit_selecting()),
+                ("xor".into(), FunctionClass::xor_unlimited()),
+            ],
+            algorithm: SearchAlgorithm::HillClimb,
+            top_k: 3,
+        }
+    }
+
     /// The CI smoke grid: two workloads × two geometries × one class at tiny
     /// scale — four cells, done in seconds.
     #[must_use]
@@ -353,5 +378,22 @@ mod tests {
                 "default sweep workload {name:?} must exist"
             );
         }
+    }
+
+    #[test]
+    fn full_grid_covers_the_whole_roster() {
+        let config = SweepConfig::full();
+        assert_eq!(config.workloads.len(), WorkloadSuite::all().len());
+        for name in &config.workloads {
+            assert!(
+                WorkloadSuite::by_name(name).is_some(),
+                "full sweep workload {name:?} must exist"
+            );
+        }
+        assert_eq!(config.cache_sizes_kb, vec![1, 4, 16]);
+        assert_eq!(config.classes.len(), 2);
+        // 24 workloads x 3 geometries x 2 classes.
+        let cells = config.workloads.len() * config.cache_sizes_kb.len() * config.classes.len();
+        assert_eq!(cells, 144);
     }
 }

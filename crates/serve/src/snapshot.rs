@@ -347,6 +347,8 @@ fn get_app(buf: &mut &[u8], version: u32) -> Result<Application, SnapshotError> 
     };
     // Version 1 predates trace retention: every app restores trace-free.
     let trace = if version >= 2 { get_trace(buf)? } else { None };
+    let replayer = Application::build_replayer(cache, trace.as_ref());
+    let baseline = Arc::new(std::sync::OnceLock::new());
     Ok(Application {
         profile,
         cache,
@@ -356,6 +358,8 @@ fn get_app(buf: &mut &[u8], version: u32) -> Result<Application, SnapshotError> 
         memo,
         scaffold: xorindex::ScaffoldCache::new(),
         trace,
+        replayer,
+        baseline,
     })
 }
 

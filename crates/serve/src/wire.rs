@@ -40,7 +40,9 @@ use xorindex::{
     BoundedCost, HashFunction, MemoShardStats, MemoStats, ScaffoldStats, SearchAlgorithm,
     SearchOutcome,
 };
-use xorindex_verify::{CandidateVerdict, EstimateAudit, SimStats, VerifiedOutcome, VerifyError};
+use xorindex_verify::{
+    CandidateVerdict, EstimateAudit, ReplayStats, SimStats, VerifiedOutcome, VerifyError,
+};
 
 use crate::service::{AppId, AppStats, EvictCounts, Request, Response, ServeError};
 
@@ -613,6 +615,21 @@ fn put_app_stats(out: &mut Vec<u8>, stats: &AppStats) {
         put_shard_stats(out, shard);
     }
     put_scaffold_stats(out, &stats.scaffold);
+    put_replay_stats(out, &stats.replay);
+}
+
+fn put_replay_stats(out: &mut Vec<u8>, stats: &ReplayStats) {
+    out.put_u64(stats.replays);
+    out.put_u64(stats.preclass_builds);
+    out.put_u64(stats.preclass_hits);
+}
+
+fn get_replay_stats(buf: &mut &[u8]) -> Result<ReplayStats, WireError> {
+    Ok(ReplayStats {
+        replays: get_u64(buf)?,
+        preclass_builds: get_u64(buf)?,
+        preclass_hits: get_u64(buf)?,
+    })
 }
 
 fn get_app_stats(buf: &mut &[u8]) -> Result<AppStats, WireError> {
@@ -634,6 +651,7 @@ fn get_app_stats(buf: &mut &[u8]) -> Result<AppStats, WireError> {
         memo,
         shards,
         scaffold: get_scaffold_stats(buf)?,
+        replay: get_replay_stats(buf)?,
     })
 }
 

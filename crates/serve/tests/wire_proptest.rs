@@ -17,7 +17,9 @@ use xorindex_serve::{
     AppStats, ClientFrame, EvictCounts, Request, Response, ServeError, ServerFrame, WireError,
     FRAME_HEADER_BYTES, MAX_FRAME_BYTES, WIRE_VERSION,
 };
-use xorindex_verify::{CandidateVerdict, EstimateAudit, SimStats, VerifiedOutcome, VerifyError};
+use xorindex_verify::{
+    CandidateVerdict, EstimateAudit, ReplayStats, SimStats, VerifiedOutcome, VerifyError,
+};
 
 // ---------------------------------------------------------------------------
 // Strategies
@@ -136,6 +138,7 @@ fn app_stats_strategy() -> impl Strategy<Value = AppStats> {
             any::<u32>(),
             any::<u32>(),
         ),
+        (any::<u64>(), any::<u64>(), any::<u64>()),
     )
         .prop_map(
             |(
@@ -143,6 +146,7 @@ fn app_stats_strategy() -> impl Strategy<Value = AppStats> {
                 memo,
                 shards,
                 (hits, misses, evictions, entries, capacity),
+                (replays, preclass_builds, preclass_hits),
             )| AppStats {
                 app: AppId::from_raw(app),
                 hashed_bits,
@@ -156,6 +160,11 @@ fn app_stats_strategy() -> impl Strategy<Value = AppStats> {
                     evictions,
                     entries: entries as usize,
                     capacity: capacity as usize,
+                },
+                replay: ReplayStats {
+                    replays,
+                    preclass_builds,
+                    preclass_hits,
                 },
             },
         )

@@ -23,16 +23,31 @@
 //! geometry and the candidate, and [`TraceReplayer::replay_many`] returns
 //! results indexed by candidate position, so outcomes are bit-identical at
 //! any thread count.
+//!
+//! Replays of [`HashFunction`] candidates ride the fast engine in [`replay`]
+//! when the geometry allows (LRU, associativity ≤ 8): a shared, cached 3C
+//! pre-classification of the trace, sliced per-candidate set-index streams,
+//! and set-partitioned parallel simulation — bit-identical to the legacy
+//! [`Cache`]-based path (exposed as [`TraceReplayer::replay_legacy`]) but
+//! an order of magnitude faster for multi-candidate verification.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod replay;
 
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 
-use cache_sim::{BlockAddr, Cache, CacheConfig, CacheError, CacheStats, IndexFunction};
+use cache_sim::{
+    BlockAddr, Cache, CacheConfig, CacheError, CacheStats, IndexFunction, ReuseStream,
+};
 use xorindex::{HashFunction, SearchOutcome};
+
+pub use replay::{ReplayStats, SetIndexStream};
+
+use replay::ReplayCounters;
 
 /// Errors from the verification layer. Malformed candidates produce typed
 /// errors, never panics.
@@ -137,13 +152,43 @@ impl fmt::Display for SimStats {
 pub struct TraceReplayer {
     config: CacheConfig,
     trace: Arc<Vec<BlockAddr>>,
+    /// Set partitions a single fast-path replay may fan across (`0` = one
+    /// per host CPU, `1` = sequential).
+    set_partitions: usize,
+    /// Function-independent 3C pre-classification, built lazily once per
+    /// (trace, geometry) and shared across clones.
+    preclass: Arc<OnceLock<Arc<ReuseStream>>>,
+    /// Replay/pre-classification counters, shared across clones.
+    counters: Arc<ReplayCounters>,
 }
 
 impl TraceReplayer {
     /// Creates a replayer for a cache geometry and a retained block trace.
     #[must_use]
     pub fn new(config: CacheConfig, trace: Arc<Vec<BlockAddr>>) -> Self {
-        TraceReplayer { config, trace }
+        TraceReplayer {
+            config,
+            trace,
+            set_partitions: 1,
+            preclass: Arc::new(OnceLock::new()),
+            counters: Arc::new(ReplayCounters::default()),
+        }
+    }
+
+    /// Sets how many set partitions a *single* fast-path replay may fan
+    /// across (`0` = one per host CPU). Partitioning never changes results —
+    /// each set is owned by exactly one partition — it only buys wall-clock.
+    #[must_use]
+    pub fn with_set_partitions(mut self, partitions: usize) -> Self {
+        self.set_partitions = partitions;
+        self
+    }
+
+    /// Counters describing how this replayer (and its clones) have been
+    /// exercised: replays run, pre-classification builds and cache hits.
+    #[must_use]
+    pub fn replay_stats(&self) -> ReplayStats {
+        self.counters.snapshot()
     }
 
     /// The cache geometry candidates are simulated against.
@@ -175,8 +220,41 @@ impl TraceReplayer {
         Ok(())
     }
 
+    /// `true` when [`HashFunction`] replays ride the fast engine for this
+    /// geometry (LRU, associativity ≤ 8).
+    #[must_use]
+    pub fn fast_path(&self) -> bool {
+        replay::fast_eligible(&self.config)
+    }
+
+    fn resolved_partitions(&self) -> usize {
+        if self.set_partitions == 0 {
+            std::thread::available_parallelism().map_or(1, usize::from)
+        } else {
+            self.set_partitions
+        }
+    }
+
+    /// Returns (building it on first use) the shared function-independent
+    /// reuse-class stream for this (trace, geometry).
+    fn reuse_stream(&self) -> Arc<ReuseStream> {
+        if let Some(stream) = self.preclass.get() {
+            self.counters.note_preclass_hit();
+            return Arc::clone(stream);
+        }
+        Arc::clone(self.preclass.get_or_init(|| {
+            self.counters.note_preclass_build();
+            Arc::new(ReuseStream::build(
+                &self.trace,
+                self.config.num_blocks() as usize,
+            ))
+        }))
+    }
+
     /// Replays the trace under a candidate hash function, returning true
-    /// hit/miss counts with the per-set conflict breakdown.
+    /// hit/miss counts with the per-set conflict breakdown. Rides the fast
+    /// engine when [`TraceReplayer::fast_path`] holds, falling back to the
+    /// legacy simulator otherwise; both produce identical results.
     ///
     /// # Errors
     ///
@@ -184,11 +262,37 @@ impl TraceReplayer {
     /// this cache's set count.
     pub fn replay(&self, function: &HashFunction) -> Result<SimStats, VerifyError> {
         self.check(function)?;
+        if !self.fast_path() {
+            return self.replay_boxed(Box::new(function.to_index_function()));
+        }
+        let reuse = self.reuse_stream();
+        let stream = SetIndexStream::build(&self.trace, function);
+        self.counters.note_replays(1);
+        Ok(replay::replay_fast(
+            &self.config,
+            &self.trace,
+            &reuse,
+            stream.indices(),
+            self.resolved_partitions(),
+        ))
+    }
+
+    /// Replays the trace under a candidate through the legacy [`Cache`]-based
+    /// simulator, bypassing the fast engine. Exists so benches and the
+    /// equivalence proptests can pin the two paths bit-identical.
+    ///
+    /// # Errors
+    ///
+    /// [`VerifyError::SetBitsMismatch`] when the candidate does not target
+    /// this cache's set count.
+    pub fn replay_legacy(&self, function: &HashFunction) -> Result<SimStats, VerifyError> {
+        self.check(function)?;
         self.replay_boxed(Box::new(function.to_index_function()))
     }
 
     /// Replays the trace under an arbitrary boxed index function (e.g. the
-    /// conventional [`ModuloIndex`](cache_sim::ModuloIndex) baseline).
+    /// conventional [`ModuloIndex`](cache_sim::ModuloIndex) baseline) on the
+    /// legacy simulator.
     ///
     /// # Errors
     ///
@@ -197,6 +301,7 @@ impl TraceReplayer {
     pub fn replay_boxed(&self, index_fn: Box<dyn IndexFunction>) -> Result<SimStats, VerifyError> {
         let mut cache = Cache::from_boxed(self.config, index_fn)?.with_set_conflict_tracking();
         let stats = cache.simulate_blocks(self.trace.iter().copied());
+        self.counters.note_replays(1);
         Ok(SimStats {
             stats,
             set_conflicts: cache.nonzero_set_conflicts(),
@@ -207,6 +312,11 @@ impl TraceReplayer {
     /// up to `threads` OS threads (`0` = one per host CPU). Results are
     /// indexed by candidate position, so the output is bit-identical at any
     /// thread count.
+    ///
+    /// On the fast path the batch shares one pre-classification pass, the
+    /// first candidate's sliced set-index stream seeds its neighbours'
+    /// [`SetIndexStream::derive`], and threads left over after one-per-
+    /// candidate become set partitions *within* each candidate's replay.
     ///
     /// # Errors
     ///
@@ -220,12 +330,18 @@ impl TraceReplayer {
         for function in functions {
             self.check(function)?;
         }
+        if functions.is_empty() {
+            return Ok(Vec::new());
+        }
         let threads = if threads == 0 {
             std::thread::available_parallelism().map_or(1, usize::from)
         } else {
             threads
+        };
+        if self.fast_path() {
+            return Ok(self.replay_many_fast(functions, threads));
         }
-        .min(functions.len().max(1));
+        let threads = threads.min(functions.len());
         if threads <= 1 {
             return functions.iter().map(|f| self.replay(f)).collect();
         }
@@ -250,6 +366,64 @@ impl TraceReplayer {
             .into_iter()
             .map(|slot| slot.into_inner().expect("every slot was filled"))
             .collect())
+    }
+
+    /// Fast-path batch replay: shared reuse stream, parent-derived index
+    /// slices, cross-candidate work stealing with leftover threads spent as
+    /// within-candidate set partitions.
+    fn replay_many_fast(&self, functions: &[HashFunction], threads: usize) -> Vec<SimStats> {
+        let reuse = self.reuse_stream();
+        self.counters.note_replays(functions.len() as u64);
+        // The first candidate (the search winner in `OptimizeVerified`) seeds
+        // the delta derivation for its neighbours.
+        let parent = Arc::new(SetIndexStream::build(&self.trace, &functions[0]));
+        let outer = threads.min(functions.len());
+        let inner = (threads / functions.len()).max(1);
+        let stream_for = |i: usize| -> Arc<SetIndexStream> {
+            if i == 0 {
+                Arc::clone(&parent)
+            } else {
+                Arc::new(parent.derive(&self.trace, &functions[i]))
+            }
+        };
+        if outer <= 1 {
+            return (0..functions.len())
+                .map(|i| {
+                    replay::replay_fast(
+                        &self.config,
+                        &self.trace,
+                        &reuse,
+                        stream_for(i).indices(),
+                        inner,
+                    )
+                })
+                .collect();
+        }
+        let slots: Vec<OnceLock<SimStats>> =
+            (0..functions.len()).map(|_| OnceLock::new()).collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..outer {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= functions.len() {
+                        break;
+                    }
+                    let sim = replay::replay_fast(
+                        &self.config,
+                        &self.trace,
+                        &reuse,
+                        stream_for(i).indices(),
+                        inner,
+                    );
+                    let _ = slots[i].set(sim);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("every slot was filled"))
+            .collect()
     }
 }
 

@@ -1,0 +1,367 @@
+//! The fast replay engine: pre-classified reuse, sliced set-index streams and
+//! set-partitioned simulation.
+//!
+//! Replaying a candidate through the general [`Cache`](cache_sim::Cache)
+//! spends almost all of its time on work that is *not* candidate-specific:
+//! the `MissClassifier`'s LRU-stack walk (a HashMap probe plus pointer chase
+//! per access) and the per-access `dyn IndexFunction` virtual call that
+//! allocates a `BitVec` inside `XorIndex::set_index`. This module restructures
+//! the replay around what actually varies per candidate:
+//!
+//! 1. **Shared 3C pre-classification** — one [`ReuseStream`] pass per
+//!    (trace, geometry) records each access's reuse class. Compulsory and
+//!    capacity misses are index-function-independent (the paper's Eq. 2/3
+//!    decomposition), so `k`-candidate replay pays the classifier once.
+//! 2. **Sliced set-index streams** — a [`SetIndexStream`] materializes a
+//!    candidate's set index per access as word-wide parity of
+//!    `block & column_mask`, replacing the virtual call and its allocation.
+//!    Neighbour candidates that share most matrix columns with an already
+//!    sliced parent are [derived](SetIndexStream::derive) by re-evaluating
+//!    only the differing columns and XOR-correcting the parent's stream.
+//! 3. **Set-partitioned simulation** — once indices are known, per-set access
+//!    sequences are independent, so one candidate's replay can partition the
+//!    sets across scoped threads over [`CompactSets`] tag arrays and merge
+//!    deterministically (each set is owned by exactly one partition).
+//!
+//! The engine is bit-identical to the legacy replayer — same [`SimStats`],
+//! including the per-set conflict breakdown — at every thread count; the
+//! equivalence is pinned by proptests in `tests/fast_vs_legacy.rs`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use cache_sim::{
+    BlockAddr, CacheConfig, CacheStats, CompactAccess, CompactSets, MissClass, ReuseStream,
+    COMPACT_MAX_WAYS,
+};
+use xorindex::HashFunction;
+
+use crate::SimStats;
+
+/// `true` when `config` can be simulated by the fast engine: LRU (the
+/// replayer's only policy), compact associativity, and set indices that fit
+/// the sliced `u32` streams.
+pub(crate) fn fast_eligible(config: &CacheConfig) -> bool {
+    config.associativity() <= COMPACT_MAX_WAYS && config.set_bits() <= 32
+}
+
+/// One column of the candidate matrix as a mask over hashed address bits:
+/// set-index bit `c` of block `a` is `parity(a & mask[c])`, because
+/// `a · H` sums (XORs) exactly the rows selected by `a`'s one bits.
+fn column_masks(function: &HashFunction) -> Vec<u64> {
+    (0..function.set_bits())
+        .map(|c| function.matrix().column(c).as_u64())
+        .collect()
+}
+
+#[inline]
+fn set_index(block: u64, masks: &[u64]) -> u32 {
+    let mut set = 0u32;
+    for (c, &mask) in masks.iter().enumerate() {
+        set |= ((block & mask).count_ones() & 1) << c;
+    }
+    set
+}
+
+/// A candidate's set index for every access of a trace, materialized in one
+/// vectorizable pass (no virtual calls, no per-access allocation).
+#[derive(Debug, Clone)]
+pub struct SetIndexStream {
+    masks: Vec<u64>,
+    indices: Vec<u32>,
+}
+
+impl SetIndexStream {
+    /// Slices `function`'s set index over every access of `trace`.
+    #[must_use]
+    pub fn build(trace: &[BlockAddr], function: &HashFunction) -> Self {
+        let masks = column_masks(function);
+        let indices = trace
+            .iter()
+            .map(|&b| set_index(b.as_u64(), &masks))
+            .collect();
+        SetIndexStream { masks, indices }
+    }
+
+    /// Slices `function` by correcting this (parent) stream: only the
+    /// columns where the two matrices differ are re-evaluated, and the
+    /// parent's index is XOR-corrected per access. Falls back to a fresh
+    /// [`SetIndexStream::build`] when the candidates share no columns (or
+    /// have different widths), so calling this is never worse than building.
+    #[must_use]
+    pub fn derive(&self, trace: &[BlockAddr], function: &HashFunction) -> Self {
+        let masks = column_masks(function);
+        if masks.len() != self.masks.len() || self.indices.len() != trace.len() {
+            let indices = trace
+                .iter()
+                .map(|&b| set_index(b.as_u64(), &masks))
+                .collect();
+            return SetIndexStream { masks, indices };
+        }
+        let diffs: Vec<(u32, u64)> = masks
+            .iter()
+            .zip(&self.masks)
+            .enumerate()
+            .filter(|(_, (child, parent))| child != parent)
+            .map(|(c, (child, parent))| (c as u32, child ^ parent))
+            .collect();
+        if diffs.len() >= masks.len() {
+            let indices = trace
+                .iter()
+                .map(|&b| set_index(b.as_u64(), &masks))
+                .collect();
+            return SetIndexStream { masks, indices };
+        }
+        let indices = trace
+            .iter()
+            .zip(&self.indices)
+            .map(|(&b, &parent_index)| {
+                let mut correction = 0u32;
+                for &(c, diff) in &diffs {
+                    correction |= ((b.as_u64() & diff).count_ones() & 1) << c;
+                }
+                parent_index ^ correction
+            })
+            .collect();
+        SetIndexStream { masks, indices }
+    }
+
+    /// The per-access set indices.
+    #[must_use]
+    pub fn indices(&self) -> &[u32] {
+        &self.indices
+    }
+
+    /// Number of matrix columns that differ from `function`'s — the work a
+    /// [`SetIndexStream::derive`] call would re-evaluate per access.
+    #[must_use]
+    pub fn columns_differing(&self, function: &HashFunction) -> usize {
+        let masks = column_masks(function);
+        if masks.len() != self.masks.len() {
+            return masks.len();
+        }
+        masks
+            .iter()
+            .zip(&self.masks)
+            .filter(|(child, parent)| child != parent)
+            .count()
+    }
+}
+
+/// One partition's result: aggregate counters plus the nonzero per-set
+/// conflict breakdown (ascending set order).
+type PartitionResult = (CacheStats, Vec<(u32, u64)>);
+
+/// Simulates the accesses whose set index falls in `[lo, hi)` against
+/// compact LRU tag arrays, returning the partition's aggregate counters and
+/// its nonzero per-set conflict breakdown (ascending set order).
+fn simulate_partition(
+    trace: &[BlockAddr],
+    reuse: &ReuseStream,
+    indices: &[u32],
+    lo: u32,
+    hi: u32,
+    ways: usize,
+) -> (CacheStats, Vec<(u32, u64)>) {
+    let span = (hi - lo) as usize;
+    let mut sets = CompactSets::new(span, ways);
+    let mut conflicts = vec![0u64; span];
+    let mut stats = CacheStats::new();
+    for (i, (&set, &block)) in indices.iter().zip(trace.iter()).enumerate() {
+        if set < lo || set >= hi {
+            continue;
+        }
+        let local = (set - lo) as usize;
+        match sets.access(local, block.as_u64()) {
+            CompactAccess::Hit => stats.record_hit(),
+            outcome @ (CompactAccess::MissFilled | CompactAccess::MissEvicted) => {
+                let class = reuse.miss_class(i);
+                if class == MissClass::Conflict {
+                    conflicts[local] += 1;
+                }
+                stats.record_miss(Some(class), outcome == CompactAccess::MissEvicted);
+            }
+        }
+    }
+    let nonzero = conflicts
+        .into_iter()
+        .enumerate()
+        .filter(|&(_, count)| count > 0)
+        .map(|(local, count)| (lo + local as u32, count))
+        .collect();
+    (stats, nonzero)
+}
+
+/// Replays one candidate's sliced index stream, splitting the sets into up
+/// to `partitions` contiguous ranges simulated on scoped threads. Each set is
+/// owned by exactly one partition and partitions merge in ascending set
+/// order, so the result is bit-identical for every partition count.
+pub(crate) fn replay_fast(
+    config: &CacheConfig,
+    trace: &[BlockAddr],
+    reuse: &ReuseStream,
+    indices: &[u32],
+    partitions: usize,
+) -> SimStats {
+    let num_sets = config.num_sets() as u32;
+    let ways = config.associativity() as usize;
+    let partitions = partitions.clamp(1, num_sets as usize) as u32;
+    if partitions == 1 {
+        let (stats, set_conflicts) = simulate_partition(trace, reuse, indices, 0, num_sets, ways);
+        return SimStats {
+            stats,
+            set_conflicts,
+        };
+    }
+    let span = num_sets.div_ceil(partitions);
+    let mut parts: Vec<Option<PartitionResult>> = Vec::new();
+    parts.resize_with(partitions as usize, || None);
+    std::thread::scope(|scope| {
+        for (p, slot) in parts.iter_mut().enumerate() {
+            let lo = (p as u32 * span).min(num_sets);
+            let hi = lo.saturating_add(span).min(num_sets);
+            scope.spawn(move || {
+                *slot = Some(simulate_partition(trace, reuse, indices, lo, hi, ways));
+            });
+        }
+    });
+    let mut stats = CacheStats::new();
+    let mut set_conflicts = Vec::new();
+    for part in parts {
+        let (part_stats, part_conflicts) = part.expect("every partition was simulated");
+        stats += part_stats;
+        set_conflicts.extend(part_conflicts);
+    }
+    SimStats {
+        stats,
+        set_conflicts,
+    }
+}
+
+/// Counters describing how a [`TraceReplayer`](crate::TraceReplayer) has been
+/// exercised: replays run and how often the shared 3C pre-classification was
+/// built vs reused. Shared across clones of the replayer, so a service sees
+/// the totals for an application across requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReplayStats {
+    /// Candidate replays run (fast or legacy path).
+    pub replays: u64,
+    /// Times the function-independent reuse stream was built from scratch.
+    pub preclass_builds: u64,
+    /// Replays that reused an already-built reuse stream.
+    pub preclass_hits: u64,
+}
+
+/// Shared atomic backing store for [`ReplayStats`].
+#[derive(Debug, Default)]
+pub(crate) struct ReplayCounters {
+    replays: AtomicU64,
+    preclass_builds: AtomicU64,
+    preclass_hits: AtomicU64,
+}
+
+impl ReplayCounters {
+    pub(crate) fn note_replays(&self, n: u64) {
+        self.replays.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_preclass_build(&self) {
+        self.preclass_builds.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_preclass_hit(&self) {
+        self.preclass_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> ReplayStats {
+        ReplayStats {
+            replays: self.replays.load(Ordering::Relaxed),
+            preclass_builds: self.preclass_builds.load(Ordering::Relaxed),
+            preclass_hits: self.preclass_hits.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn trace() -> Vec<BlockAddr> {
+        (0..500u64)
+            .map(|i| BlockAddr((i * 37) % 97 + (i % 3) * 256))
+            .collect()
+    }
+
+    #[test]
+    fn sliced_indices_match_the_hash_function() {
+        let trace = trace();
+        for function in [
+            HashFunction::conventional(16, 8).unwrap(),
+            HashFunction::bit_selecting(16, &[1, 3, 5, 7, 9, 11, 13, 15]).unwrap(),
+        ] {
+            let stream = SetIndexStream::build(&trace, &function);
+            for (i, &b) in trace.iter().enumerate() {
+                assert_eq!(
+                    u64::from(stream.indices()[i]),
+                    function.set_index_of(b.as_u64()),
+                    "access {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn derive_equals_build_for_neighbours() {
+        let trace = trace();
+        let parent_fn = HashFunction::conventional(16, 8).unwrap();
+        let child_fn = HashFunction::bit_selecting(16, &[0, 1, 2, 3, 4, 5, 6, 15]).unwrap();
+        let parent = SetIndexStream::build(&trace, &parent_fn);
+        assert_eq!(parent.columns_differing(&child_fn), 1);
+        let derived = parent.derive(&trace, &child_fn);
+        let built = SetIndexStream::build(&trace, &child_fn);
+        assert_eq!(derived.indices(), built.indices());
+        // Deriving from an unrelated-width parent still yields correct slices.
+        let narrow_fn = HashFunction::conventional(16, 4).unwrap();
+        let narrow = parent.derive(&trace, &narrow_fn);
+        assert_eq!(
+            narrow.indices(),
+            SetIndexStream::build(&trace, &narrow_fn).indices()
+        );
+    }
+
+    #[test]
+    fn partitioned_replay_is_partition_count_invariant() {
+        let trace = trace();
+        let config = CacheConfig::paper_cache(1);
+        let function = HashFunction::conventional(16, config.set_bits()).unwrap();
+        let reuse = ReuseStream::build(&trace, config.num_blocks() as usize);
+        let stream = SetIndexStream::build(&trace, &function);
+        let one = replay_fast(&config, &trace, &reuse, stream.indices(), 1);
+        for partitions in [2usize, 3, 7, 1024] {
+            assert_eq!(
+                replay_fast(&config, &trace, &reuse, stream.indices(), partitions),
+                one,
+                "partitions {partitions}"
+            );
+        }
+        assert_eq!(one.stats.accesses, trace.len() as u64);
+    }
+
+    #[test]
+    fn counters_snapshot_roundtrip() {
+        let counters = ReplayCounters::default();
+        counters.note_replays(3);
+        counters.note_preclass_build();
+        counters.note_preclass_hit();
+        counters.note_preclass_hit();
+        assert_eq!(
+            counters.snapshot(),
+            ReplayStats {
+                replays: 3,
+                preclass_builds: 1,
+                preclass_hits: 2
+            }
+        );
+        let _ = Arc::new(counters);
+    }
+}

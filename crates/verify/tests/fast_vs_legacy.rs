@@ -1,0 +1,127 @@
+//! Property tests pinning the fast replay engine bit-identical to the legacy
+//! `Cache`-based replayer.
+//!
+//! The fast path (shared 3C pre-classification + sliced set-index streams +
+//! set-partitioned compact-LRU simulation) must reproduce the legacy
+//! simulator's [`SimStats`] exactly — aggregate counters *and* the per-set
+//! conflict breakdown — across cache geometries, candidate function classes
+//! and thread counts.
+
+use std::sync::Arc;
+
+use cache_sim::{BlockAddr, CacheConfig};
+use gf2::BitMatrix;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use xorindex::HashFunction;
+use xorindex_verify::TraceReplayer;
+
+/// Hashed address bits all generated candidates consume.
+const HASHED_BITS: usize = 12;
+
+/// A trace with a bounded footprint (so reuse happens) scattered by a stride
+/// (so different sets are exercised).
+fn trace_strategy() -> impl Strategy<Value = Arc<Vec<BlockAddr>>> {
+    let stride = (0usize..4).prop_map(|i| [1u64, 17, 64, 257][i]);
+    (1u64..=96, 1usize..400, stride).prop_flat_map(|(footprint, len, stride)| {
+        proptest::collection::vec(
+            (0..footprint).prop_map(move |b| BlockAddr((b * stride) % (1 << HASHED_BITS))),
+            len,
+        )
+        .prop_map(Arc::new)
+    })
+}
+
+/// Cache geometries inside (associativity ≤ 8) and outside (16) the fast
+/// path's gate, so the routing itself is exercised too.
+fn config_strategy() -> impl Strategy<Value = CacheConfig> {
+    (1u32..=6, 0u32..=2, 0u32..=4).prop_map(|(set_bits, block_log, assoc_log)| {
+        CacheConfig::builder()
+            .size_bytes(1u64 << (set_bits + block_log + assoc_log))
+            .block_bytes(1 << block_log)
+            .associativity(1 << assoc_log)
+            .build()
+            .expect("powers of two are valid")
+    })
+}
+
+/// Builds one candidate of the given class for an `m`-set-bit cache:
+/// `0` → conventional, `1` → random bit selection, `2` → random XOR function
+/// (identity over the low rows, random folding of the high rows — always full
+/// column rank).
+fn function_for(class: u8, seed: u64, m: usize) -> HashFunction {
+    match class % 3 {
+        0 => HashFunction::conventional(HASHED_BITS, m).expect("m <= hashed bits"),
+        1 => {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut bits: Vec<usize> = (0..HASHED_BITS).collect();
+            for i in (1..bits.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                bits.swap(i, j);
+            }
+            HashFunction::bit_selecting(HASHED_BITS, &bits[..m]).expect("distinct bits")
+        }
+        _ => {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut matrix = BitMatrix::zero(HASHED_BITS, m);
+            for c in 0..m {
+                matrix.set(c, c, true);
+            }
+            for r in m..HASHED_BITS {
+                for c in 0..m {
+                    if rng.gen_range(0u32..2) == 1 {
+                        matrix.set(r, c, true);
+                    }
+                }
+            }
+            HashFunction::new(matrix).expect("identity block gives full column rank")
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn fast_replay_is_bit_identical_to_legacy(
+        trace in trace_strategy(),
+        config in config_strategy(),
+        class in 0u8..3,
+        seed in any::<u64>(),
+    ) {
+        let function = function_for(class, seed, config.set_bits());
+        let replayer = TraceReplayer::new(config, Arc::clone(&trace));
+        let legacy = replayer.replay_legacy(&function).unwrap();
+        let fast = replayer.replay(&function).unwrap();
+        prop_assert_eq!(&fast, &legacy);
+        // Set partitioning is free of observable effect at any width.
+        for partitions in [2usize, 4, 7] {
+            let partitioned = TraceReplayer::new(config, Arc::clone(&trace))
+                .with_set_partitions(partitions)
+                .replay(&function)
+                .unwrap();
+            prop_assert_eq!(&partitioned, &legacy);
+        }
+    }
+
+    #[test]
+    fn replay_many_is_thread_invariant_and_matches_legacy(
+        trace in trace_strategy(),
+        config in config_strategy(),
+        seeds in proptest::collection::vec(any::<u64>(), 1..5),
+    ) {
+        let functions: Vec<HashFunction> = seeds
+            .iter()
+            .enumerate()
+            .map(|(i, &seed)| function_for(i as u8, seed, config.set_bits()))
+            .collect();
+        let replayer = TraceReplayer::new(config, Arc::clone(&trace));
+        let sequential = replayer.replay_many(&functions, 1).unwrap();
+        for threads in [2usize, 4, 7] {
+            let parallel = replayer.replay_many(&functions, threads).unwrap();
+            prop_assert_eq!(&parallel, &sequential, "threads {}", threads);
+        }
+        for (function, sim) in functions.iter().zip(&sequential) {
+            prop_assert_eq!(sim, &replayer.replay_legacy(function).unwrap());
+        }
+    }
+}
